@@ -1,0 +1,57 @@
+// Ablation: attacker-set size vs chosen-victim success.
+//
+// The paper stresses (Theorems 1-2) that what matters is path coverage, not
+// the raw attacker count — but coverage grows with the count, so success
+// probability rises with the number of colluding nodes. This bench sweeps
+// |V_m| on both evaluation topologies.
+//
+//   ./bench_ablation_attackers [trials_per_setting]
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scapegoat.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scapegoat;
+  const std::size_t trials =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 100;
+
+  std::cout << "Ablation — number of colluding attackers vs chosen-victim "
+               "success\n\n";
+  for (TopologyKind kind :
+       {TopologyKind::kWireline, TopologyKind::kWireless}) {
+    Rng rng(96 + static_cast<int>(kind));
+    auto sc = make_scenario(kind, rng);
+    if (!sc) continue;
+    Table t({"attackers", "trials", "success_prob", "mean_presence_ratio"});
+    for (std::size_t na : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                           std::size_t{6}, std::size_t{10}}) {
+      std::size_t successes = 0, done = 0;
+      std::vector<double> ratios;
+      for (std::size_t trial = 0; trial < trials; ++trial) {
+        sc->resample_metrics(rng);
+        const auto att =
+            rng.sample_without_replacement(sc->graph().num_nodes(), na);
+        AttackContext ctx =
+            sc->context(std::vector<NodeId>(att.begin(), att.end()));
+        const auto lm = ctx.controlled_links();
+        const LinkId victim = rng.index(sc->graph().num_links());
+        if (std::find(lm.begin(), lm.end(), victim) != lm.end()) continue;
+        ++done;
+        ratios.push_back(attack_presence_ratio(sc->estimator().paths(),
+                                               ctx.attackers, {victim})
+                             .ratio());
+        if (chosen_victim_attack(ctx, {victim}).success) ++successes;
+      }
+      t.add_row({std::to_string(na), std::to_string(done),
+                 Table::num(ratio(successes, done), 3),
+                 Table::num(summarize(ratios).mean, 3)});
+    }
+    std::cout << to_string(kind) << ":\n";
+    t.print(std::cout);
+    std::cout << '\n';
+  }
+  return 0;
+}

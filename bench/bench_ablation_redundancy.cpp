@@ -1,0 +1,65 @@
+// Ablation: measurement redundancy as a scapegoating hardening knob.
+//
+// DESIGN.md / §VI of the paper: Theorem 3 needs a non-square R for the
+// detector to exist at all, and extra redundant paths further constrain the
+// attacker (the manipulated estimate must stay consistent with more
+// equations). This bench sweeps the number of redundant paths on the
+// wireline topology and reports how chosen-victim success (random 3-node
+// attacker sets, random victims) and attack damage respond.
+//
+//   ./bench_ablation_redundancy [trials_per_setting]
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scapegoat.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scapegoat;
+  const std::size_t trials =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120;
+
+  Table t({"redundant_paths", "total_paths", "success_prob", "mean_damage_ms",
+           "detect_ratio"});
+  for (std::size_t redundant : {std::size_t{2}, std::size_t{8},
+                                std::size_t{20}, std::size_t{40},
+                                std::size_t{80}}) {
+    Rng rng(90);  // same topology stream per setting
+    auto sc = make_scenario(TopologyKind::kWireline, rng, ScenarioConfig{},
+                            redundant);
+    if (!sc) continue;
+    std::size_t successes = 0, detected = 0, done = 0;
+    std::vector<double> damages;
+    for (std::size_t trial = 0; trial < trials; ++trial) {
+      sc->resample_metrics(rng);
+      const auto att =
+          rng.sample_without_replacement(sc->graph().num_nodes(), 3);
+      AttackContext ctx =
+          sc->context(std::vector<NodeId>(att.begin(), att.end()));
+      const auto lm = ctx.controlled_links();
+      const LinkId victim = rng.index(sc->graph().num_links());
+      if (std::find(lm.begin(), lm.end(), victim) != lm.end()) continue;
+      ++done;
+      const AttackResult r = chosen_victim_attack(ctx, {victim});
+      if (!r.success) continue;
+      ++successes;
+      damages.push_back(r.damage);
+      if (detect_scapegoating(sc->estimator(), r.y_observed).detected)
+        ++detected;
+    }
+    const Summary dmg = summarize(damages);
+    t.add_row({std::to_string(redundant),
+               std::to_string(sc->estimator().num_paths()),
+               Table::num(ratio(successes, done), 3), Table::num(dmg.mean),
+               Table::num(ratio(detected, successes), 3)});
+  }
+  std::cout << "Ablation — redundant measurement paths vs chosen-victim "
+               "attack success\n(wireline topology, 3 random attackers, "
+               "random victim, α = 200 ms)\n\n";
+  t.print(std::cout);
+  std::cout << "\nMore redundancy ⇒ more consistency equations the attacker "
+               "must respect:\nsuccess falls and (imperfect-cut) attacks stay "
+               "detectable.\n";
+  return 0;
+}

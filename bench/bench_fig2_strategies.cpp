@@ -1,0 +1,11 @@
+// Reproduces Fig. 2: qualitative per-link delay profiles of the three
+// scapegoating strategies on the Fig. 1 network.
+
+#include <iostream>
+
+#include "core/figures.hpp"
+
+int main() {
+  scapegoat::print_fig2(scapegoat::run_fig2(), std::cout);
+  return 0;
+}

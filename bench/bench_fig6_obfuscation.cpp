@@ -1,0 +1,11 @@
+// Reproduces Fig. 6: obfuscation on the Fig. 1 network (paper: every link's
+// estimate lands in the intermediate/uncertain band).
+
+#include <iostream>
+
+#include "core/figures.hpp"
+
+int main() {
+  scapegoat::print_fig6(scapegoat::run_fig6(), std::cout);
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Fig. 7: chosen-victim success probability vs attack presence
+// ratio, on the wireline (synthetic AS1221-like) and wireless (RGG λ=5)
+// topologies. Pass --quick for a reduced trial budget.
+
+#include <cstring>
+#include <iostream>
+
+#include "core/figures.hpp"
+
+int main(int argc, char** argv) {
+  scapegoat::PresenceRatioOptions opt;
+  if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
+    opt.topologies = 1;
+    opt.trials_per_topology = 80;
+  }
+  const auto wireline = scapegoat::run_presence_ratio_experiment(
+      scapegoat::TopologyKind::kWireline, opt);
+  const auto wireless = scapegoat::run_presence_ratio_experiment(
+      scapegoat::TopologyKind::kWireless, opt);
+  scapegoat::print_fig7(wireline, wireless, std::cout);
+  return 0;
+}

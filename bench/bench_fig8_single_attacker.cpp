@@ -1,0 +1,21 @@
+// Reproduces Fig. 8: success probabilities of maximum-damage and obfuscation
+// attacks launched by a single attacker. Pass --quick for fewer trials.
+
+#include <cstring>
+#include <iostream>
+
+#include "core/figures.hpp"
+
+int main(int argc, char** argv) {
+  scapegoat::SingleAttackerOptions opt;
+  if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
+    opt.topologies = 1;
+    opt.trials_per_topology = 20;
+  }
+  const auto wireline = scapegoat::run_single_attacker_experiment(
+      scapegoat::TopologyKind::kWireline, opt);
+  const auto wireless = scapegoat::run_single_attacker_experiment(
+      scapegoat::TopologyKind::kWireless, opt);
+  scapegoat::print_fig8(wireline, wireless, std::cout);
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Reproduces Fig. 9: detection ratios of the Eq. 23 consistency check for
+// all three strategies under perfect and imperfect cuts, plus the no-attack
+// false-alarm baseline. Pass --quick for fewer successful attacks per cell.
+
+#include <cstring>
+#include <iostream>
+
+#include "core/figures.hpp"
+
+int main(int argc, char** argv) {
+  scapegoat::DetectionOptionsExperiment opt;
+  if (argc > 1 && std::strcmp(argv[1], "--quick") == 0) {
+    opt.topologies = 1;
+    opt.successful_attacks_per_cell = 10;
+    opt.max_trials_per_cell = 400;
+  }
+  for (auto kind : {scapegoat::TopologyKind::kWireline,
+                    scapegoat::TopologyKind::kWireless}) {
+    scapegoat::print_fig9(scapegoat::run_detection_experiment(kind, opt),
+                          std::cout);
+  }
+  return 0;
+}

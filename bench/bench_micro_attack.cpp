@@ -1,0 +1,78 @@
+// Microbenchmarks for the attack LPs — the per-trial cost that dominates the
+// Fig. 7-9 Monte-Carlo experiments.
+
+#include <benchmark/benchmark.h>
+
+#include "attack/chosen_victim.hpp"
+#include "attack/max_damage.hpp"
+#include "attack/obfuscation.hpp"
+#include "core/scenario.hpp"
+#include "topology/example_networks.hpp"
+#include "topology/isp.hpp"
+
+namespace {
+
+using namespace scapegoat;
+
+void BM_ChosenVictimFig1(benchmark::State& state) {
+  Rng rng(4);
+  Scenario sc = Scenario::fig1(rng);
+  ExampleNetwork net = fig1_network();
+  AttackContext ctx = sc.context(net.attackers);
+  ctx.estimator->pseudo_inverse();  // pre-warm the cache
+  for (auto _ : state) {
+    AttackResult r = chosen_victim_attack(ctx, {9});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ChosenVictimFig1)->Unit(benchmark::kMicrosecond);
+
+void BM_ChosenVictimIsp(benchmark::State& state) {
+  Rng rng(46);
+  auto sc = Scenario::from_graph(isp_topology(IspParams{}, rng), rng);
+  if (!sc) return;
+  const NodeId attacker = 0;  // highest-degree backbone hub
+  AttackContext ctx = sc->context({attacker});
+  ctx.estimator->pseudo_inverse();
+  // Any non-controlled link as victim.
+  LinkId victim = 0;
+  const auto lm = ctx.controlled_links();
+  while (std::find(lm.begin(), lm.end(), victim) != lm.end()) ++victim;
+  for (auto _ : state) {
+    AttackResult r = chosen_victim_attack(ctx, {victim});
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ChosenVictimIsp)->Unit(benchmark::kMillisecond);
+
+void BM_MaxDamageIsp(benchmark::State& state) {
+  Rng rng(47);
+  auto sc = Scenario::from_graph(isp_topology(IspParams{}, rng), rng);
+  if (!sc) return;
+  AttackContext ctx = sc->context({0});
+  ctx.estimator->pseudo_inverse();
+  MaxDamageOptions opt;
+  opt.max_candidates = 32;
+  for (auto _ : state) {
+    MaxDamageResult r = max_damage_attack(ctx, opt);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_MaxDamageIsp)->Unit(benchmark::kMillisecond);
+
+void BM_ObfuscationIsp(benchmark::State& state) {
+  Rng rng(48);
+  auto sc = Scenario::from_graph(isp_topology(IspParams{}, rng), rng);
+  if (!sc) return;
+  AttackContext ctx = sc->context({0});
+  ctx.estimator->pseudo_inverse();
+  ObfuscationOptions opt;
+  opt.max_victims = 24;
+  for (auto _ : state) {
+    AttackResult r = obfuscation_attack(ctx, opt);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_ObfuscationIsp)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,87 @@
+// Microbenchmarks for the dense linear-algebra substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/lu.hpp"
+#include "linalg/qr.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using scapegoat::Matrix;
+using scapegoat::Rng;
+using scapegoat::Vector;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r)
+    for (std::size_t c = 0; c < cols; ++c) m(r, c) = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+void BM_MatrixMultiply(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  for (auto _ : state) {
+    Matrix c = a * b;
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_MatrixMultiply)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_LuSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Matrix a = random_matrix(n, n, rng);
+  Vector b(n, 1.0);
+  for (auto _ : state) {
+    scapegoat::LuDecomposition lu(a);
+    Vector x = lu.solve(b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_LuSolve)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_QrLeastSquares(benchmark::State& state) {
+  // Tall systems shaped like routing matrices (paths × links).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const Matrix a = random_matrix(2 * n, n, rng);
+  Vector b(2 * n, 1.0);
+  for (auto _ : state) {
+    scapegoat::QrDecomposition qr(a);
+    Vector x = qr.solve(b);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_QrLeastSquares)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_PseudoInverse(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(4);
+  const Matrix a = random_matrix(2 * n, n, rng);
+  for (auto _ : state) {
+    Matrix p = scapegoat::pseudo_inverse(a);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_PseudoInverse)->Arg(32)->Arg(64);
+
+void BM_RankPivotedQr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  // Sparse 0/1 rows like incidence matrices.
+  Matrix a(2 * n, n);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      a(r, c) = rng.bernoulli(0.1) ? 1.0 : 0.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scapegoat::matrix_rank(a));
+  }
+}
+BENCHMARK(BM_RankPivotedQr)->Arg(64)->Arg(128);
+
+}  // namespace

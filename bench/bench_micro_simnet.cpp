@@ -1,0 +1,72 @@
+// Microbenchmarks for the packet-level simulator: event throughput and the
+// cost of probe rounds at the sizes the figure experiments would use if
+// they measured through packets instead of algebra.
+
+#include <benchmark/benchmark.h>
+
+#include "core/scenario.hpp"
+#include "core/simulate.hpp"
+#include "topology/isp.hpp"
+
+namespace {
+
+using namespace scapegoat;
+
+void BM_ProbeRoundFig1(benchmark::State& state) {
+  Rng rng(1);
+  Scenario sc = Scenario::fig1(rng);
+  simnet::NullAdversary nobody;
+  Rng sim_rng(2);
+  simnet::Simulator sim(sc.graph(), link_models(sc), nobody, sim_rng);
+  simnet::ProbeOptions opt;
+  opt.probes_per_path = static_cast<std::size_t>(state.range(0));
+  std::size_t events = 0;
+  for (auto _ : state) {
+    auto run = sim.run_probes(sc.estimator().paths(), opt);
+    events += sim.events_processed();
+    benchmark::DoNotOptimize(run);
+  }
+  state.counters["events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ProbeRoundFig1)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_ProbeRoundIsp(benchmark::State& state) {
+  Rng rng(3);
+  auto sc = Scenario::from_graph(isp_topology(IspParams{}, rng), rng);
+  if (!sc) return;
+  simnet::NullAdversary nobody;
+  Rng sim_rng(4);
+  simnet::Simulator sim(sc->graph(), link_models(*sc), nobody, sim_rng);
+  simnet::ProbeOptions opt;
+  opt.probes_per_path = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto run = sim.run_probes(sc->estimator().paths(), opt);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_ProbeRoundIsp)->Arg(1)->Arg(10)->Unit(benchmark::kMillisecond);
+
+void BM_ProbeRoundWithCrossTraffic(benchmark::State& state) {
+  Rng rng(5);
+  auto sc = Scenario::from_graph(isp_topology(IspParams{}, rng), rng);
+  if (!sc) return;
+  simnet::NullAdversary nobody;
+  Rng sim_rng(6);
+  simnet::Simulator sim(sc->graph(), link_models(*sc, 0.05), nobody, sim_rng);
+  simnet::ProbeOptions opt;
+  opt.probes_per_path = 5;
+  opt.background_packets_per_link =
+      static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto run = sim.run_probes(sc->estimator().paths(), opt);
+    benchmark::DoNotOptimize(run);
+  }
+}
+BENCHMARK(BM_ProbeRoundWithCrossTraffic)
+    ->Arg(0)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace

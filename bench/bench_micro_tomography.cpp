@@ -1,0 +1,58 @@
+// Microbenchmarks for the tomography pipeline: path selection, estimator
+// solve, and pseudo-inverse construction on realistic topologies.
+
+#include <benchmark/benchmark.h>
+
+#include "core/scenario.hpp"
+#include "tomography/estimator.hpp"
+#include "topology/geometric.hpp"
+#include "topology/isp.hpp"
+
+namespace {
+
+using namespace scapegoat;
+
+void BM_ScenarioFromIspTopology(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(42);
+    auto sc = Scenario::from_graph(isp_topology(IspParams{}, rng), rng);
+    benchmark::DoNotOptimize(sc);
+  }
+}
+BENCHMARK(BM_ScenarioFromIspTopology)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioFromGeometricTopology(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(43);
+    auto g = random_geometric(GeometricParams{}, rng);
+    auto sc = Scenario::from_graph(std::move(g.graph), rng);
+    benchmark::DoNotOptimize(sc);
+  }
+}
+BENCHMARK(BM_ScenarioFromGeometricTopology)->Unit(benchmark::kMillisecond);
+
+void BM_EstimateFromMeasurements(benchmark::State& state) {
+  Rng rng(44);
+  auto sc = Scenario::from_graph(isp_topology(IspParams{}, rng), rng);
+  if (!sc) return;
+  const Vector y = sc->clean_measurements();
+  for (auto _ : state) {
+    Vector x = sc->estimator().estimate(y);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_EstimateFromMeasurements)->Unit(benchmark::kMicrosecond);
+
+void BM_PseudoInverseConstruction(benchmark::State& state) {
+  Rng rng(45);
+  auto sc = Scenario::from_graph(isp_topology(IspParams{}, rng), rng);
+  if (!sc) return;
+  for (auto _ : state) {
+    // Rebuild a fresh estimator each time so the lazily cached G is recomputed.
+    TomographyEstimator est(sc->graph(), sc->estimator().paths());
+    benchmark::DoNotOptimize(est.pseudo_inverse());
+  }
+}
+BENCHMARK(BM_PseudoInverseConstruction)->Unit(benchmark::kMillisecond);
+
+}  // namespace

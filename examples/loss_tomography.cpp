@@ -1,0 +1,66 @@
+// Loss-rate tomography under a grey-hole attacker, end to end through the
+// packet-level simulator: per-link delivery probabilities define the
+// log-additive metric (§II-A), a malicious node selectively drops probes on
+// the paths it wants to poison, and tomography misattributes the loss.
+//
+//   ./loss_tomography [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scapegoat.hpp"
+#include "core/simulate.hpp"
+#include "tomography/loss_metric.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scapegoat;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 11;
+
+  Rng rng(seed);
+  Scenario scenario = Scenario::fig1(rng);
+  const ExampleNetwork net = fig1_network();
+  const auto& paths = scenario.estimator().paths();
+
+  // Ground truth: every link delivers 99.5%.
+  std::vector<double> delivery(scenario.graph().num_links(), 0.995);
+
+  // The attacker (node B) drops 30% of probes on every path that carries
+  // link 1 AND visits B — steering loss blame toward link 1.
+  std::vector<double> drop(paths.size(), 0.0);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    if (paths[i].contains_link(0) && paths[i].contains_node(net.b))
+      drop[i] = 0.30;
+  }
+
+  simnet::DropAdversary adversary({net.b}, drop);
+  simnet::Simulator sim(scenario.graph(), link_models(scenario), adversary,
+                        rng);
+  simnet::ProbeOptions opt;
+  opt.probes_per_path = 5000;
+  opt.probe_spacing_ms = 0.0;
+  opt.link_delivery_prob = delivery;
+
+  std::cout << "sending " << opt.probes_per_path << " probes per path over "
+            << paths.size() << " paths...\n\n";
+  const simnet::ProbeRun run = sim.run_probes(paths, opt);
+
+  // Loss tomography: invert the measured −log delivery ratios.
+  const Vector x_hat = scenario.estimator().estimate(run.loss_metrics());
+  const StateThresholds t = loss_thresholds(0.99, 0.90);
+
+  Table table(
+      {"link", "true_delivery", "estimated_delivery", "loss_state"});
+  for (LinkId l = 0; l < scenario.graph().num_links(); ++l) {
+    table.add_row({std::to_string(l + 1), Table::num(delivery[l], 3),
+                   Table::num(delivery_from_loss_metric(
+                                  std::max(0.0, x_hat[l])),
+                              3),
+                   to_string(classify(x_hat[l], t))});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNode B drops probes only on link-1 paths it sits on: "
+               "tomography sees link 1\nas lossy while B's own links look "
+               "clean — scapegoating in the loss domain.\n";
+  return 0;
+}

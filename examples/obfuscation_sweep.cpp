@@ -1,0 +1,62 @@
+// Obfuscation sweep: how the attacker's position (router degree) affects how
+// many links it can drag into the uncertain band, and the damage it can
+// inflict — the "substantial amount of links beyond the normal status"
+// strategy of §III-C3.
+//
+//   ./obfuscation_sweep [seed]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/scapegoat.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scapegoat;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+
+  Rng rng(seed);
+  auto scenario = Scenario::from_graph(isp_topology(IspParams{}, rng), rng);
+  if (!scenario) {
+    std::cout << "monitor placement failed\n";
+    return 1;
+  }
+  std::cout << "topology: " << scenario->graph().to_string() << ", "
+            << scenario->estimator().num_paths() << " paths\n\n";
+
+  // Sweep attackers from the best-connected router downward.
+  std::vector<NodeId> by_degree(scenario->graph().num_nodes());
+  for (NodeId v = 0; v < by_degree.size(); ++v) by_degree[v] = v;
+  std::sort(by_degree.begin(), by_degree.end(), [&](NodeId a, NodeId b) {
+    return scenario->graph().degree(a) > scenario->graph().degree(b);
+  });
+
+  Table t({"attacker", "degree", "paths_covered", "uncertain_links",
+           "damage_ms", "feasible"});
+  for (std::size_t i = 0; i < 8 && i < by_degree.size(); ++i) {
+    const NodeId attacker = by_degree[i];
+    scenario->resample_metrics(rng);
+    AttackContext ctx = scenario->context({attacker});
+
+    ObfuscationOptions opt;
+    opt.min_victims = 5;
+    opt.max_victims = 24;
+    const AttackResult r = obfuscation_attack(ctx, opt);
+
+    std::size_t uncertain = 0;
+    if (r.success)
+      for (LinkState s : r.states)
+        if (s == LinkState::kUncertain) ++uncertain;
+
+    t.add_row({std::to_string(attacker),
+               std::to_string(scenario->graph().degree(attacker)),
+               std::to_string(ctx.attacker_path_indices().size()),
+               std::to_string(uncertain),
+               r.success ? Table::num(r.damage) : "-",
+               r.success ? "yes" : "no"});
+  }
+  t.print(std::cout);
+  std::cout << "\nAn obfuscating attacker needs enough path coverage to drag "
+               "≥5 foreign links\ninto the [100, 800] ms band while keeping "
+               "its own links there too (§V-C2).\n";
+  return 0;
+}

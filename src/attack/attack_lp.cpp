@@ -1,0 +1,148 @@
+#include "attack/attack_lp.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "lp/model.hpp"
+
+namespace scapegoat {
+
+namespace {
+constexpr double kCoeffTol = 1e-11;  // |G| entries below this are zero
+}
+
+AttackResult solve_attack_lp(const AttackContext& ctx,
+                             const std::vector<LinkBand>& bands,
+                             std::vector<LinkId> victims) {
+  assert(ctx.estimator != nullptr && ctx.estimator->ok());
+  AttackResult result;
+  result.victims = std::move(victims);
+
+  const std::vector<std::size_t> support = ctx.attacker_path_indices();
+  const Matrix& g = ctx.estimator->pseudo_inverse();
+  const std::size_t num_paths = ctx.estimator->num_paths();
+
+  lp::Model model(lp::Sense::kMaximize);
+  for (std::size_t k = 0; k < support.size(); ++k)
+    model.add_variable(0.0, ctx.per_path_cap, 1.0);
+
+  for (const LinkBand& band : bands) {
+    assert(band.link < ctx.x_true.size());
+    const double base = ctx.x_true[band.link];
+    std::vector<lp::Term> terms;
+    for (std::size_t k = 0; k < support.size(); ++k) {
+      const double coeff = g(band.link, support[k]);
+      if (std::abs(coeff) > kCoeffTol) terms.push_back({k, coeff});
+    }
+    if (terms.empty()) {
+      // The attacker cannot move this link's estimate at all: the band is a
+      // pure constant check on the true metric.
+      if (base < band.lower - 1e-9 || base > band.upper + 1e-9) {
+        result.status = lp::SolveStatus::kInfeasible;
+        return result;
+      }
+      continue;
+    }
+    if (std::isfinite(band.upper))
+      model.add_constraint(terms, lp::RowType::kLessEqual, band.upper - base);
+    if (std::isfinite(band.lower))
+      model.add_constraint(std::move(terms), lp::RowType::kGreaterEqual,
+                           band.lower - base);
+  }
+
+  const lp::Solution sol = lp::solve(model);
+  result.status = sol.status;
+  if (!sol.optimal()) return result;
+
+  result.m = Vector(num_paths);
+  for (std::size_t k = 0; k < support.size(); ++k)
+    result.m[support[k]] = std::max(0.0, sol.x[k]);
+  result.damage = result.m.norm1();
+  result.y_observed = ctx.true_measurements() + result.m;
+  result.x_estimated = ctx.estimator->estimate(result.y_observed);
+  result.states = classify_all(result.x_estimated, ctx.thresholds);
+  result.success = true;
+  return result;
+}
+
+AttackResult solve_consistent_attack_lp(const AttackContext& ctx,
+                                        const std::vector<LinkBand>& bands,
+                                        std::vector<LinkId> victims) {
+  assert(ctx.estimator != nullptr && ctx.estimator->ok());
+  AttackResult result;
+  result.victims = std::move(victims);
+
+  const Matrix& r = ctx.estimator->r();
+  const std::size_t num_paths = ctx.estimator->num_paths();
+
+  // One Δx̂ variable per banded link; the band is a plain box bound since
+  // x̂′_j = x_true_j + Δx̂_j here. Links outside the bands keep Δx̂ = 0.
+  lp::Model model(lp::Sense::kMaximize);
+  std::vector<LinkId> banded_links;
+  for (const LinkBand& band : bands) {
+    const double base = ctx.x_true[band.link];
+    const double lb = std::isfinite(band.lower) ? band.lower - base
+                                                : -lp::kInfinity;
+    const double ub = std::isfinite(band.upper) ? band.upper - base
+                                                : lp::kInfinity;
+    if (lb > ub) {
+      result.status = lp::SolveStatus::kInfeasible;
+      return result;
+    }
+    // Objective: Σᵢ (RΔx̂)ᵢ = Σⱼ (column-sum of R over paths) Δx̂ⱼ.
+    double colsum = 0.0;
+    for (std::size_t i = 0; i < num_paths; ++i) colsum += r(i, band.link);
+    model.add_variable(lb, ub, colsum);
+    banded_links.push_back(band.link);
+  }
+
+  // Constraint 1 on m = R Δx̂: attacker-free paths must see exactly 0;
+  // every path must see 0 ≤ mᵢ ≤ cap.
+  std::vector<bool> has_attacker(num_paths, false);
+  for (std::size_t i : ctx.attacker_path_indices()) has_attacker[i] = true;
+  for (std::size_t i = 0; i < num_paths; ++i) {
+    std::vector<lp::Term> terms;
+    for (std::size_t k = 0; k < banded_links.size(); ++k)
+      if (r(i, banded_links[k]) != 0.0) terms.push_back({k, 1.0});
+    if (terms.empty()) continue;  // mᵢ identically 0
+    if (!has_attacker[i]) {
+      model.add_constraint(std::move(terms), lp::RowType::kEqual, 0.0);
+    } else {
+      model.add_constraint(terms, lp::RowType::kGreaterEqual, 0.0);
+      model.add_constraint(std::move(terms), lp::RowType::kLessEqual,
+                           ctx.per_path_cap);
+    }
+  }
+
+  const lp::Solution sol = lp::solve(model);
+  result.status = sol.status;
+  if (!sol.optimal()) return result;
+
+  // Materialize m = R Δx̂ and the rest of the result.
+  result.m = Vector(num_paths);
+  for (std::size_t i = 0; i < num_paths; ++i) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < banded_links.size(); ++k)
+      acc += r(i, banded_links[k]) * sol.x[k];
+    result.m[i] = std::max(0.0, acc);
+  }
+  result.damage = result.m.norm1();
+  result.y_observed = ctx.true_measurements() + result.m;
+  result.x_estimated = ctx.estimator->estimate(result.y_observed);
+  result.states = classify_all(result.x_estimated, ctx.thresholds);
+  result.success = true;
+  return result;
+}
+
+double max_estimate_push(const AttackContext& ctx, LinkId link) {
+  assert(ctx.estimator != nullptr && ctx.estimator->ok());
+  const Matrix& g = ctx.estimator->pseudo_inverse();
+  double acc = ctx.x_true[link];
+  for (std::size_t i : ctx.attacker_path_indices()) {
+    const double coeff = g(link, i);
+    if (coeff > kCoeffTol) acc += coeff * ctx.per_path_cap;
+  }
+  return acc;
+}
+
+}  // namespace scapegoat

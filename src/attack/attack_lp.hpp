@@ -1,0 +1,68 @@
+// The generic scapegoating LP used by all three strategies (proof of
+// Theorem 1 shows chosen-victim and obfuscation are instances of one box
+// formulation s_l ⪯ x̂ ⪯ s_u; maximum-damage searches over victim sets and
+// solves the same LP per candidate).
+//
+// With G = R⁺ and identifiability (G R = I), the manipulated estimate is
+// linear in m:  x̂′ = x_true + G m  restricted to the attacker-present path
+// support. The LP is
+//   max Σ mᵢ   s.t.  0 ≤ mᵢ ≤ cap  (support paths only; others fixed 0),
+//                    lowerⱼ ≤ (x_true + G m)ⱼ ≤ upperⱼ  for each band j.
+
+#pragma once
+
+#include <vector>
+
+#include "attack/manipulation.hpp"
+
+namespace scapegoat {
+
+// One per-link interval constraint on the manipulated estimate. Use
+// -infinity / +infinity for one-sided bands.
+struct LinkBand {
+  LinkId link;
+  double lower;
+  double upper;
+};
+
+// Solves the scapegoating LP. `victims` is recorded in the result (it does
+// not alter the constraints — encode the victim requirement in `bands`).
+AttackResult solve_attack_lp(const AttackContext& ctx,
+                             const std::vector<LinkBand>& bands,
+                             std::vector<LinkId> victims);
+
+// The Theorem-1 *consistent* construction: the attacker picks a target
+// estimate perturbation Δx̂ supported on L_m ∪ victims and plays
+// m = R Δx̂, which keeps R x̂ = y′ exactly — invisible to the Eq. 23
+// detector. Variables are Δx̂ per banded link; constraints are Constraint 1
+// on m (0 ≤ (RΔx̂)ᵢ ≤ cap, and (RΔx̂)ᵢ = 0 on attacker-free paths, which a
+// perfect cut satisfies structurally); the objective is still total damage.
+// Infeasible whenever no consistent manipulation exists (e.g. the victim is
+// not perfectly cut and the band demands it move).
+AttackResult solve_consistent_attack_lp(const AttackContext& ctx,
+                                        const std::vector<LinkBand>& bands,
+                                        std::vector<LinkId> victims);
+
+// Which manipulation family a strategy may use. kUnrestricted maximizes
+// damage over all Constraint-1 vectors (detectable under imperfect cuts);
+// kConsistent restricts to m = R Δx̂ (undetectable by Eq. 23, feasible
+// essentially only under perfect cuts — Theorem 3).
+enum class ManipulationMode { kUnrestricted, kConsistent };
+
+// What the attack may do to *bystander* links (∉ L_m ∪ L_s). The paper's
+// formulation leaves them unconstrained, but its figures show clean
+// scapegoats (only the victims cross b_u), which requires bounding
+// collateral estimates. Only meaningful for kUnrestricted manipulations —
+// the consistent construction never moves a link outside L_m ∪ L_s.
+enum class CollateralPolicy {
+  kUnconstrained,  // Eq. (4)-(7) verbatim
+  kAvoidAbnormal,  // bystanders must stay ≤ b_u (victims stand out alone)
+  kKeepNormal,     // bystanders must stay < b_l (fully clean frame-up)
+};
+
+// Upper bound on how far the attacker can push link j's estimate upward:
+// x_true[j] + cap · Σ_i max(G(j,i), 0) over attacker-present paths i. Used
+// to prune hopeless victim candidates before solving LPs.
+double max_estimate_push(const AttackContext& ctx, LinkId link);
+
+}  // namespace scapegoat

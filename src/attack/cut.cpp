@@ -1,0 +1,35 @@
+#include "attack/cut.hpp"
+
+namespace scapegoat {
+
+namespace {
+bool contains_any_link(const Path& p, const std::vector<LinkId>& links) {
+  for (LinkId l : links)
+    if (p.contains_link(l)) return true;
+  return false;
+}
+}  // namespace
+
+bool is_perfect_cut(const std::vector<Path>& paths,
+                    const std::vector<NodeId>& attackers,
+                    const std::vector<LinkId>& victims) {
+  for (const Path& p : paths) {
+    if (!contains_any_link(p, victims)) continue;
+    if (!p.contains_any_node(attackers)) return false;
+  }
+  return true;
+}
+
+PresenceRatio attack_presence_ratio(const std::vector<Path>& paths,
+                                    const std::vector<NodeId>& attackers,
+                                    const std::vector<LinkId>& victims) {
+  PresenceRatio out;
+  for (const Path& p : paths) {
+    if (!contains_any_link(p, victims)) continue;
+    ++out.victim_paths;
+    if (p.contains_any_node(attackers)) ++out.covered_paths;
+  }
+  return out;
+}
+
+}  // namespace scapegoat

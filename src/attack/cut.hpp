@@ -1,0 +1,39 @@
+// Perfect/imperfect-cut analysis — §IV-A of the paper.
+//
+// V_m perfectly cuts the victim set L_s when every measurement path that
+// contains a victim link also contains an attacker node; Theorem 1 then
+// guarantees feasibility and Theorem 3 undetectability. The attack presence
+// ratio is the x-axis of Fig. 7: among paths containing a victim link, the
+// fraction that also carry an attacker.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace scapegoat {
+
+// True iff every path in `paths` containing a link from `victims` also
+// contains a node from `attackers` (perfect cut). Vacuously true when no
+// path contains a victim link.
+bool is_perfect_cut(const std::vector<Path>& paths,
+                    const std::vector<NodeId>& attackers,
+                    const std::vector<LinkId>& victims);
+
+struct PresenceRatio {
+  std::size_t victim_paths = 0;    // paths containing ≥ 1 victim link
+  std::size_t covered_paths = 0;   // of those, paths also carrying an attacker
+  double ratio() const {
+    return victim_paths == 0
+               ? 1.0  // vacuous cut: nothing to cover
+               : static_cast<double>(covered_paths) /
+                     static_cast<double>(victim_paths);
+  }
+};
+
+PresenceRatio attack_presence_ratio(const std::vector<Path>& paths,
+                                    const std::vector<NodeId>& attackers,
+                                    const std::vector<LinkId>& victims);
+
+}  // namespace scapegoat

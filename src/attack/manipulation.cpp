@@ -1,0 +1,67 @@
+#include "attack/manipulation.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "tomography/routing_matrix.hpp"
+
+namespace scapegoat {
+
+std::vector<LinkId> AttackContext::controlled_links() const {
+  assert(graph != nullptr);
+  return graph->incident_links(attackers);
+}
+
+std::vector<std::size_t> AttackContext::attacker_path_indices() const {
+  assert(estimator != nullptr);
+  return paths_through_nodes(estimator->paths(), attackers);
+}
+
+Vector AttackContext::true_measurements() const {
+  assert(estimator != nullptr);
+  assert(x_true.size() == estimator->num_links());
+  return path_metrics(estimator->paths(), x_true);
+}
+
+bool satisfies_constraint1(const AttackContext& ctx, const Vector& m,
+                           double tol) {
+  assert(ctx.estimator != nullptr);
+  if (m.size() != ctx.estimator->num_paths()) return false;
+  const std::vector<std::size_t> support = ctx.attacker_path_indices();
+  std::vector<bool> allowed(m.size(), false);
+  for (std::size_t i : support) allowed[i] = true;
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    if (m[i] < -tol) return false;                 // (i) m ⪰ 0
+    if (!allowed[i] && std::abs(m[i]) > tol) return false;  // (ii) support
+  }
+  return true;
+}
+
+bool verify_chosen_victim_result(const AttackContext& ctx,
+                                 const AttackResult& result) {
+  if (!result.success) return false;
+  if (!satisfies_constraint1(ctx, result.m)) return false;
+
+  // Re-run tomography from scratch on the observed measurements.
+  const Vector y = ctx.true_measurements();
+  const Vector y_prime = y + result.m;
+  const Vector x_hat = ctx.estimator->estimate(y_prime);
+  const std::vector<LinkState> states = classify_all(x_hat, ctx.thresholds);
+
+  for (LinkId l : ctx.controlled_links())
+    if (states[l] != LinkState::kNormal) return false;
+  for (LinkId l : result.victims)
+    if (states[l] != LinkState::kAbnormal) return false;
+
+  // L_m ∩ L_s = ∅ (Eq. 7).
+  const std::vector<LinkId> lm = ctx.controlled_links();
+  for (LinkId l : result.victims)
+    if (std::find(lm.begin(), lm.end(), l) != lm.end()) return false;
+
+  // Per-path cap from §V-A.
+  for (double mi : result.m)
+    if (mi > ctx.per_path_cap + 1e-6) return false;
+  return true;
+}
+
+}  // namespace scapegoat

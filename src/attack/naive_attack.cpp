@@ -1,0 +1,37 @@
+#include "attack/naive_attack.hpp"
+
+#include <cassert>
+
+namespace scapegoat {
+
+AttackResult naive_delay_attack(const AttackContext& ctx,
+                                const std::vector<double>& delays_ms) {
+  assert(ctx.estimator != nullptr && ctx.estimator->ok());
+  assert(delays_ms.size() == ctx.attackers.size());
+
+  AttackResult result;
+  const auto& paths = ctx.estimator->paths();
+  result.m = Vector(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    double hold = 0.0;
+    for (std::size_t k = 0; k < ctx.attackers.size(); ++k)
+      if (paths[i].contains_node(ctx.attackers[k])) hold += delays_ms[k];
+    result.m[i] = hold;
+  }
+  result.damage = result.m.norm1();
+  result.y_observed = ctx.true_measurements() + result.m;
+  result.x_estimated = ctx.estimator->estimate(result.y_observed);
+  result.states = classify_all(result.x_estimated, ctx.thresholds);
+  // "Success" here only means the manipulation was applied — the whole
+  // point of this baseline is that it does NOT hide the attacker.
+  result.success = result.damage > 0.0;
+  result.status = lp::SolveStatus::kOptimal;
+  return result;
+}
+
+AttackResult naive_delay_attack(const AttackContext& ctx, double delay_ms) {
+  return naive_delay_attack(
+      ctx, std::vector<double>(ctx.attackers.size(), delay_ms));
+}
+
+}  // namespace scapegoat

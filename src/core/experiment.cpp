@@ -1,0 +1,345 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "attack/chosen_victim.hpp"
+#include "attack/cut.hpp"
+#include "attack/max_damage.hpp"
+#include "attack/obfuscation.hpp"
+#include "detect/detector.hpp"
+#include "tomography/routing_matrix.hpp"
+#include "topology/geometric.hpp"
+#include "topology/isp.hpp"
+
+namespace scapegoat {
+
+std::string to_string(TopologyKind k) {
+  return k == TopologyKind::kWireline ? "wireline" : "wireless";
+}
+
+std::string to_string(AttackStrategy s) {
+  switch (s) {
+    case AttackStrategy::kChosenVictim:
+      return "chosen-victim";
+    case AttackStrategy::kMaxDamage:
+      return "maximum-damage";
+    case AttackStrategy::kObfuscation:
+      return "obfuscation";
+  }
+  return "?";
+}
+
+std::optional<Scenario> make_scenario(TopologyKind kind, Rng& rng,
+                                      const ScenarioConfig& config,
+                                      std::size_t redundant_paths) {
+  Graph g;
+  if (kind == TopologyKind::kWireline) {
+    g = isp_topology(IspParams{}, rng);
+  } else {
+    g = random_geometric(GeometricParams{}, rng).graph;
+  }
+  return Scenario::from_graph(std::move(g), rng, config, redundant_paths);
+}
+
+namespace {
+
+// Random attacker node set of size `count` (monitors are eligible — the
+// paper's §II-D explicitly allows malicious monitors).
+std::vector<NodeId> sample_attackers(const Graph& g, std::size_t count,
+                                     Rng& rng) {
+  return rng.sample_without_replacement(g.num_nodes(), count);
+}
+
+// Random victim link not controlled by the attackers; nullopt if all links
+// are attacker-incident.
+std::optional<LinkId> sample_victim(const Graph& g,
+                                    const std::vector<LinkId>& controlled,
+                                    Rng& rng) {
+  std::vector<bool> bad(g.num_links(), false);
+  for (LinkId l : controlled) bad[l] = true;
+  std::vector<LinkId> pool;
+  for (LinkId l = 0; l < g.num_links(); ++l)
+    if (!bad[l]) pool.push_back(l);
+  if (pool.empty()) return std::nullopt;
+  return pool[rng.index(pool.size())];
+}
+
+}  // namespace
+
+PresenceRatioSeries run_presence_ratio_experiment(
+    TopologyKind kind, const PresenceRatioOptions& opt) {
+  PresenceRatioSeries series;
+  series.kind = kind;
+  series.bins.resize(opt.bins + 1);
+  for (std::size_t b = 0; b < opt.bins; ++b) {
+    series.bins[b].ratio_low = static_cast<double>(b) / opt.bins;
+    series.bins[b].ratio_high = static_cast<double>(b + 1) / opt.bins;
+  }
+  series.bins.back().ratio_low = series.bins.back().ratio_high = 1.0;
+
+  Rng rng(opt.seed + (kind == TopologyKind::kWireline ? 0 : 0x9e3779b9u));
+  for (std::size_t t = 0; t < opt.topologies; ++t) {
+    std::optional<Scenario> sc = make_scenario(kind, rng);
+    if (!sc) continue;
+    const auto& paths = sc->estimator().paths();
+    for (std::size_t trial = 0; trial < opt.trials_per_topology; ++trial) {
+      sc->resample_metrics(rng);
+      const std::size_t na =
+          static_cast<std::size_t>(rng.uniform_int(1, opt.max_attackers));
+
+      // Pick the victim first; draw attackers either uniformly (low-ratio
+      // regime) or from the nodes sitting on the victim's measurement paths
+      // (mid/high-ratio regime), so every presence-ratio bin receives
+      // trials — purely uniform placement concentrates mass near ratio 0.
+      const LinkId victim = rng.index(sc->graph().num_links());
+      std::vector<NodeId> attackers;
+      if (rng.bernoulli(0.5)) {
+        attackers = sample_attackers(sc->graph(), na, rng);
+      } else {
+        std::vector<NodeId> on_victim_paths;
+        std::vector<bool> seen(sc->graph().num_nodes(), false);
+        for (std::size_t i : paths_through_links(paths, {victim})) {
+          for (NodeId v : paths[i].nodes) {
+            const Link& vl = sc->graph().link(victim);
+            if (v != vl.u && v != vl.v && !seen[v]) {
+              seen[v] = true;
+              on_victim_paths.push_back(v);
+            }
+          }
+        }
+        rng.shuffle(on_victim_paths);
+        for (std::size_t i = 0; i < na && i < on_victim_paths.size(); ++i)
+          attackers.push_back(on_victim_paths[i]);
+        if (attackers.empty()) attackers = sample_attackers(sc->graph(), na, rng);
+      }
+
+      AttackContext ctx = sc->context(attackers);
+      const auto lm = ctx.controlled_links();
+      if (std::find(lm.begin(), lm.end(), victim) != lm.end())
+        continue;  // victim became attacker-controlled — not a scapegoat
+      const PresenceRatio pr =
+          attack_presence_ratio(paths, attackers, {victim});
+      if (pr.victim_paths == 0) continue;  // cannot happen when identifiable
+
+      const double ratio = pr.ratio();
+      std::size_t bin;
+      if (ratio >= 1.0 - 1e-12) {
+        bin = opt.bins;  // exact perfect cut
+      } else {
+        bin = std::min(static_cast<std::size_t>(ratio * opt.bins),
+                       opt.bins - 1);
+      }
+      const AttackResult res = chosen_victim_attack(ctx, {victim});
+      ++series.bins[bin].trials;
+      if (res.success) ++series.bins[bin].successes;
+      ++series.total_trials;
+    }
+  }
+  return series;
+}
+
+SingleAttackerResult run_single_attacker_experiment(
+    TopologyKind kind, const SingleAttackerOptions& opt) {
+  SingleAttackerResult out;
+  out.kind = kind;
+  Rng rng(opt.seed + (kind == TopologyKind::kWireline ? 0 : 0x51f15ee5u));
+  for (std::size_t t = 0; t < opt.topologies; ++t) {
+    std::optional<Scenario> sc = make_scenario(kind, rng);
+    if (!sc) continue;
+    for (std::size_t trial = 0; trial < opt.trials_per_topology; ++trial) {
+      sc->resample_metrics(rng);
+      const NodeId attacker = rng.index(sc->graph().num_nodes());
+      AttackContext ctx = sc->context({attacker});
+
+      MaxDamageOptions md;
+      md.max_candidates = 32;
+      md.max_victims = 4;
+      if (max_damage_attack(ctx, md).best.success) ++out.max_damage_successes;
+
+      ObfuscationOptions ob;
+      ob.min_victims = opt.min_obfuscation_victims;
+      ob.max_victims = 24;
+      if (obfuscation_attack(ctx, ob).success) ++out.obfuscation_successes;
+
+      ++out.trials;
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Grows a connected set S of non-monitor nodes and returns (S's boundary as
+// attackers, S's internal links as perfectly-cut victim candidates).
+// Empty result when the growth fails (e.g. seed pool exhausted).
+struct PerfectCutSample {
+  std::vector<NodeId> attackers;
+  std::vector<LinkId> internal_links;
+};
+
+std::optional<PerfectCutSample> grow_perfect_cut(const Scenario& sc,
+                                                 std::size_t target_size,
+                                                 Rng& rng) {
+  const Graph& g = sc.graph();
+  std::vector<NodeId> non_monitors;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (!sc.is_monitor(v)) non_monitors.push_back(v);
+  if (non_monitors.empty()) return std::nullopt;
+
+  const NodeId seed = non_monitors[rng.index(non_monitors.size())];
+  std::vector<bool> in_s(g.num_nodes(), false);
+  std::vector<NodeId> s{seed};
+  in_s[seed] = true;
+  // Randomized BFS growth over non-monitor neighbors.
+  for (std::size_t i = 0; i < s.size() && s.size() < target_size; ++i) {
+    std::vector<Adjacent> nbrs = g.neighbors(s[i]);
+    rng.shuffle(nbrs);
+    for (const Adjacent& a : nbrs) {
+      if (s.size() >= target_size) break;
+      if (in_s[a.neighbor] || sc.is_monitor(a.neighbor)) continue;
+      in_s[a.neighbor] = true;
+      s.push_back(a.neighbor);
+    }
+  }
+
+  PerfectCutSample out;
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const Link& link = g.link(l);
+    if (in_s[link.u] && in_s[link.v]) out.internal_links.push_back(l);
+  }
+  if (out.internal_links.empty()) return std::nullopt;
+  std::vector<bool> is_attacker(g.num_nodes(), false);
+  for (NodeId v : s) {
+    for (const Adjacent& a : g.neighbors(v)) {
+      if (!in_s[a.neighbor] && !is_attacker[a.neighbor]) {
+        is_attacker[a.neighbor] = true;
+        out.attackers.push_back(a.neighbor);
+      }
+    }
+  }
+  if (out.attackers.empty()) return std::nullopt;
+  return out;
+}
+
+DetectionCell& cell_for(DetectionSeries& series, AttackStrategy s,
+                        bool perfect) {
+  for (DetectionCell& c : series.cells)
+    if (c.strategy == s && c.perfect_cut == perfect) return c;
+  series.cells.push_back(DetectionCell{s, perfect, 0, 0});
+  return series.cells.back();
+}
+
+}  // namespace
+
+DetectionSeries run_detection_experiment(
+    TopologyKind kind, const DetectionOptionsExperiment& opt) {
+  DetectionSeries series;
+  series.kind = kind;
+  for (AttackStrategy s :
+       {AttackStrategy::kChosenVictim, AttackStrategy::kMaxDamage,
+        AttackStrategy::kObfuscation})
+    for (bool perfect : {true, false}) cell_for(series, s, perfect);
+
+  const DetectorOptions detector{opt.alpha};
+  Rng rng(opt.seed + (kind == TopologyKind::kWireline ? 0 : 0xdec0deu));
+
+  auto record = [&](AttackStrategy strategy, const Scenario& sc,
+                    const std::vector<NodeId>& attackers,
+                    const AttackResult& res) {
+    if (!res.success) return;
+    const bool perfect =
+        is_perfect_cut(sc.estimator().paths(), attackers, res.victims);
+    DetectionCell& cell = cell_for(series, strategy, perfect);
+    if (cell.attacks >= opt.successful_attacks_per_cell) return;
+    ++cell.attacks;
+    if (detect_scapegoating(sc.estimator(), res.y_observed, detector).detected)
+      ++cell.detected;
+  };
+  auto cell_full = [&](AttackStrategy s, bool perfect) {
+    return cell_for(series, s, perfect).attacks >=
+           opt.successful_attacks_per_cell;
+  };
+
+  for (std::size_t t = 0; t < opt.topologies; ++t) {
+    std::optional<Scenario> sc = make_scenario(kind, rng);
+    if (!sc) continue;
+
+    // False-alarm baseline: honest measurements through the detector.
+    for (int i = 0; i < 20; ++i) {
+      sc->resample_metrics(rng);
+      ++series.clean_trials;
+      if (detect_scapegoating(sc->estimator(), sc->clean_measurements(),
+                              detector)
+              .detected)
+        ++series.false_alarms;
+    }
+
+    // Perfect-cut cells: enclose a non-monitor region, attack its internal
+    // links with the Theorem-1 consistent construction.
+    for (std::size_t trial = 0; trial < opt.max_trials_per_cell; ++trial) {
+      if (cell_full(AttackStrategy::kChosenVictim, true) &&
+          cell_full(AttackStrategy::kMaxDamage, true) &&
+          cell_full(AttackStrategy::kObfuscation, true))
+        break;
+      sc->resample_metrics(rng);
+      auto sample = grow_perfect_cut(*sc, 8, rng);
+      if (!sample) continue;
+      AttackContext ctx = sc->context(sample->attackers);
+
+      const LinkId victim =
+          sample->internal_links[rng.index(sample->internal_links.size())];
+      record(AttackStrategy::kChosenVictim, *sc, sample->attackers,
+             chosen_victim_attack(ctx, {victim},
+                                  ManipulationMode::kConsistent));
+
+      MaxDamageOptions md;
+      md.mode = ManipulationMode::kConsistent;
+      md.candidate_victims = sample->internal_links;
+      md.max_victims = 3;
+      record(AttackStrategy::kMaxDamage, *sc, sample->attackers,
+             max_damage_attack(ctx, md).best);
+
+      ObfuscationOptions ob;
+      ob.mode = ManipulationMode::kConsistent;
+      ob.candidate_victims = sample->internal_links;
+      ob.min_victims = std::min<std::size_t>(5, sample->internal_links.size());
+      record(AttackStrategy::kObfuscation, *sc, sample->attackers,
+             obfuscation_attack(ctx, ob));
+    }
+
+    // Imperfect-cut cells: random attacker placements, damage-maximizing
+    // manipulation (the stealthy construction is infeasible here).
+    for (std::size_t trial = 0; trial < opt.max_trials_per_cell; ++trial) {
+      if (cell_full(AttackStrategy::kChosenVictim, false) &&
+          cell_full(AttackStrategy::kMaxDamage, false) &&
+          cell_full(AttackStrategy::kObfuscation, false))
+        break;
+      sc->resample_metrics(rng);
+      const std::size_t na = static_cast<std::size_t>(rng.uniform_int(1, 4));
+      std::vector<NodeId> attackers = sample_attackers(sc->graph(), na, rng);
+      AttackContext ctx = sc->context(attackers);
+
+      std::optional<LinkId> victim =
+          sample_victim(sc->graph(), ctx.controlled_links(), rng);
+      if (victim) {
+        record(AttackStrategy::kChosenVictim, *sc, attackers,
+               chosen_victim_attack(ctx, {*victim}));
+      }
+
+      MaxDamageOptions md;
+      md.max_candidates = 24;
+      md.max_victims = 3;
+      record(AttackStrategy::kMaxDamage, *sc, attackers,
+             max_damage_attack(ctx, md).best);
+
+      ObfuscationOptions ob;
+      ob.max_victims = 24;
+      record(AttackStrategy::kObfuscation, *sc, attackers,
+             obfuscation_attack(ctx, ob));
+    }
+  }
+  return series;
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,125 @@
+// Monte-Carlo experiment runners behind Figs. 7-9.
+//
+// Each runner draws topologies of the requested kind (wireline = synthetic
+// AS1221-like ISP, wireless = random geometric graph with λ = 5), places
+// monitors/paths once per topology, then runs many attack trials with fresh
+// ground-truth delays, attacker placements and victims. Results are plain
+// structs the bench binaries print as the paper's series.
+
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace scapegoat {
+
+enum class TopologyKind { kWireline, kWireless };
+
+std::string to_string(TopologyKind k);
+
+// Draws one topology of the given kind (see DESIGN.md §4 for the Rocketfuel
+// substitution) and builds an identifiable scenario on it.
+std::optional<Scenario> make_scenario(TopologyKind kind, Rng& rng,
+                                      const ScenarioConfig& config = {},
+                                      std::size_t redundant_paths = 8);
+
+// ---------------------------------------------------------------- Fig. 7 --
+
+struct PresenceRatioOptions {
+  std::size_t topologies = 2;          // independent topology draws
+  std::size_t trials_per_topology = 400;
+  std::size_t max_attackers = 6;       // attacker count drawn U[1, max]
+  std::size_t bins = 10;               // histogram bins over ratio (0, 1)
+  std::uint64_t seed = 7;
+};
+
+struct PresenceRatioBin {
+  double ratio_low = 0.0;   // bin covers (ratio_low, ratio_high]
+  double ratio_high = 0.0;
+  std::size_t trials = 0;
+  std::size_t successes = 0;
+  double probability() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(successes) /
+                             static_cast<double>(trials);
+  }
+};
+
+struct PresenceRatioSeries {
+  TopologyKind kind;
+  std::vector<PresenceRatioBin> bins;  // last bin is the exact-1.0 perfect cut
+  std::size_t total_trials = 0;
+};
+
+// Chosen-victim success probability vs attack presence ratio (Fig. 7).
+PresenceRatioSeries run_presence_ratio_experiment(
+    TopologyKind kind, const PresenceRatioOptions& opt);
+
+// ---------------------------------------------------------------- Fig. 8 --
+
+struct SingleAttackerOptions {
+  std::size_t topologies = 2;
+  std::size_t trials_per_topology = 60;
+  std::size_t min_obfuscation_victims = 5;  // §V-C2 success bar
+  std::uint64_t seed = 8;
+};
+
+struct SingleAttackerResult {
+  TopologyKind kind;
+  std::size_t trials = 0;
+  std::size_t max_damage_successes = 0;
+  std::size_t obfuscation_successes = 0;
+  double max_damage_probability() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(max_damage_successes) / trials;
+  }
+  double obfuscation_probability() const {
+    return trials == 0 ? 0.0
+                       : static_cast<double>(obfuscation_successes) / trials;
+  }
+};
+
+// Single-attacker maximum-damage and obfuscation success rates (Fig. 8).
+SingleAttackerResult run_single_attacker_experiment(
+    TopologyKind kind, const SingleAttackerOptions& opt);
+
+// ---------------------------------------------------------------- Fig. 9 --
+
+enum class AttackStrategy { kChosenVictim, kMaxDamage, kObfuscation };
+
+std::string to_string(AttackStrategy s);
+
+struct DetectionOptionsExperiment {
+  std::size_t topologies = 2;
+  std::size_t successful_attacks_per_cell = 30;  // per (strategy, cut) bucket
+  std::size_t max_trials_per_cell = 4000;        // sampling budget
+  double alpha = 200.0;                          // detector threshold (§V-D)
+  std::uint64_t seed = 9;
+};
+
+struct DetectionCell {
+  AttackStrategy strategy;
+  bool perfect_cut = false;
+  std::size_t attacks = 0;
+  std::size_t detected = 0;
+  double detection_ratio() const {
+    return attacks == 0 ? 0.0 : static_cast<double>(detected) / attacks;
+  }
+};
+
+struct DetectionSeries {
+  TopologyKind kind;
+  std::vector<DetectionCell> cells;  // 3 strategies × {perfect, imperfect}
+  std::size_t clean_trials = 0;      // no-attack runs fed to the detector
+  std::size_t false_alarms = 0;
+};
+
+// Detection ratios for all strategies under perfect/imperfect cuts (Fig. 9),
+// plus the no-attack false-alarm check.
+DetectionSeries run_detection_experiment(TopologyKind kind,
+                                         const DetectionOptionsExperiment& opt);
+
+}  // namespace scapegoat

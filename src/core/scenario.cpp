@@ -1,0 +1,88 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "tomography/routing_matrix.hpp"
+#include "topology/example_networks.hpp"
+
+namespace scapegoat {
+
+Scenario::Scenario(Graph graph, std::vector<NodeId> monitors,
+                   std::vector<Path> paths, ScenarioConfig config)
+    : graph_(std::move(graph)),
+      monitors_(std::move(monitors)),
+      estimator_(graph_, std::move(paths)),
+      config_(config) {}
+
+Scenario Scenario::fig1(Rng& rng, const ScenarioConfig& config) {
+  ExampleNetwork net = fig1_network();
+  Scenario sc(std::move(net.graph), std::move(net.monitors),
+              std::move(net.paths), config);
+  sc.resample_metrics(rng);
+  return sc;
+}
+
+std::optional<Scenario> Scenario::from_graph(Graph graph, Rng& rng,
+                                             const ScenarioConfig& config,
+                                             std::size_t redundant_paths) {
+  MonitorPlacementOptions opt;
+  opt.path_options.redundant_paths = redundant_paths;
+  MonitorPlacementResult placement = place_monitors(graph, opt, rng);
+  if (!placement.identifiable) return std::nullopt;
+  Scenario sc(std::move(graph), std::move(placement.monitors),
+              std::move(placement.paths), config);
+  sc.resample_metrics(rng);
+  return sc;
+}
+
+std::optional<Scenario> Scenario::restore(Graph graph,
+                                          std::vector<NodeId> monitors,
+                                          std::vector<Path> paths,
+                                          Vector x_true,
+                                          const ScenarioConfig& config) {
+  if (x_true.size() != graph.num_links()) return std::nullopt;
+  for (const Path& p : paths)
+    if (!is_valid_simple_path(graph, p)) return std::nullopt;
+  for (NodeId m : monitors)
+    if (m >= graph.num_nodes()) return std::nullopt;
+  Scenario sc(std::move(graph), std::move(monitors), std::move(paths),
+              config);
+  if (!sc.estimator_.ok()) return std::nullopt;
+  sc.x_true_ = std::move(x_true);
+  return sc;
+}
+
+bool Scenario::is_monitor(NodeId v) const {
+  return std::find(monitors_.begin(), monitors_.end(), v) != monitors_.end();
+}
+
+void Scenario::resample_metrics(Rng& rng) {
+  x_true_ = Vector(graph_.num_links());
+  for (std::size_t i = 0; i < x_true_.size(); ++i)
+    x_true_[i] = rng.uniform(config_.delay_min_ms, config_.delay_max_ms);
+}
+
+AttackContext Scenario::context(std::vector<NodeId> attackers) const {
+  AttackContext ctx;
+  ctx.graph = &graph_;
+  ctx.estimator = &estimator_;
+  ctx.x_true = x_true_;
+  ctx.attackers = std::move(attackers);
+  ctx.thresholds = config_.thresholds;
+  ctx.per_path_cap = config_.per_path_cap_ms;
+  ctx.margin = config_.margin_ms;
+  return ctx;
+}
+
+Vector Scenario::clean_measurements() const {
+  return path_metrics(estimator_.paths(), x_true_);
+}
+
+Vector Scenario::noisy_measurements(double amplitude, Rng& rng) const {
+  Vector y = clean_measurements();
+  for (auto& yi : y) yi += rng.uniform(0.0, amplitude);
+  return y;
+}
+
+}  // namespace scapegoat

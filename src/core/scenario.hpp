@@ -1,0 +1,84 @@
+// A Scenario bundles one complete tomography deployment: topology, monitor
+// set, measurement paths, the estimator built from them, and the sampled
+// ground-truth link metrics (routine traffic delay, U[1,20] ms per §V-A).
+// All experiments and examples operate on Scenarios; attack strategies
+// receive an AttackContext view created by `context(attackers)`.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "attack/manipulation.hpp"
+#include "graph/graph.hpp"
+#include "tomography/estimator.hpp"
+#include "tomography/monitor_placement.hpp"
+#include "util/random.hpp"
+
+namespace scapegoat {
+
+struct ScenarioConfig {
+  double delay_min_ms = 1.0;   // routine per-link delay lower bound (§V-A)
+  double delay_max_ms = 20.0;  // routine per-link delay upper bound
+  StateThresholds thresholds;  // normal < 100 ms, abnormal > 800 ms (§V-A)
+  double per_path_cap_ms = 2000.0;  // attacker per-path delay limit (§V-A)
+  double margin_ms = 1.0;      // strictness margin in state constraints
+};
+
+class Scenario {
+ public:
+  // The paper's Fig. 1 deployment: its fixed 23 paths and monitors, with
+  // ground-truth delays drawn from `rng`.
+  static Scenario fig1(Rng& rng, const ScenarioConfig& config = {});
+
+  // Places monitors / selects paths on an arbitrary connected graph.
+  // `redundant_paths` extra rows keep R non-square (detectability, Thm 3).
+  // nullopt if the placement loop could not reach identifiability.
+  static std::optional<Scenario> from_graph(Graph graph, Rng& rng,
+                                            const ScenarioConfig& config = {},
+                                            std::size_t redundant_paths = 5);
+
+  // Rebuilds a scenario from explicit parts (scenario_io.hpp persistence).
+  // nullopt when the paths are invalid or don't identify the link metrics.
+  static std::optional<Scenario> restore(Graph graph,
+                                         std::vector<NodeId> monitors,
+                                         std::vector<Path> paths,
+                                         Vector x_true,
+                                         const ScenarioConfig& config = {});
+
+  const Graph& graph() const { return graph_; }
+  const std::vector<NodeId>& monitors() const { return monitors_; }
+  const TomographyEstimator& estimator() const { return estimator_; }
+  const Vector& x_true() const { return x_true_; }
+  const ScenarioConfig& config() const { return config_; }
+
+  bool is_monitor(NodeId v) const;
+
+  // Re-draws the routine-traffic link delays.
+  void resample_metrics(Rng& rng);
+
+  // Attack view for a malicious node set. The context borrows this
+  // scenario; it must not outlive it.
+  AttackContext context(std::vector<NodeId> attackers) const;
+
+  // Honest end-to-end measurements y = R x_true.
+  Vector clean_measurements() const;
+
+  // Honest measurements with additive per-path jitter ~ U[0, amplitude) ms —
+  // the "randomness in packet delivery and measurement error" of Remark 4.
+  // Used by the detector-threshold ablation.
+  Vector noisy_measurements(double amplitude, Rng& rng) const;
+
+ private:
+  // Metrics are NOT initialized here; factories either resample or restore.
+  Scenario(Graph graph, std::vector<NodeId> monitors, std::vector<Path> paths,
+           ScenarioConfig config);
+
+  Graph graph_;
+  std::vector<NodeId> monitors_;
+  TomographyEstimator estimator_;
+  Vector x_true_;
+  ScenarioConfig config_;
+};
+
+}  // namespace scapegoat

@@ -1,0 +1,164 @@
+#include "core/scenario_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace scapegoat {
+
+namespace {
+
+constexpr const char* kMagic = "scapegoat-scenario";
+constexpr int kVersion = 1;
+
+// Reads the next non-comment, non-blank line into `line`.
+bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    bool blank = true;
+    for (char c : line)
+      if (!std::isspace(static_cast<unsigned char>(c))) blank = false;
+    if (!blank) return true;
+  }
+  return false;
+}
+
+// Expects "<keyword> <count...>" and returns the stream over the rest.
+std::optional<std::istringstream> expect(std::istream& in,
+                                         const std::string& keyword) {
+  std::string line;
+  if (!next_line(in, line)) return std::nullopt;
+  std::istringstream ls(line);
+  std::string word;
+  if (!(ls >> word) || word != keyword) return std::nullopt;
+  return ls;
+}
+
+}  // namespace
+
+void save_scenario(std::ostream& out, const Scenario& scenario) {
+  const Graph& g = scenario.graph();
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "nodes " << g.num_nodes() << '\n';
+  out << "links " << g.num_links() << '\n';
+  for (const Link& l : g.links()) out << l.u << ' ' << l.v << '\n';
+  out << "monitors " << scenario.monitors().size() << '\n';
+  for (std::size_t i = 0; i < scenario.monitors().size(); ++i)
+    out << (i ? " " : "") << scenario.monitors()[i];
+  out << '\n';
+  const auto& paths = scenario.estimator().paths();
+  out << "paths " << paths.size() << '\n';
+  for (const Path& p : paths) {
+    out << p.nodes.size();
+    for (NodeId v : p.nodes) out << ' ' << v;
+    out << '\n';
+  }
+  out << "metrics " << scenario.x_true().size() << '\n';
+  out << std::setprecision(17);
+  for (std::size_t i = 0; i < scenario.x_true().size(); ++i)
+    out << (i ? " " : "") << scenario.x_true()[i];
+  out << '\n';
+  const ScenarioConfig& c = scenario.config();
+  out << "config " << c.delay_min_ms << ' ' << c.delay_max_ms << ' '
+      << c.thresholds.lower << ' ' << c.thresholds.upper << ' '
+      << c.per_path_cap_ms << ' ' << c.margin_ms << '\n';
+}
+
+std::optional<Scenario> load_scenario(std::istream& in) {
+  std::string line;
+  if (!next_line(in, line)) return std::nullopt;
+  {
+    std::istringstream ls(line);
+    std::string magic;
+    int version = 0;
+    if (!(ls >> magic >> version) || magic != kMagic || version != kVersion)
+      return std::nullopt;
+  }
+
+  auto nodes_hdr = expect(in, "nodes");
+  std::size_t num_nodes = 0;
+  if (!nodes_hdr || !(*nodes_hdr >> num_nodes)) return std::nullopt;
+
+  auto links_hdr = expect(in, "links");
+  std::size_t num_links = 0;
+  if (!links_hdr || !(*links_hdr >> num_links)) return std::nullopt;
+  Graph g(num_nodes);
+  for (std::size_t i = 0; i < num_links; ++i) {
+    if (!next_line(in, line)) return std::nullopt;
+    std::istringstream ls(line);
+    NodeId u, v;
+    if (!(ls >> u >> v)) return std::nullopt;
+    if (u >= num_nodes || v >= num_nodes) return std::nullopt;
+    if (!g.add_link(u, v)) return std::nullopt;  // keeps LinkIds in order
+  }
+
+  auto monitors_hdr = expect(in, "monitors");
+  std::size_t num_monitors = 0;
+  if (!monitors_hdr || !(*monitors_hdr >> num_monitors)) return std::nullopt;
+  std::vector<NodeId> monitors(num_monitors);
+  if (num_monitors > 0) {
+    if (!next_line(in, line)) return std::nullopt;
+    std::istringstream ls(line);
+    for (NodeId& m : monitors)
+      if (!(ls >> m)) return std::nullopt;
+  }
+
+  auto paths_hdr = expect(in, "paths");
+  std::size_t num_paths = 0;
+  if (!paths_hdr || !(*paths_hdr >> num_paths)) return std::nullopt;
+  std::vector<Path> paths(num_paths);
+  for (Path& p : paths) {
+    if (!next_line(in, line)) return std::nullopt;
+    std::istringstream ls(line);
+    std::size_t n = 0;
+    if (!(ls >> n) || n < 2) return std::nullopt;
+    p.nodes.resize(n);
+    for (NodeId& v : p.nodes)
+      if (!(ls >> v)) return std::nullopt;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      const auto link = g.find_link(p.nodes[i], p.nodes[i + 1]);
+      if (!link) return std::nullopt;
+      p.links.push_back(*link);
+    }
+  }
+
+  auto metrics_hdr = expect(in, "metrics");
+  std::size_t num_metrics = 0;
+  if (!metrics_hdr || !(*metrics_hdr >> num_metrics) ||
+      num_metrics != num_links)
+    return std::nullopt;
+  Vector x(num_metrics);
+  if (!next_line(in, line)) return std::nullopt;
+  {
+    std::istringstream ls(line);
+    for (std::size_t i = 0; i < num_metrics; ++i)
+      if (!(ls >> x[i])) return std::nullopt;
+  }
+
+  auto config_hdr = expect(in, "config");
+  if (!config_hdr) return std::nullopt;
+  ScenarioConfig cfg;
+  if (!(*config_hdr >> cfg.delay_min_ms >> cfg.delay_max_ms >>
+        cfg.thresholds.lower >> cfg.thresholds.upper >> cfg.per_path_cap_ms >>
+        cfg.margin_ms))
+    return std::nullopt;
+
+  return Scenario::restore(std::move(g), std::move(monitors),
+                           std::move(paths), std::move(x), cfg);
+}
+
+bool save_scenario_file(const std::string& path, const Scenario& scenario) {
+  std::ofstream out(path);
+  if (!out) return false;
+  save_scenario(out, scenario);
+  return static_cast<bool>(out);
+}
+
+std::optional<Scenario> load_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return std::nullopt;
+  return load_scenario(in);
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,35 @@
+#include "core/simulate.hpp"
+
+#include <cassert>
+
+namespace scapegoat {
+
+std::vector<simnet::LinkModel> link_models(const Scenario& scenario,
+                                           double service_ms) {
+  std::vector<simnet::LinkModel> models(scenario.graph().num_links());
+  for (std::size_t l = 0; l < models.size(); ++l) {
+    models[l].propagation_ms = scenario.x_true()[l];
+    models[l].service_ms = service_ms;
+  }
+  return models;
+}
+
+Vector simulate_honest_measurements(const Scenario& scenario, Rng& rng,
+                                    const simnet::ProbeOptions& opt) {
+  simnet::NullAdversary nobody;
+  simnet::Simulator sim(scenario.graph(), link_models(scenario), nobody, rng);
+  return sim.run_probes(scenario.estimator().paths(), opt).mean_delays();
+}
+
+Vector simulate_attack_measurements(const Scenario& scenario,
+                                    const std::vector<NodeId>& attackers,
+                                    const Vector& m, Rng& rng,
+                                    const simnet::ProbeOptions& opt) {
+  assert(m.size() == scenario.estimator().num_paths());
+  simnet::ManipulationAdversary adversary(attackers, m);
+  simnet::Simulator sim(scenario.graph(), link_models(scenario), adversary,
+                        rng);
+  return sim.run_probes(scenario.estimator().paths(), opt).mean_delays();
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,32 @@
+// Bridges the packet-level simulator with Scenario/attack results.
+//
+// The algebraic pipeline computes y′ = y + m; these helpers *measure* y′ by
+// actually pushing probe packets through the topology with the attacker
+// behavior installed, closing the loop the paper's simulation experiments
+// describe. Tests assert the two agree (and quantify when they don't —
+// FIFO serialization and jitter).
+
+#pragma once
+
+#include "core/scenario.hpp"
+#include "simnet/simulator.hpp"
+
+namespace scapegoat {
+
+// One LinkModel per link with propagation = the scenario's true metric.
+std::vector<simnet::LinkModel> link_models(const Scenario& scenario,
+                                           double service_ms = 0.0);
+
+// Measured per-path delays with no attacker present.
+Vector simulate_honest_measurements(const Scenario& scenario, Rng& rng,
+                                    const simnet::ProbeOptions& opt = {});
+
+// Measured per-path delays under a manipulation-vector attack: `m` is the
+// AttackResult's per-path delay (Constraint 1 holds mechanically — nodes
+// not on a path never see its probes).
+Vector simulate_attack_measurements(const Scenario& scenario,
+                                    const std::vector<NodeId>& attackers,
+                                    const Vector& m, Rng& rng,
+                                    const simnet::ProbeOptions& opt = {});
+
+}  // namespace scapegoat

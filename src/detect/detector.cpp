@@ -1,0 +1,14 @@
+#include "detect/detector.hpp"
+
+namespace scapegoat {
+
+DetectionOutcome detect_scapegoating(const TomographyEstimator& estimator,
+                                     const Vector& y_observed,
+                                     const DetectorOptions& opt) {
+  DetectionOutcome out;
+  out.residual_norm1 = estimator.residual(y_observed).norm1();
+  out.detected = out.residual_norm1 > opt.alpha;
+  return out;
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,34 @@
+// Scapegoating detection — Eq. (23) and Remark 4 of the paper.
+//
+// After running tomography, verify the estimate against the observations:
+// under the linear model an honest network gives R x̂ = y′ exactly (up to
+// measurement noise), while an imperfect-cut manipulation leaves an
+// irreducible inconsistency. The practical test is ‖R x̂ − y′‖₁ > α with an
+// empirically chosen α (200 ms in §V-D).
+//
+// Theorem 3 scopes this detector: it CANNOT fire when the attackers
+// perfectly cut the victims (they can synthesize a fully consistent y′) or
+// when R is square (x̂ = R⁻¹y′ reproduces y′ identically).
+
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "tomography/estimator.hpp"
+
+namespace scapegoat {
+
+struct DetectorOptions {
+  double alpha = 200.0;  // ‖R x̂ − y′‖₁ threshold, ms (§V-D)
+};
+
+struct DetectionOutcome {
+  bool detected = false;
+  double residual_norm1 = 0.0;  // the tested statistic
+};
+
+// Runs the Eq. 23 consistency check on observed measurements.
+DetectionOutcome detect_scapegoating(const TomographyEstimator& estimator,
+                                     const Vector& y_observed,
+                                     const DetectorOptions& opt = {});
+
+}  // namespace scapegoat

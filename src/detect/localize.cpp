@@ -1,0 +1,116 @@
+#include "detect/localize.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "linalg/qr.hpp"
+
+namespace scapegoat {
+
+namespace {
+
+// Least squares restricted to the `kept` rows; nullopt if those rows no
+// longer identify all links.
+std::optional<Vector> restricted_estimate(const Matrix& r, const Vector& y,
+                                          const std::vector<bool>& kept,
+                                          std::size_t kept_count) {
+  if (kept_count < r.cols()) return std::nullopt;
+  Matrix rk(kept_count, r.cols());
+  Vector yk(kept_count);
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    if (!kept[i]) continue;
+    for (std::size_t j = 0; j < r.cols(); ++j) rk(out, j) = r(i, j);
+    yk[out] = y[i];
+    ++out;
+  }
+  return least_squares(rk, yk);
+}
+
+double restricted_residual_norm1(const Matrix& r, const Vector& y,
+                                 const Vector& x,
+                                 const std::vector<bool>& kept) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    if (!kept[i]) continue;
+    double row = y[i];
+    for (std::size_t j = 0; j < r.cols(); ++j) row -= r(i, j) * x[j];
+    acc += std::abs(row);
+  }
+  return acc;
+}
+
+}  // namespace
+
+LocalizationResult localize_manipulation(const TomographyEstimator& estimator,
+                                         const Vector& y_observed,
+                                         const LocalizationOptions& opt) {
+  assert(estimator.ok());
+  assert(y_observed.size() == estimator.num_paths());
+  const Matrix& r = estimator.r();
+
+  LocalizationResult result;
+  result.manipulated =
+      estimator.residual(y_observed).norm1() > opt.alpha;
+  if (!result.manipulated) {
+    result.clean = true;
+    result.x_cleaned = estimator.estimate(y_observed);
+    return result;
+  }
+
+  std::vector<bool> kept(r.rows(), true);
+  std::size_t kept_count = r.rows();
+
+  for (std::size_t removal = 0; removal <= opt.max_removals; ++removal) {
+    auto x = restricted_estimate(r, y_observed, kept, kept_count);
+    if (!x) break;  // lost identifiability — cannot localize further
+    const double resid =
+        restricted_residual_norm1(r, y_observed, *x, kept);
+    if (resid <= opt.alpha) {
+      result.clean = true;
+      result.x_cleaned = std::move(*x);
+      break;
+    }
+    if (removal == opt.max_removals) break;
+
+    // Drop the kept row with the largest absolute residual.
+    std::size_t worst = r.rows();
+    double worst_val = -1.0;
+    for (std::size_t i = 0; i < r.rows(); ++i) {
+      if (!kept[i]) continue;
+      double row = y_observed[i];
+      for (std::size_t j = 0; j < r.cols(); ++j) row -= r(i, j) * (*x)[j];
+      if (std::abs(row) > worst_val) {
+        worst_val = std::abs(row);
+        worst = i;
+      }
+    }
+    if (worst == r.rows()) break;
+    kept[worst] = false;
+    --kept_count;
+    result.suspicious_paths.push_back(worst);
+  }
+  std::sort(result.suspicious_paths.begin(), result.suspicious_paths.end());
+
+  // Suspect nodes: intersection of the suspicious paths' node sets.
+  if (!result.suspicious_paths.empty()) {
+    const auto& paths = estimator.paths();
+    std::vector<NodeId> common =
+        paths[result.suspicious_paths.front()].nodes;
+    std::sort(common.begin(), common.end());
+    for (std::size_t k = 1; k < result.suspicious_paths.size(); ++k) {
+      std::vector<NodeId> nodes = paths[result.suspicious_paths[k]].nodes;
+      std::sort(nodes.begin(), nodes.end());
+      std::vector<NodeId> merged;
+      std::set_intersection(common.begin(), common.end(), nodes.begin(),
+                            nodes.end(), std::back_inserter(merged));
+      common = std::move(merged);
+      if (common.empty()) break;
+    }
+    result.suspect_nodes = std::move(common);
+  }
+  return result;
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,51 @@
+// Manipulation localization — a defense extension beyond the paper.
+//
+// Eq. 23 answers only "is someone manipulating?"; an operator also wants to
+// know *which measurements to distrust*. Under an imperfect cut the
+// attacker can only touch paths it sits on, so there exists a subset of
+// paths whose removal restores consistency — and the untouched rows then
+// re-estimate the true metrics. This module finds such a subset greedily:
+//
+//   repeat until consistent or out of budget:
+//     x̂  ← least-squares on the remaining rows
+//     drop the remaining path with the largest |yᵢ′ − (Rx̂)ᵢ| residual
+//        (only if the remaining rows still identify all links)
+//
+// Output: the suspicious path set, the cleaned estimate, and the nodes
+// shared by all suspicious paths (candidate attacker locations). The
+// greedy loop is a heuristic — an optimal minimal subset is NP-hard
+// (it is an L0 residual minimization) — but on LP damage-maximizing
+// attacks the manipulated rows carry dominant residuals and are found
+// first. Limits: once rank would drop below |L| the loop stops, so heavy
+// manipulation of low-redundancy systems can exhaust the budget
+// (`clean == false`).
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "tomography/estimator.hpp"
+
+namespace scapegoat {
+
+struct LocalizationOptions {
+  double alpha = 200.0;          // consistency threshold on ‖residual‖₁
+  std::size_t max_removals = 32; // budget of paths to discard
+};
+
+struct LocalizationResult {
+  bool manipulated = false;  // Eq. 23 verdict on the full system
+  bool clean = false;        // consistency restored within budget
+  std::vector<std::size_t> suspicious_paths;  // removed path indices
+  Vector x_cleaned;          // estimate from the surviving rows (if clean)
+  // Nodes present on every suspicious path — the natural suspects (empty
+  // when no path was flagged).
+  std::vector<NodeId> suspect_nodes;
+};
+
+LocalizationResult localize_manipulation(const TomographyEstimator& estimator,
+                                         const Vector& y_observed,
+                                         const LocalizationOptions& opt = {});
+
+}  // namespace scapegoat

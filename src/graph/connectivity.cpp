@@ -1,0 +1,96 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "graph/traversal.hpp"
+
+namespace scapegoat {
+
+namespace {
+
+// Iterative Tarjan lowlink computation shared by articulation points and
+// bridges (recursion avoided so large topologies can't overflow the stack).
+struct Lowlink {
+  std::vector<std::size_t> disc, low;
+  std::vector<NodeId> parent;
+  std::vector<bool> is_articulation;
+  std::vector<LinkId> bridge_links;
+
+  explicit Lowlink(const Graph& g) {
+    const std::size_t n = g.num_nodes();
+    disc.assign(n, kUnreachable);
+    low.assign(n, kUnreachable);
+    parent.assign(n, static_cast<NodeId>(-1));
+    is_articulation.assign(n, false);
+    std::size_t timer = 0;
+
+    struct Frame {
+      NodeId node;
+      std::size_t edge_idx;
+      std::size_t root_children;
+    };
+
+    for (NodeId root = 0; root < n; ++root) {
+      if (disc[root] != kUnreachable) continue;
+      std::vector<Frame> stack{{root, 0, 0}};
+      disc[root] = low[root] = timer++;
+      std::size_t root_children = 0;
+      while (!stack.empty()) {
+        Frame& f = stack.back();
+        const auto& adj = g.neighbors(f.node);
+        if (f.edge_idx < adj.size()) {
+          const Adjacent a = adj[f.edge_idx++];
+          if (disc[a.neighbor] == kUnreachable) {
+            parent[a.neighbor] = f.node;
+            disc[a.neighbor] = low[a.neighbor] = timer++;
+            if (f.node == root) ++root_children;
+            stack.push_back({a.neighbor, 0, 0});
+          } else if (a.neighbor != parent[f.node]) {
+            low[f.node] = std::min(low[f.node], disc[a.neighbor]);
+          }
+        } else {
+          const NodeId done = f.node;
+          stack.pop_back();
+          if (!stack.empty()) {
+            const NodeId par = stack.back().node;
+            low[par] = std::min(low[par], low[done]);
+            if (par != root && low[done] >= disc[par])
+              is_articulation[par] = true;
+            if (low[done] > disc[par]) {
+              // parent link is a bridge
+              if (auto l = g.find_link(par, done)) bridge_links.push_back(*l);
+            }
+          }
+        }
+      }
+      if (root_children > 1) is_articulation[root] = true;
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<NodeId> articulation_points(const Graph& g) {
+  Lowlink ll(g);
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (ll.is_articulation[v]) out.push_back(v);
+  return out;
+}
+
+std::vector<LinkId> bridges(const Graph& g) {
+  Lowlink ll(g);
+  std::sort(ll.bridge_links.begin(), ll.bridge_links.end());
+  return ll.bridge_links;
+}
+
+bool separates(const Graph& g, const std::vector<NodeId>& cut_set, NodeId a,
+               NodeId b) {
+  assert(a < g.num_nodes() && b < g.num_nodes());
+  for ([[maybe_unused]] NodeId c : cut_set) assert(c != a && c != b);
+  const auto dist = bfs_distances_avoiding(g, a, cut_set);
+  return dist[b] == kUnreachable;
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,27 @@
+// Cut-oriented connectivity analysis.
+//
+// The feasibility theory (Theorems 1-3) hinges on whether the attacker node
+// set *cuts* the victim links off every monitor-to-monitor path. These
+// helpers provide the structural side: articulation points, bridges, and
+// "does removing S disconnect a from b" queries.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace scapegoat {
+
+// Nodes whose removal increases the number of connected components.
+std::vector<NodeId> articulation_points(const Graph& g);
+
+// Links whose removal disconnects their endpoints.
+std::vector<LinkId> bridges(const Graph& g);
+
+// True iff removing `cut_set` (none of which may be a or b) leaves no path
+// from a to b.
+bool separates(const Graph& g, const std::vector<NodeId>& cut_set, NodeId a,
+               NodeId b);
+
+}  // namespace scapegoat

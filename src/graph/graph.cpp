@@ -1,0 +1,95 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <unordered_set>
+
+namespace scapegoat {
+
+NodeId Graph::add_node() {
+  adjacency_.emplace_back();
+  return adjacency_.size() - 1;
+}
+
+std::optional<LinkId> Graph::add_link(NodeId u, NodeId v) {
+  assert(u < num_nodes() && v < num_nodes());
+  if (u == v) return std::nullopt;
+  if (has_link(u, v)) return std::nullopt;
+  const LinkId id = links_.size();
+  links_.push_back(Link{u, v});
+  adjacency_[u].push_back(Adjacent{v, id});
+  adjacency_[v].push_back(Adjacent{u, id});
+  return id;
+}
+
+bool Graph::has_link(NodeId u, NodeId v) const {
+  return find_link(u, v).has_value();
+}
+
+std::optional<LinkId> Graph::find_link(NodeId u, NodeId v) const {
+  assert(u < num_nodes() && v < num_nodes());
+  // Scan the smaller adjacency list.
+  const NodeId base = adjacency_[u].size() <= adjacency_[v].size() ? u : v;
+  const NodeId target = base == u ? v : u;
+  for (const Adjacent& a : adjacency_[base])
+    if (a.neighbor == target) return a.link;
+  return std::nullopt;
+}
+
+std::vector<LinkId> Graph::incident_links(NodeId node) const {
+  std::vector<LinkId> out;
+  out.reserve(adjacency_[node].size());
+  for (const Adjacent& a : adjacency_[node]) out.push_back(a.link);
+  return out;
+}
+
+std::vector<LinkId> Graph::incident_links(
+    const std::vector<NodeId>& nodes) const {
+  std::vector<LinkId> out;
+  for (NodeId n : nodes)
+    for (const Adjacent& a : adjacency_[n]) out.push_back(a.link);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "Graph(" << num_nodes() << " nodes, " << num_links() << " links)";
+  return os.str();
+}
+
+bool Path::contains_node(NodeId node) const {
+  return std::find(nodes.begin(), nodes.end(), node) != nodes.end();
+}
+
+bool Path::contains_link(LinkId link) const {
+  return std::find(links.begin(), links.end(), link) != links.end();
+}
+
+bool Path::contains_any_node(const std::vector<NodeId>& query) const {
+  for (NodeId q : query)
+    if (contains_node(q)) return true;
+  return false;
+}
+
+bool is_valid_simple_path(const Graph& g, const Path& path) {
+  if (path.nodes.empty()) return false;
+  if (path.nodes.size() != path.links.size() + 1) return false;
+  std::unordered_set<NodeId> seen;
+  for (NodeId n : path.nodes) {
+    if (n >= g.num_nodes()) return false;
+    if (!seen.insert(n).second) return false;
+  }
+  for (std::size_t i = 0; i < path.links.size(); ++i) {
+    if (path.links[i] >= g.num_links()) return false;
+    const Link& l = g.link(path.links[i]);
+    const bool forward = l.u == path.nodes[i] && l.v == path.nodes[i + 1];
+    const bool backward = l.v == path.nodes[i] && l.u == path.nodes[i + 1];
+    if (!forward && !backward) return false;
+  }
+  return true;
+}
+
+}  // namespace scapegoat

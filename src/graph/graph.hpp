@@ -1,0 +1,94 @@
+// Undirected network topology.
+//
+// Matches the paper's model: G = (V, L), at most one link per node pair, no
+// self-loops. Links carry stable integer ids because everything downstream —
+// routing-matrix columns, link metrics x, link states — is indexed by link id
+// exactly as the paper indexes l_1 … l_|L|.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace scapegoat {
+
+using NodeId = std::size_t;
+using LinkId = std::size_t;
+
+struct Link {
+  NodeId u;
+  NodeId v;
+
+  // The other endpoint; `node` must be one of u/v.
+  NodeId other(NodeId node) const { return node == u ? v : u; }
+  bool has_endpoint(NodeId node) const { return node == u || node == v; }
+};
+
+// Adjacency entry: neighbor node reached over `link`.
+struct Adjacent {
+  NodeId neighbor;
+  LinkId link;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(std::size_t num_nodes) : adjacency_(num_nodes) {}
+
+  std::size_t num_nodes() const { return adjacency_.size(); }
+  std::size_t num_links() const { return links_.size(); }
+
+  NodeId add_node();
+
+  // Adds an undirected link; returns nullopt for self-loops or duplicates.
+  std::optional<LinkId> add_link(NodeId u, NodeId v);
+
+  bool has_link(NodeId u, NodeId v) const;
+  std::optional<LinkId> find_link(NodeId u, NodeId v) const;
+
+  const Link& link(LinkId id) const { return links_[id]; }
+  const std::vector<Link>& links() const { return links_; }
+
+  const std::vector<Adjacent>& neighbors(NodeId node) const {
+    return adjacency_[node];
+  }
+  std::size_t degree(NodeId node) const { return adjacency_[node].size(); }
+
+  // Link ids incident to `node`.
+  std::vector<LinkId> incident_links(NodeId node) const;
+
+  // All link ids incident to any node in `nodes`, deduplicated — the
+  // attacker-controlled link set L_m for malicious node set V_m.
+  std::vector<LinkId> incident_links(const std::vector<NodeId>& nodes) const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::vector<Adjacent>> adjacency_;
+  std::vector<Link> links_;
+};
+
+// A measurement path: ordered node sequence plus the links it traverses
+// (nodes.size() == links.size() + 1 for any non-degenerate path).
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<LinkId> links;
+
+  bool empty() const { return links.empty(); }
+  std::size_t length() const { return links.size(); }
+  NodeId source() const { return nodes.front(); }
+  NodeId destination() const { return nodes.back(); }
+
+  bool contains_node(NodeId node) const;
+  bool contains_link(LinkId link) const;
+  // True iff the path visits any node from `nodes` (attacker presence test).
+  bool contains_any_node(const std::vector<NodeId>& nodes) const;
+};
+
+// Validates that `path` is a simple path in `g` (consecutive nodes adjacent
+// via the recorded links, no repeated node).
+bool is_valid_simple_path(const Graph& g, const Path& path);
+
+}  // namespace scapegoat

@@ -1,0 +1,103 @@
+#include "graph/k_shortest.hpp"
+
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace scapegoat {
+
+namespace {
+
+double path_cost(const Path& p, const std::vector<double>& weights) {
+  double acc = 0.0;
+  for (LinkId l : p.links) acc += weights[l];
+  return acc;
+}
+
+}  // namespace
+
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
+                                   NodeId target, std::size_t k,
+                                   const std::vector<double>& weights) {
+  assert(weights.size() == g.num_links());
+  for ([[maybe_unused]] double w : weights) assert(w >= 0.0);
+
+  std::vector<Path> found;  // A in Yen's notation
+  if (k == 0) return found;
+
+  std::vector<bool> no_nodes(g.num_nodes(), false);
+  std::vector<bool> no_links(g.num_links(), false);
+  auto first = dijkstra_avoiding(g, source, target, weights, no_nodes,
+                                   no_links);
+  if (!first) return found;
+  found.push_back(std::move(*first));
+
+  // Candidate pool B, deduplicated on node sequences.
+  struct Candidate {
+    double cost;
+    std::size_t order;  // discovery order for deterministic ties
+    Path path;
+    bool operator>(const Candidate& rhs) const {
+      if (cost != rhs.cost) return cost > rhs.cost;
+      return order > rhs.order;
+    }
+  };
+  std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>> pool;
+  std::set<std::vector<NodeId>> seen;
+  seen.insert(found[0].nodes);
+  std::size_t order = 0;
+
+  while (found.size() < k) {
+    const Path& prev = found.back();
+    for (std::size_t spur = 0; spur + 1 < prev.nodes.size(); ++spur) {
+      const NodeId spur_node = prev.nodes[spur];
+      // Root = prefix of prev up to (and including) the spur node.
+      Path root;
+      root.nodes.assign(prev.nodes.begin(), prev.nodes.begin() + spur + 1);
+      root.links.assign(prev.links.begin(), prev.links.begin() + spur);
+
+      std::vector<bool> banned_links(g.num_links(), false);
+      std::vector<bool> banned_nodes(g.num_nodes(), false);
+      // Ban the next link of every accepted path sharing this root.
+      for (const Path& p : found) {
+        if (p.nodes.size() > spur &&
+            std::equal(root.nodes.begin(), root.nodes.end(),
+                       p.nodes.begin())) {
+          if (spur < p.links.size()) banned_links[p.links[spur]] = true;
+        }
+      }
+      // Ban the root's interior nodes so the spur path stays loopless.
+      for (std::size_t i = 0; i < spur; ++i)
+        banned_nodes[prev.nodes[i]] = true;
+
+      auto spur_path = dijkstra_avoiding(g, spur_node, target, weights,
+                                           banned_nodes, banned_links);
+      if (!spur_path) continue;
+
+      Path total = root;
+      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin() + 1,
+                         spur_path->nodes.end());
+      total.links.insert(total.links.end(), spur_path->links.begin(),
+                         spur_path->links.end());
+      if (!seen.insert(total.nodes).second) continue;
+      pool.push(Candidate{path_cost(total, weights), order++,
+                          std::move(total)});
+    }
+    if (pool.empty()) break;
+    found.push_back(std::move(const_cast<Candidate&>(pool.top()).path));
+    pool.pop();
+  }
+  return found;
+}
+
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
+                                   NodeId target, std::size_t k) {
+  return k_shortest_paths(g, source, target, k,
+                          std::vector<double>(g.num_links(), 1.0));
+}
+
+}  // namespace scapegoat

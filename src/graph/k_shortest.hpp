@@ -1,0 +1,28 @@
+// Yen's algorithm for the k shortest loopless paths.
+//
+// Controllable routing lets monitors pick any simple path; ranking the
+// candidates by weight (e.g. current delay estimates) gives the path
+// selector and the examples a principled, diverse candidate pool beyond
+// geodesics and waypoint samples.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace scapegoat {
+
+// The k lowest-weight simple paths from `source` to `target`, ascending by
+// total weight (ties broken deterministically by discovery order). Fewer
+// than k are returned when the graph doesn't contain that many simple
+// paths. `weights` must hold one non-negative entry per link.
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
+                                   NodeId target, std::size_t k,
+                                   const std::vector<double>& weights);
+
+// Unit-weight (fewest-hop) variant.
+std::vector<Path> k_shortest_paths(const Graph& g, NodeId source,
+                                   NodeId target, std::size_t k);
+
+}  // namespace scapegoat

@@ -1,0 +1,130 @@
+#include "graph/paths.hpp"
+
+#include <cassert>
+
+#include "graph/shortest_path.hpp"
+
+namespace scapegoat {
+
+namespace {
+
+struct EnumState {
+  const Graph& g;
+  NodeId target;
+  const PathEnumerationOptions& opt;
+  std::vector<Path>& out;
+  std::vector<bool> on_path;
+  Path current;
+
+  bool dfs(NodeId cur) {
+    if (cur == target) {
+      out.push_back(current);
+      return out.size() < opt.max_paths;
+    }
+    if (current.links.size() >= opt.max_length) return true;
+    for (const Adjacent& a : g.neighbors(cur)) {
+      if (on_path[a.neighbor]) continue;
+      on_path[a.neighbor] = true;
+      current.nodes.push_back(a.neighbor);
+      current.links.push_back(a.link);
+      const bool keep_going = dfs(a.neighbor);
+      current.nodes.pop_back();
+      current.links.pop_back();
+      on_path[a.neighbor] = false;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::vector<Path> enumerate_simple_paths(const Graph& g, NodeId source,
+                                         NodeId target,
+                                         const PathEnumerationOptions& opt) {
+  assert(source < g.num_nodes() && target < g.num_nodes());
+  std::vector<Path> out;
+  if (source == target) return out;
+  EnumState state{g, target, opt, out,
+                  std::vector<bool>(g.num_nodes(), false), Path{}};
+  state.on_path[source] = true;
+  state.current.nodes.push_back(source);
+  state.dfs(source);
+  return out;
+}
+
+namespace {
+
+bool random_dfs(const Graph& g, NodeId cur, NodeId target,
+                std::size_t max_length, Rng& rng, std::vector<bool>& on_path,
+                Path& current, std::size_t& steps_left) {
+  if (cur == target) return true;
+  if (current.links.size() >= max_length) return false;
+  if (steps_left == 0) return false;
+  --steps_left;
+  std::vector<Adjacent> order = g.neighbors(cur);
+  rng.shuffle(order);
+  for (const Adjacent& a : order) {
+    if (on_path[a.neighbor]) continue;
+    on_path[a.neighbor] = true;
+    current.nodes.push_back(a.neighbor);
+    current.links.push_back(a.link);
+    if (random_dfs(g, a.neighbor, target, max_length, rng, on_path, current,
+                   steps_left))
+      return true;
+    current.nodes.pop_back();
+    current.links.pop_back();
+    on_path[a.neighbor] = false;
+    if (steps_left == 0) return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Path sample_simple_path(const Graph& g, NodeId source, NodeId target,
+                        std::size_t max_length, Rng& rng,
+                        std::size_t max_steps) {
+  assert(source < g.num_nodes() && target < g.num_nodes());
+  Path current;
+  if (source == target) return current;
+  std::vector<bool> on_path(g.num_nodes(), false);
+  on_path[source] = true;
+  current.nodes.push_back(source);
+  std::size_t steps_left = max_steps;
+  if (!random_dfs(g, source, target, max_length, rng, on_path, current,
+                  steps_left)) {
+    return Path{};
+  }
+  return current;
+}
+
+Path sample_waypoint_path(const Graph& g, NodeId source, NodeId target,
+                          std::size_t max_length, Rng& rng) {
+  assert(source < g.num_nodes() && target < g.num_nodes());
+  if (source == target) return Path{};
+
+  const NodeId waypoint = rng.index(g.num_nodes());
+  if (waypoint == source || waypoint == target) {
+    auto p = shortest_path(g, source, target);
+    return (p && p->length() <= max_length) ? *p : Path{};
+  }
+
+  // Leg 1: source → waypoint staying clear of the target.
+  auto leg1 = shortest_path_avoiding(g, source, waypoint, {target});
+  if (!leg1) return Path{};
+  // Leg 2: waypoint → target avoiding leg 1's nodes (except the waypoint).
+  std::vector<NodeId> forbidden(leg1->nodes.begin(), leg1->nodes.end() - 1);
+  auto leg2 = shortest_path_avoiding(g, waypoint, target, forbidden);
+  if (!leg2) return Path{};
+  if (leg1->length() + leg2->length() > max_length) return Path{};
+
+  Path joined = *leg1;
+  joined.nodes.insert(joined.nodes.end(), leg2->nodes.begin() + 1,
+                      leg2->nodes.end());
+  joined.links.insert(joined.links.end(), leg2->links.begin(),
+                      leg2->links.end());
+  return joined;
+}
+
+}  // namespace scapegoat

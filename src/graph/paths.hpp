@@ -1,0 +1,46 @@
+// Simple-path enumeration and sampling between node pairs.
+//
+// Network tomography's controllable-routing assumption means monitors can
+// route probes over any simple path between them; the path selector draws
+// candidate paths from these generators and keeps the rank-increasing ones.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace scapegoat {
+
+struct PathEnumerationOptions {
+  std::size_t max_length = 8;    // max hops per path
+  std::size_t max_paths = 1000;  // stop after this many paths found
+};
+
+// All simple paths from `source` to `target` up to the configured limits,
+// in DFS order (deterministic given the graph's adjacency order).
+std::vector<Path> enumerate_simple_paths(const Graph& g, NodeId source,
+                                         NodeId target,
+                                         const PathEnumerationOptions& opt = {});
+
+// One random simple path from `source` to `target` via randomized DFS:
+// neighbor order is shuffled at every step, first path found wins. Returns
+// an empty Path if none exists within `max_length`, or when the search
+// exceeds `max_steps` node expansions (randomized DFS with a hop cap can
+// backtrack exponentially on dense graphs; the budget keeps a single sample
+// O(max_steps)).
+Path sample_simple_path(const Graph& g, NodeId source, NodeId target,
+                        std::size_t max_length, Rng& rng,
+                        std::size_t max_steps = 2000);
+
+// One random simple path assembled from two BFS-shortest legs through a
+// uniformly random waypoint w: source → w → target, with the second leg
+// avoiding the first leg's interior nodes. O(V + E) per sample, so it is
+// the sampler of choice for path selection on 100-node topologies; the
+// diversity comes from the waypoint choice. Returns an empty Path when the
+// legs cannot be joined within `max_length`.
+Path sample_waypoint_path(const Graph& g, NodeId source, NodeId target,
+                          std::size_t max_length, Rng& rng);
+
+}  // namespace scapegoat

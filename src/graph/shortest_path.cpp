@@ -1,0 +1,123 @@
+#include "graph/shortest_path.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <limits>
+#include <queue>
+
+namespace scapegoat {
+
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+// Rebuilds a Path from parent pointers (parent node + incoming link).
+std::optional<Path> build_path(NodeId source, NodeId target,
+                               const std::vector<NodeId>& parent_node,
+                               const std::vector<LinkId>& parent_link) {
+  if (parent_node[target] == kNone && target != source) return std::nullopt;
+  Path p;
+  NodeId cur = target;
+  while (cur != source) {
+    p.nodes.push_back(cur);
+    p.links.push_back(parent_link[cur]);
+    cur = parent_node[cur];
+  }
+  p.nodes.push_back(source);
+  std::reverse(p.nodes.begin(), p.nodes.end());
+  std::reverse(p.links.begin(), p.links.end());
+  return p;
+}
+
+}  // namespace
+
+std::optional<Path> shortest_path_avoiding(
+    const Graph& g, NodeId source, NodeId target,
+    const std::vector<NodeId>& forbidden) {
+  assert(source < g.num_nodes() && target < g.num_nodes());
+  if (source == target) return std::nullopt;
+  std::vector<bool> blocked(g.num_nodes(), false);
+  for (NodeId n : forbidden)
+    if (n < g.num_nodes()) blocked[n] = true;
+  if (blocked[source] || blocked[target]) return std::nullopt;
+
+  std::vector<NodeId> parent_node(g.num_nodes(), kNone);
+  std::vector<LinkId> parent_link(g.num_nodes(), kNone);
+  std::deque<NodeId> queue{source};
+  std::vector<bool> visited(g.num_nodes(), false);
+  visited[source] = true;
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    if (cur == target) break;
+    for (const Adjacent& a : g.neighbors(cur)) {
+      if (visited[a.neighbor] || blocked[a.neighbor]) continue;
+      visited[a.neighbor] = true;
+      parent_node[a.neighbor] = cur;
+      parent_link[a.neighbor] = a.link;
+      queue.push_back(a.neighbor);
+    }
+  }
+  return build_path(source, target, parent_node, parent_link);
+}
+
+std::optional<Path> shortest_path(const Graph& g, NodeId source,
+                                  NodeId target) {
+  return shortest_path_avoiding(g, source, target, {});
+}
+
+std::optional<Path> dijkstra_avoiding(const Graph& g, NodeId source,
+                                      NodeId target,
+                                      const std::vector<double>& weights,
+                                      const std::vector<bool>& banned_nodes,
+                                      const std::vector<bool>& banned_links) {
+  assert(weights.size() == g.num_links());
+  assert(source < g.num_nodes() && target < g.num_nodes());
+  assert(banned_nodes.empty() || banned_nodes.size() == g.num_nodes());
+  assert(banned_links.empty() || banned_links.size() == g.num_links());
+  if (source == target) return std::nullopt;
+  auto node_ok = [&](NodeId v) {
+    return banned_nodes.empty() || !banned_nodes[v];
+  };
+  auto link_ok = [&](LinkId l) {
+    return banned_links.empty() || !banned_links[l];
+  };
+  if (!node_ok(source) || !node_ok(target)) return std::nullopt;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(g.num_nodes(), kInf);
+  std::vector<NodeId> parent_node(g.num_nodes(), kNone);
+  std::vector<LinkId> parent_link(g.num_nodes(), kNone);
+  using Entry = std::pair<double, NodeId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[source] = 0.0;
+  heap.emplace(0.0, source);
+  while (!heap.empty()) {
+    const auto [d, cur] = heap.top();
+    heap.pop();
+    if (d > dist[cur]) continue;
+    if (cur == target) break;
+    for (const Adjacent& a : g.neighbors(cur)) {
+      if (!node_ok(a.neighbor) || !link_ok(a.link)) continue;
+      const double w = weights[a.link];
+      assert(w >= 0.0);
+      const double nd = d + w;
+      if (nd < dist[a.neighbor]) {
+        dist[a.neighbor] = nd;
+        parent_node[a.neighbor] = cur;
+        parent_link[a.neighbor] = a.link;
+        heap.emplace(nd, a.neighbor);
+      }
+    }
+  }
+  if (dist[target] == kInf) return std::nullopt;
+  return build_path(source, target, parent_node, parent_link);
+}
+
+std::optional<Path> dijkstra(const Graph& g, NodeId source, NodeId target,
+                             const std::vector<double>& weights) {
+  return dijkstra_avoiding(g, source, target, weights, {}, {});
+}
+
+}  // namespace scapegoat

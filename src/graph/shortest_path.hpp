@@ -1,0 +1,36 @@
+// Shortest paths: unweighted BFS paths and weighted Dijkstra.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace scapegoat {
+
+// Fewest-hop simple path from `source` to `target`; nullopt if disconnected
+// or source == target.
+std::optional<Path> shortest_path(const Graph& g, NodeId source,
+                                  NodeId target);
+
+// Same but the path may not visit any node in `forbidden` (endpoints must
+// not be forbidden either).
+std::optional<Path> shortest_path_avoiding(const Graph& g, NodeId source,
+                                           NodeId target,
+                                           const std::vector<NodeId>& forbidden);
+
+// Dijkstra with non-negative per-link weights (weights.size() == num_links).
+std::optional<Path> dijkstra(const Graph& g, NodeId source, NodeId target,
+                             const std::vector<double>& weights);
+
+// Dijkstra that may not use banned nodes/links (empty masks = no bans).
+// Used by Yen's spur computation and by recovery routing that drains
+// suspected-failed links.
+std::optional<Path> dijkstra_avoiding(const Graph& g, NodeId source,
+                                      NodeId target,
+                                      const std::vector<double>& weights,
+                                      const std::vector<bool>& banned_nodes,
+                                      const std::vector<bool>& banned_links);
+
+}  // namespace scapegoat

@@ -1,0 +1,68 @@
+#include "graph/traversal.hpp"
+
+#include <deque>
+
+namespace scapegoat {
+
+namespace {
+std::vector<std::size_t> bfs_impl(const Graph& g, NodeId source,
+                                  const std::vector<bool>& blocked) {
+  std::vector<std::size_t> dist(g.num_nodes(), kUnreachable);
+  if (source >= g.num_nodes() || blocked[source]) return dist;
+  std::deque<NodeId> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const NodeId cur = queue.front();
+    queue.pop_front();
+    for (const Adjacent& a : g.neighbors(cur)) {
+      if (blocked[a.neighbor] || dist[a.neighbor] != kUnreachable) continue;
+      dist[a.neighbor] = dist[cur] + 1;
+      queue.push_back(a.neighbor);
+    }
+  }
+  return dist;
+}
+}  // namespace
+
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source) {
+  return bfs_impl(g, source, std::vector<bool>(g.num_nodes(), false));
+}
+
+std::vector<std::size_t> bfs_distances_avoiding(
+    const Graph& g, NodeId source, const std::vector<NodeId>& forbidden) {
+  std::vector<bool> blocked(g.num_nodes(), false);
+  for (NodeId n : forbidden)
+    if (n < g.num_nodes()) blocked[n] = true;
+  return bfs_impl(g, source, blocked);
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_nodes() == 0) return true;
+  const auto dist = bfs_distances(g, 0);
+  for (std::size_t d : dist)
+    if (d == kUnreachable) return false;
+  return true;
+}
+
+Components connected_components(const Graph& g) {
+  Components out;
+  out.component.assign(g.num_nodes(), kUnreachable);
+  for (NodeId start = 0; start < g.num_nodes(); ++start) {
+    if (out.component[start] != kUnreachable) continue;
+    const std::size_t id = out.count++;
+    std::deque<NodeId> queue{start};
+    out.component[start] = id;
+    while (!queue.empty()) {
+      const NodeId cur = queue.front();
+      queue.pop_front();
+      for (const Adjacent& a : g.neighbors(cur)) {
+        if (out.component[a.neighbor] != kUnreachable) continue;
+        out.component[a.neighbor] = id;
+        queue.push_back(a.neighbor);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,32 @@
+// BFS-based traversal utilities: reachability, components, hop distances.
+
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace scapegoat {
+
+inline constexpr std::size_t kUnreachable =
+    std::numeric_limits<std::size_t>::max();
+
+// Hop distance from `source` to every node (kUnreachable if disconnected).
+std::vector<std::size_t> bfs_distances(const Graph& g, NodeId source);
+
+// Hop distances with a node set removed from the graph (used for cut
+// analysis: can monitors still reach each other avoiding suspected nodes?).
+std::vector<std::size_t> bfs_distances_avoiding(
+    const Graph& g, NodeId source, const std::vector<NodeId>& forbidden);
+
+bool is_connected(const Graph& g);
+
+// component[v] = component index in [0, num_components).
+struct Components {
+  std::vector<std::size_t> component;
+  std::size_t count = 0;
+};
+Components connected_components(const Graph& g);
+
+}  // namespace scapegoat

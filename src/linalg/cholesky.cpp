@@ -1,0 +1,58 @@
+#include "linalg/cholesky.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace scapegoat {
+
+CholeskyDecomposition::CholeskyDecomposition(const Matrix& a, double tol) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  l_ = Matrix(n, n);
+  ok_ = true;
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag < tol) {
+      ok_ = false;
+      return;
+    }
+    l_(j, j) = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) acc -= l_(i, k) * l_(j, k);
+      l_(i, j) = acc / l_(j, j);
+    }
+  }
+}
+
+Vector CholeskyDecomposition::solve(const Vector& b) const {
+  assert(ok_);
+  const std::size_t n = l_.rows();
+  assert(b.size() == n);
+  // Forward: L z = b.
+  Vector z(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * z[k];
+    z[i] = acc / l_(i, i);
+  }
+  // Backward: Lᵀ x = z.
+  Vector x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double acc = z[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) acc -= l_(k, ii) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+std::optional<Vector> solve_normal_equations(const Matrix& a,
+                                             const Vector& b) {
+  const Matrix at = a.transposed();
+  CholeskyDecomposition chol(at * a);
+  if (!chol.ok()) return std::nullopt;
+  return chol.solve(at * b);
+}
+
+}  // namespace scapegoat

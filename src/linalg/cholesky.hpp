@@ -1,0 +1,39 @@
+// Cholesky factorization for symmetric positive-definite systems.
+//
+// The paper's estimator (Eq. 2) is the normal-equations solve
+// (RᵀR)⁻¹Rᵀy; RᵀR is SPD exactly when R has full column rank, so Cholesky
+// both solves the system and certifies identifiability. The QR path in
+// least_squares.hpp is the better-conditioned default; this one exists to
+// reproduce Eq. 2 literally and to cross-check QR in tests.
+
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace scapegoat {
+
+class CholeskyDecomposition {
+ public:
+  // Factors an SPD matrix as L Lᵀ; ok() is false if `a` is not positive
+  // definite to working precision.
+  explicit CholeskyDecomposition(const Matrix& a, double tol = 1e-12);
+
+  bool ok() const { return ok_; }
+
+  // Solves a x = b. Requires ok().
+  Vector solve(const Vector& b) const;
+
+  const Matrix& l() const { return l_; }
+
+ private:
+  Matrix l_;
+  bool ok_ = false;
+};
+
+// Solves the normal equations (aᵀa) x = aᵀ b — the literal Eq. 2 estimator.
+// nullopt if aᵀa is not SPD (i.e. `a` lacks full column rank).
+std::optional<Vector> solve_normal_equations(const Matrix& a, const Vector& b);
+
+}  // namespace scapegoat

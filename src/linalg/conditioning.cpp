@@ -1,0 +1,78 @@
+#include "linalg/conditioning.hpp"
+
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+
+namespace scapegoat {
+
+namespace {
+
+// Deterministic pseudo-random start vector (no RNG dependency here; a fixed
+// irrational stride avoids accidental orthogonality to the extremal
+// eigenvector far more robustly than e_1).
+Vector start_vector(std::size_t n) {
+  Vector v(n);
+  double x = 0.754877666;  // frac(golden ratio conjugate), arbitrary seed
+  for (std::size_t i = 0; i < n; ++i) {
+    x = x * 997.0;
+    x -= std::floor(x);
+    v[i] = x - 0.5;
+  }
+  const double norm = v.norm2();
+  if (norm > 0) v *= 1.0 / norm;
+  return v;
+}
+
+}  // namespace
+
+std::optional<ConditionEstimate> estimate_condition(const Matrix& a,
+                                                    std::size_t max_iters,
+                                                    double tol) {
+  if (a.rows() == 0 || a.cols() == 0 || a.rows() < a.cols())
+    return std::nullopt;
+  const Matrix at = a.transposed();
+  const Matrix ata = at * a;
+  CholeskyDecomposition chol(ata);
+  if (!chol.ok()) return std::nullopt;
+
+  ConditionEstimate out;
+
+  // Power iteration: λ_max(AᵀA) = σ_max².
+  {
+    Vector v = start_vector(a.cols());
+    double lambda = 0.0, prev = -1.0;
+    for (std::size_t it = 0; it < max_iters; ++it) {
+      Vector w = ata * v;
+      lambda = w.norm2();
+      if (lambda == 0.0) break;
+      w *= 1.0 / lambda;
+      v = std::move(w);
+      ++out.iterations;
+      if (std::abs(lambda - prev) <= tol * std::max(1.0, lambda)) break;
+      prev = lambda;
+    }
+    out.sigma_max = std::sqrt(lambda);
+  }
+
+  // Inverse power iteration: λ_min(AᵀA) = σ_min²; each step solves
+  // (AᵀA) w = v via the Cholesky factors.
+  {
+    Vector v = start_vector(a.cols());
+    double mu = 0.0, prev = -1.0;
+    for (std::size_t it = 0; it < max_iters; ++it) {
+      Vector w = chol.solve(v);
+      mu = w.norm2();  // ≈ 1/λ_min after convergence
+      if (mu == 0.0) break;
+      w *= 1.0 / mu;
+      v = std::move(w);
+      ++out.iterations;
+      if (std::abs(mu - prev) <= tol * std::max(1.0, mu)) break;
+      prev = mu;
+    }
+    out.sigma_min = mu > 0.0 ? std::sqrt(1.0 / mu) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,33 @@
+// Spectral conditioning diagnostics for routing matrices.
+//
+// The Fig. 7 analysis showed attack leverage depends on how well-conditioned
+// R is: a near-singular routing matrix gives the pseudo-inverse large
+// entries, letting small per-path manipulations swing link estimates. This
+// estimates σ_max via power iteration on AᵀA and σ_min via inverse power
+// iteration through a Cholesky factorization — cheap enough to run as an
+// operator-side deployment diagnostic (exposed in `scapegoat_cli topo`).
+
+#pragma once
+
+#include <optional>
+
+#include "linalg/matrix.hpp"
+
+namespace scapegoat {
+
+struct ConditionEstimate {
+  double sigma_max = 0.0;  // largest singular value
+  double sigma_min = 0.0;  // smallest singular value
+  std::size_t iterations = 0;
+
+  double condition() const {
+    return sigma_min > 0.0 ? sigma_max / sigma_min : 0.0;
+  }
+};
+
+// nullopt when `a` lacks full column rank (AᵀA not SPD) or is empty.
+std::optional<ConditionEstimate> estimate_condition(const Matrix& a,
+                                                    std::size_t max_iters = 300,
+                                                    double tol = 1e-12);
+
+}  // namespace scapegoat

@@ -1,0 +1,66 @@
+#include "linalg/least_squares.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/qr.hpp"
+
+namespace scapegoat {
+
+std::optional<Vector> least_squares(const Matrix& a, const Vector& b,
+                                    LeastSquaresMethod method) {
+  assert(a.rows() == b.size());
+  if (a.cols() == 0 || a.rows() < a.cols()) return std::nullopt;
+  switch (method) {
+    case LeastSquaresMethod::kNormalEquations:
+      return solve_normal_equations(a, b);
+    case LeastSquaresMethod::kQr: {
+      QrDecomposition qr(a, QrDecomposition::Pivoting::kColumn);
+      if (!qr.full_column_rank()) return std::nullopt;
+      return qr.solve(b);
+    }
+  }
+  return std::nullopt;
+}
+
+Vector residual(const Matrix& a, const Vector& x, const Vector& b) {
+  return b - a * x;
+}
+
+RankTracker::RankTracker(std::size_t dimension, double tol)
+    : dim_(dimension), tol_(tol) {}
+
+std::pair<Vector, double> RankTracker::orthogonalize(const Vector& row) const {
+  assert(row.size() == dim_);
+  Vector v = row;
+  const double original_norm = v.norm2();
+  // Two MGS passes for numerical robustness (re-orthogonalization).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const Vector& q : basis_) {
+      const double proj = q.dot(v);
+      if (proj != 0.0) v -= proj * q;
+    }
+  }
+  return {std::move(v), original_norm};
+}
+
+bool RankTracker::is_independent(const Vector& row) const {
+  if (full()) return false;
+  auto [v, norm] = orthogonalize(row);
+  if (norm == 0.0) return false;
+  return v.norm2() > tol_ * norm;
+}
+
+bool RankTracker::add(const Vector& row) {
+  if (full()) return false;
+  auto [v, norm] = orthogonalize(row);
+  if (norm == 0.0) return false;
+  const double vnorm = v.norm2();
+  if (vnorm <= tol_ * norm) return false;
+  v *= 1.0 / vnorm;
+  basis_.push_back(std::move(v));
+  return true;
+}
+
+}  // namespace scapegoat

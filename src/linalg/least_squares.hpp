@@ -1,0 +1,59 @@
+// Least-squares solving and incremental rank tracking.
+//
+// `least_squares` is the single entry point the tomography estimator uses:
+// it picks QR by default and can cross-check against the literal Eq. 2
+// normal-equations path. `RankTracker` supports the greedy measurement-path
+// selector: paths are proposed one at a time and accepted only if their
+// {0,1} incidence row increases the rank of the routing matrix.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace scapegoat {
+
+enum class LeastSquaresMethod {
+  kQr,               // Householder QR (default; better conditioned)
+  kNormalEquations,  // (AᵀA)⁻¹Aᵀb via Cholesky — the paper's Eq. 2 verbatim
+};
+
+// Solves min ‖a x − b‖₂. Returns nullopt if `a` lacks full column rank
+// (the system is not identifiable).
+std::optional<Vector> least_squares(
+    const Matrix& a, const Vector& b,
+    LeastSquaresMethod method = LeastSquaresMethod::kQr);
+
+// Residual b − a x.
+Vector residual(const Matrix& a, const Vector& x, const Vector& b);
+
+// Incrementally tracks the rank of a growing set of row vectors using
+// modified Gram-Schmidt. Rows that are (numerically) in the span of the
+// accepted ones are rejected.
+class RankTracker {
+ public:
+  explicit RankTracker(std::size_t dimension, double tol = 1e-8);
+
+  std::size_t dimension() const { return dim_; }
+  std::size_t rank() const { return basis_.size(); }
+  bool full() const { return rank() == dim_; }
+
+  // True iff `row` is independent from the accepted rows.
+  bool is_independent(const Vector& row) const;
+
+  // Adds `row` if independent; returns whether it was accepted.
+  bool add(const Vector& row);
+
+ private:
+  // Returns the component of `row` orthogonal to the current basis and its
+  // original norm (for the relative independence test).
+  std::pair<Vector, double> orthogonalize(const Vector& row) const;
+
+  std::size_t dim_;
+  double tol_;
+  std::vector<Vector> basis_;  // orthonormal
+};
+
+}  // namespace scapegoat

@@ -1,0 +1,92 @@
+#include "linalg/lu.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace scapegoat {
+
+LuDecomposition::LuDecomposition(const Matrix& a, double pivot_tol) : lu_(a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  piv_.resize(n);
+  std::iota(piv_.begin(), piv_.end(), std::size_t{0});
+  ok_ = true;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Partial pivoting: pick the largest |entry| in column k at/below row k.
+    std::size_t p = k;
+    double best = std::abs(lu_(k, k));
+    for (std::size_t r = k + 1; r < n; ++r) {
+      if (std::abs(lu_(r, k)) > best) {
+        best = std::abs(lu_(r, k));
+        p = r;
+      }
+    }
+    if (best < pivot_tol) {
+      ok_ = false;
+      return;
+    }
+    if (p != k) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(p, c), lu_(k, c));
+      std::swap(piv_[p], piv_[k]);
+      sign_ = -sign_;
+    }
+    for (std::size_t r = k + 1; r < n; ++r) {
+      lu_(r, k) /= lu_(k, k);
+      const double f = lu_(r, k);
+      if (f == 0.0) continue;
+      for (std::size_t c = k + 1; c < n; ++c) lu_(r, c) -= f * lu_(k, c);
+    }
+  }
+}
+
+Vector LuDecomposition::solve(const Vector& b) const {
+  assert(ok_);
+  const std::size_t n = lu_.rows();
+  assert(b.size() == n);
+  Vector x(n);
+  // Forward substitution with the permutation applied.
+  for (std::size_t r = 0; r < n; ++r) {
+    double acc = b[piv_[r]];
+    for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+    x[r] = acc;
+  }
+  // Back substitution.
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = x[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= lu_(ri, c) * x[c];
+    x[ri] = acc / lu_(ri, ri);
+  }
+  return x;
+}
+
+Matrix LuDecomposition::solve(const Matrix& b) const {
+  assert(ok_);
+  assert(b.rows() == lu_.rows());
+  Matrix x(b.rows(), b.cols());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    Vector xc = solve(b.col(c));
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = xc[r];
+  }
+  return x;
+}
+
+Matrix LuDecomposition::inverse() const {
+  return solve(Matrix::identity(lu_.rows()));
+}
+
+double LuDecomposition::determinant() const {
+  if (!ok_) return 0.0;
+  double det = static_cast<double>(sign_);
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+std::optional<Vector> solve_square(const Matrix& a, const Vector& b) {
+  LuDecomposition lu(a);
+  if (!lu.ok()) return std::nullopt;
+  return lu.solve(b);
+}
+
+}  // namespace scapegoat

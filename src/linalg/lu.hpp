@@ -1,0 +1,44 @@
+// LU factorization with partial pivoting for square systems.
+//
+// Used for solving small square systems (e.g. the square-routing-matrix case
+// of Theorem 3, where R is invertible and detection is impossible) and for
+// determinants in tests.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace scapegoat {
+
+class LuDecomposition {
+ public:
+  // Factors a square matrix; `ok()` is false if the matrix is singular to
+  // working precision (pivot below `pivot_tol`).
+  explicit LuDecomposition(const Matrix& a, double pivot_tol = 1e-12);
+
+  bool ok() const { return ok_; }
+
+  // Solves a x = b. Requires ok().
+  Vector solve(const Vector& b) const;
+
+  // Solves a X = B column-by-column. Requires ok().
+  Matrix solve(const Matrix& b) const;
+
+  Matrix inverse() const;
+
+  double determinant() const;
+
+ private:
+  Matrix lu_;                     // packed L (unit diagonal) and U
+  std::vector<std::size_t> piv_;  // row permutation
+  int sign_ = 1;
+  bool ok_ = false;
+};
+
+// Convenience: solve a square system, nullopt if singular.
+std::optional<Vector> solve_square(const Matrix& a, const Vector& b);
+
+}  // namespace scapegoat

@@ -1,0 +1,45 @@
+// Two-phase primal simplex over a dense tableau.
+//
+// Problem sizes in this library (attack LPs on ~100-node topologies) are a
+// few hundred variables by a few hundred rows, which a dense tableau handles
+// comfortably and — more importantly for a reproduction — transparently:
+// every pivot is observable and the phase-1 infeasibility certificate is the
+// exact quantity Theorems 1-2 reason about ("does a feasible manipulation
+// vector exist?").
+//
+// Degeneracy is handled by switching from Dantzig to Bland's rule after a
+// stall, which guarantees termination.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace scapegoat::lp {
+
+enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+
+std::string to_string(SolveStatus status);
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;        // in the model's original sense
+  std::vector<double> x;         // values of the model's variables
+  std::size_t iterations = 0;    // total pivots over both phases
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+struct SimplexOptions {
+  std::size_t max_iterations = 50'000;
+  double pivot_tol = 1e-9;     // entries below this can't be pivots
+  double cost_tol = 1e-7;      // reduced-cost optimality tolerance
+  double feas_tol = 1e-6;      // phase-1 objective below this ⇒ feasible
+};
+
+Solution solve(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace scapegoat::lp

@@ -1,0 +1,63 @@
+// Discrete-event scheduler for the packet-level simulator.
+//
+// A minimal, deterministic event queue: events are (time, sequence) ordered,
+// with the sequence number breaking ties in insertion order so simulations
+// are reproducible regardless of heap internals. Event payloads are plain
+// structs handled by the simulator's dispatch loop — no std::function
+// indirection in the hot path.
+
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace scapegoat::simnet {
+
+// What happens when an event fires. The simulator interprets the payload.
+struct Event {
+  double time_ms = 0.0;
+  std::uint64_t sequence = 0;  // tie-break: FIFO among equal timestamps
+
+  enum class Kind {
+    kLinkDeparture,  // packet finishes serialization, starts propagation
+    kNodeArrival,    // packet arrives at a node (possibly its destination)
+    kSpawn,          // traffic source emits its next packet
+    kBackground,     // cross-traffic packet occupies a link's FIFO slot
+  };
+  Kind kind = Kind::kNodeArrival;
+
+  std::size_t packet = 0;  // index into the simulator's packet table
+  std::size_t place = 0;   // node id or link id, depending on kind
+};
+
+class EventQueue {
+ public:
+  void push(Event e) {
+    e.sequence = next_sequence_++;
+    heap_.push(e);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  Event pop() {
+    Event e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  double next_time() const { return heap_.top().time_ms; }
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time_ms != b.time_ms) return a.time_ms > b.time_ms;
+      return a.sequence > b.sequence;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+};
+
+}  // namespace scapegoat::simnet

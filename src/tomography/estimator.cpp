@@ -1,0 +1,42 @@
+#include "tomography/estimator.hpp"
+
+#include <cassert>
+
+#include "linalg/qr.hpp"
+#include "tomography/routing_matrix.hpp"
+
+namespace scapegoat {
+
+TomographyEstimator::TomographyEstimator(const Graph& g,
+                                         std::vector<Path> paths,
+                                         LeastSquaresMethod method)
+    : paths_(std::move(paths)),
+      r_(routing_matrix(g, paths_)),
+      method_(method) {
+  ok_ = is_identifiable(r_);
+}
+
+Vector TomographyEstimator::estimate(const Vector& y) const {
+  assert(ok_);
+  assert(y.size() == paths_.size());
+  auto x = least_squares(r_, y, method_);
+  assert(x.has_value());  // guaranteed by ok_
+  return *x;
+}
+
+const Matrix& TomographyEstimator::pseudo_inverse() const {
+  assert(ok_);
+  if (!pinv_) pinv_ = scapegoat::pseudo_inverse(r_);
+  return *pinv_;
+}
+
+Vector TomographyEstimator::residual(const Vector& y) const {
+  return y - r_ * estimate(y);
+}
+
+std::vector<LinkState> TomographyEstimator::classify(
+    const Vector& y, const StateThresholds& t) const {
+  return classify_all(estimate(y), t);
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,57 @@
+// The network tomography estimator — Eq. 2 of the paper.
+//
+// Owns the routing matrix for a fixed path set and exposes:
+//   * estimate(y)        — x̂ = (RᵀR)⁻¹Rᵀ y (computed via QR),
+//   * pseudo_inverse()   — G = R⁺, cached; the attack LPs are linear in G,
+//   * residual(y)        — y − R x̂(y), the quantity the detector thresholds.
+// Construction fails (ok() == false) when R lacks full column rank, i.e.
+// the link metrics are not identifiable from the chosen paths.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/least_squares.hpp"
+#include "linalg/matrix.hpp"
+#include "tomography/link_state.hpp"
+
+namespace scapegoat {
+
+class TomographyEstimator {
+ public:
+  TomographyEstimator(const Graph& g, std::vector<Path> paths,
+                      LeastSquaresMethod method = LeastSquaresMethod::kQr);
+
+  // False iff the path set does not identify all link metrics.
+  bool ok() const { return ok_; }
+
+  std::size_t num_paths() const { return paths_.size(); }
+  std::size_t num_links() const { return r_.cols(); }
+  const std::vector<Path>& paths() const { return paths_; }
+  const Matrix& r() const { return r_; }
+
+  // x̂ from end-to-end measurements y (requires ok()).
+  Vector estimate(const Vector& y) const;
+
+  // Cached Moore-Penrose pseudo-inverse G = R⁺ (requires ok()).
+  const Matrix& pseudo_inverse() const;
+
+  // y − R·estimate(y): zero (to numerical precision) iff y is consistent
+  // with the linear model.
+  Vector residual(const Vector& y) const;
+
+  // Convenience: estimate then classify per Definition 1.
+  std::vector<LinkState> classify(const Vector& y,
+                                  const StateThresholds& t) const;
+
+ private:
+  std::vector<Path> paths_;
+  Matrix r_;
+  LeastSquaresMethod method_;
+  bool ok_ = false;
+  mutable std::optional<Matrix> pinv_;  // lazily computed
+};
+
+}  // namespace scapegoat

@@ -1,0 +1,42 @@
+#include "tomography/link_state.hpp"
+
+#include <cassert>
+
+namespace scapegoat {
+
+std::string to_string(LinkState s) {
+  switch (s) {
+    case LinkState::kNormal:
+      return "normal";
+    case LinkState::kUncertain:
+      return "uncertain";
+    case LinkState::kAbnormal:
+      return "abnormal";
+  }
+  return "?";
+}
+
+LinkState classify(double metric, const StateThresholds& t) {
+  assert(t.valid());
+  if (metric < t.lower) return LinkState::kNormal;
+  if (metric > t.upper) return LinkState::kAbnormal;
+  return LinkState::kUncertain;
+}
+
+std::vector<LinkState> classify_all(const Vector& metrics,
+                                    const StateThresholds& t) {
+  std::vector<LinkState> out;
+  out.reserve(metrics.size());
+  for (double m : metrics) out.push_back(classify(m, t));
+  return out;
+}
+
+std::vector<std::size_t> links_in_state(const std::vector<LinkState>& states,
+                                        LinkState s) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < states.size(); ++i)
+    if (states[i] == s) out.push_back(i);
+  return out;
+}
+
+}  // namespace scapegoat

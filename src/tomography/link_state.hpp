@@ -1,0 +1,37 @@
+// Link-state classification — Definition 1 of the paper.
+//
+// A link with metric x is `normal` when x < b_l, `abnormal` when x > b_u,
+// and `uncertain` in between. The paper's experiments use delay with
+// b_l = 100 ms and b_u = 800 ms (§V-A); the two-state variant is b_l == b_u.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace scapegoat {
+
+enum class LinkState { kNormal, kUncertain, kAbnormal };
+
+std::string to_string(LinkState s);
+
+struct StateThresholds {
+  double lower = 100.0;  // b_l: below ⇒ normal
+  double upper = 800.0;  // b_u: above ⇒ abnormal
+
+  bool valid() const { return lower <= upper; }
+};
+
+LinkState classify(double metric, const StateThresholds& t);
+
+// Classifies a whole estimated metric vector.
+std::vector<LinkState> classify_all(const Vector& metrics,
+                                    const StateThresholds& t);
+
+// Link ids in a given state.
+std::vector<std::size_t> links_in_state(const std::vector<LinkState>& states,
+                                        LinkState s);
+
+}  // namespace scapegoat

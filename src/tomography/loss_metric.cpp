@@ -1,0 +1,41 @@
+#include "tomography/loss_metric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace scapegoat {
+
+double loss_metric_from_delivery(double delivery_prob) {
+  return -std::log(std::clamp(delivery_prob, 1e-9, 1.0));
+}
+
+double delivery_from_loss_metric(double metric) {
+  assert(metric >= 0.0);
+  return std::exp(-metric);
+}
+
+Vector loss_metrics_from_delivery(const std::vector<double>& delivery_probs) {
+  Vector out(delivery_probs.size());
+  for (std::size_t i = 0; i < delivery_probs.size(); ++i)
+    out[i] = loss_metric_from_delivery(delivery_probs[i]);
+  return out;
+}
+
+std::vector<double> delivery_from_loss_metrics(const Vector& metrics) {
+  std::vector<double> out(metrics.size());
+  for (std::size_t i = 0; i < metrics.size(); ++i)
+    out[i] = delivery_from_loss_metric(metrics[i]);
+  return out;
+}
+
+StateThresholds loss_thresholds(double normal_delivery,
+                                double abnormal_delivery) {
+  assert(normal_delivery > abnormal_delivery);
+  StateThresholds t;
+  t.lower = loss_metric_from_delivery(normal_delivery);
+  t.upper = loss_metric_from_delivery(abnormal_delivery);
+  return t;
+}
+
+}  // namespace scapegoat

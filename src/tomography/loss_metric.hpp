@@ -1,0 +1,36 @@
+// Loss-rate tomography support.
+//
+// §II-A: "packet delivery or loss ratios are also additive in the
+// logarithmic form". With per-link delivery probability p_l, a path's
+// delivery ratio is Π p_l, so x_l = −log p_l is an additive link metric and
+// the whole linear pipeline (Eq. 1/2, attacks, detection) applies
+// unchanged. These helpers convert between the probability and metric
+// domains and provide sensible state thresholds in the loss domain.
+
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "tomography/link_state.hpp"
+
+namespace scapegoat {
+
+// x = −log(p); p clamped away from 0 so the metric stays finite.
+double loss_metric_from_delivery(double delivery_prob);
+
+// p = exp(−x).
+double delivery_from_loss_metric(double metric);
+
+// Componentwise conversions.
+Vector loss_metrics_from_delivery(const std::vector<double>& delivery_probs);
+std::vector<double> delivery_from_loss_metrics(const Vector& metrics);
+
+// Definition-1 thresholds in the loss domain: a link is normal when it
+// delivers at least `normal_delivery` (e.g. 0.99) and abnormal when it
+// delivers less than `abnormal_delivery` (e.g. 0.90). Note the inversion:
+// lower delivery ⇒ higher metric.
+StateThresholds loss_thresholds(double normal_delivery = 0.99,
+                                double abnormal_delivery = 0.90);
+
+}  // namespace scapegoat

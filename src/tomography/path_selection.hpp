@@ -1,0 +1,75 @@
+// Measurement-path selection under controllable routing.
+//
+// Monitors may route probes over any simple path between two distinct
+// monitors (§II-A). The selector greedily accepts candidate paths whose
+// {0,1} incidence rows increase rank(R), stopping at rank |L|
+// (identifiability), then appends `redundant_paths` additional distinct
+// paths so R is strictly tall — Theorem 3 makes a square R undetectable, so
+// a deployment that wants the Eq. 23 detector must over-determine the
+// system. Candidates come from (a) hop-shortest paths per monitor pair and
+// (b) waypoint-sampled paths (two BFS legs through a random intermediate
+// node), which reach link compositions shortest paths never expose at
+// O(V + E) per draw.
+//
+// `IncrementalPathSelector` keeps the accepted paths and the rank basis
+// alive across monitor-set changes, so the monitor-growth loop never pays
+// for re-discovering rank it already has; `select_paths` is the one-shot
+// convenience wrapper.
+
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/least_squares.hpp"
+#include "util/random.hpp"
+
+namespace scapegoat {
+
+struct PathSelectionOptions {
+  std::size_t max_path_length = 12;    // hop cap on sampled paths
+  std::size_t samples_per_pair = 30;   // waypoint draws per monitor pair
+  std::size_t redundant_paths = 0;     // extra paths beyond rank |L|
+};
+
+struct PathSelectionResult {
+  std::vector<Path> paths;
+  std::size_t rank = 0;      // rank of the resulting routing matrix
+  bool identifiable = false; // rank == |L|
+};
+
+class IncrementalPathSelector {
+ public:
+  IncrementalPathSelector(const Graph& g, PathSelectionOptions opt);
+
+  // Samples candidate paths between the given monitors and accepts the
+  // rank-increasing ones. Call again after enlarging the monitor set; all
+  // previously accepted paths and the rank basis are retained.
+  void sample(const std::vector<NodeId>& monitors, Rng& rng);
+
+  // Adds up to opt.redundant_paths extra distinct (rank-neutral) paths.
+  void add_redundant(const std::vector<NodeId>& monitors, Rng& rng);
+
+  std::size_t rank() const { return tracker_.rank(); }
+  bool identifiable() const { return tracker_.full(); }
+  const std::vector<Path>& paths() const { return paths_; }
+  std::vector<Path> take_paths() { return std::move(paths_); }
+
+ private:
+  bool try_accept(Path p, bool need_rank_gain);
+
+  const Graph& g_;
+  PathSelectionOptions opt_;
+  RankTracker tracker_;
+  std::vector<Path> paths_;
+  std::set<std::vector<LinkId>> seen_;           // dedup on sorted link sets
+  std::set<std::pair<NodeId, NodeId>> bfs_done_; // pairs already pass-1'd
+};
+
+// One-shot selection among `monitors` (at least 2 required).
+PathSelectionResult select_paths(const Graph& g,
+                                 const std::vector<NodeId>& monitors,
+                                 const PathSelectionOptions& opt, Rng& rng);
+
+}  // namespace scapegoat

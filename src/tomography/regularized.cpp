@@ -1,0 +1,37 @@
+#include "tomography/regularized.hpp"
+
+#include <cassert>
+
+namespace scapegoat {
+
+namespace {
+
+Matrix normal_matrix(const Matrix& rt, double lambda) {
+  Matrix m = rt * rt.transposed();  // RᵀR, since rt = Rᵀ
+  for (std::size_t i = 0; i < m.rows(); ++i) m(i, i) += lambda;
+  return m;
+}
+
+}  // namespace
+
+RegularizedEstimator::RegularizedEstimator(const Matrix& r, double lambda,
+                                           Vector prior)
+    : rt_(r.transposed()),
+      lambda_(lambda),
+      prior_(std::move(prior)),
+      chol_(normal_matrix(rt_, lambda)) {
+  assert(lambda >= 0.0);
+  assert(prior_.size() == r.cols());
+  ok_ = chol_.ok();
+}
+
+Vector RegularizedEstimator::estimate(const Vector& y) const {
+  assert(ok_);
+  assert(y.size() == rt_.cols());
+  Vector rhs = rt_ * y;
+  for (std::size_t i = 0; i < rhs.size(); ++i)
+    rhs[i] += lambda_ * prior_[i];
+  return chol_.solve(rhs);
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,42 @@
+// Tikhonov-regularized tomography — a defense-side estimator variant.
+//
+// Operators usually have a prior (historical per-link baselines). The
+// regularized estimate
+//     x̂ = argmin ‖R x − y‖₂² + λ ‖x − prior‖₂²
+//       = (RᵀR + λI)⁻¹ (Rᵀ y + λ · prior)
+// shrinks toward that prior, which blunts scapegoating: the attacker must
+// inject more manipulation to drag a victim's estimate across b_u, and the
+// cost grows with λ. The flip side is bias — even honest estimates move
+// toward the prior — so λ trades attack resistance against fidelity
+// (quantified by bench_ablation_regularization).
+//
+// λ > 0 also makes the normal matrix SPD regardless of rank(R), so this
+// estimator works on under-determined systems where Eq. 2 does not.
+
+#pragma once
+
+#include "linalg/cholesky.hpp"
+#include "linalg/matrix.hpp"
+
+namespace scapegoat {
+
+class RegularizedEstimator {
+ public:
+  // `prior` must have one entry per link (column of r); lambda ≥ 0, with
+  // lambda == 0 requiring full column rank (plain least squares).
+  RegularizedEstimator(const Matrix& r, double lambda, Vector prior);
+
+  bool ok() const { return ok_; }
+  double lambda() const { return lambda_; }
+
+  Vector estimate(const Vector& y) const;
+
+ private:
+  Matrix rt_;       // Rᵀ cached
+  double lambda_;
+  Vector prior_;
+  CholeskyDecomposition chol_;  // of RᵀR + λI
+  bool ok_ = false;
+};
+
+}  // namespace scapegoat

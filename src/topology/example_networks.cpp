@@ -1,0 +1,118 @@
+#include "topology/example_networks.hpp"
+
+#include <cassert>
+
+namespace scapegoat {
+
+namespace {
+
+// Builds a Path from a node sequence by looking up each hop's link.
+Path path_from_nodes(const Graph& g, std::vector<NodeId> nodes) {
+  Path p;
+  p.nodes = std::move(nodes);
+  for (std::size_t i = 0; i + 1 < p.nodes.size(); ++i) {
+    const auto link = g.find_link(p.nodes[i], p.nodes[i + 1]);
+    assert(link.has_value());
+    p.links.push_back(*link);
+  }
+  return p;
+}
+
+}  // namespace
+
+ExampleNetwork fig1_network() {
+  ExampleNetwork net;
+  Graph& g = net.graph;
+  for (int i = 0; i < 7; ++i) g.add_node();
+  net.m1 = 0;
+  net.m2 = 1;
+  net.m3 = 2;
+  net.a = 3;
+  net.b = 4;
+  net.c = 5;
+  net.d = 6;
+  net.monitors = {net.m1, net.m2, net.m3};
+  net.attackers = {net.b, net.c};
+
+  // Links added in paper order so paper link k has LinkId k-1.
+  g.add_link(net.m1, net.a);  // 1
+  g.add_link(net.a, net.b);   // 2
+  g.add_link(net.b, net.m2);  // 3
+  g.add_link(net.a, net.c);   // 4
+  g.add_link(net.b, net.d);   // 5
+  g.add_link(net.b, net.c);   // 6
+  g.add_link(net.c, net.d);   // 7
+  g.add_link(net.c, net.m3);  // 8
+  g.add_link(net.m3, net.d);  // 9
+  g.add_link(net.d, net.m2);  // 10
+  assert(g.num_links() == 10);
+
+  const NodeId m1 = net.m1, m2 = net.m2, m3 = net.m3;
+  const NodeId a = net.a, b = net.b, c = net.c, d = net.d;
+  const std::vector<std::vector<NodeId>> sequences = {
+      {m1, a, b, m2},        // 1
+      {m1, a, b, d, m2},     // 2
+      {m1, a, c, d, m2},     // 3  = links {1,4,7,10}   (stated in the paper)
+      {m1, a, c, b, m2},     // 4
+      {m3, c, d, b, m2},     // 5  = links {8,7,5,3}    (stated in the paper)
+      {m3, d, b, m2},        // 6
+      {m3, c, d, m2},        // 7
+      {m3, c, b, m2},        // 8
+      {m3, c, b, d, m2},     // 9
+      {m3, d, c, b, m2},     // 10
+      {m3, c, a, b, m2},     // 11
+      {m1, a, c, m3},        // 12
+      {m1, a, b, c, m3},     // 13
+      {m1, a, b, d, m3},     // 14
+      {m1, a, c, d, m3},     // 15
+      {m1, a, b, c, d, m3},  // 16
+      {m3, d, m2},           // 17 = links {9,10}       (stated in the paper)
+      {m3, d, c, a, b, m2},  // 18
+      {m3, c, a, b, d, m2},  // 19
+      {m1, a, b, c, d, m2},  // 20
+      {m1, a, c, d, b, m2},  // 21
+      {m1, a, c, m3, d, m2}, // 22
+      {m1, a, b, d, c, m3},  // 23
+  };
+  for (const auto& seq : sequences)
+    net.paths.push_back(path_from_nodes(g, seq));
+  assert(net.paths.size() == 23);
+  return net;
+}
+
+CutExample fig3_perfect_cut() {
+  CutExample ex;
+  Graph& g = ex.graph;
+  // 0:M1 1:M2 2:M3 3:A1 4:A2 5:C 6:D
+  for (int i = 0; i < 7; ++i) g.add_node();
+  ex.monitors = {0, 1, 2};
+  ex.attackers = {3, 4};
+  g.add_link(0, 3);                    // M1-A1
+  g.add_link(3, 5);                    // A1-C
+  ex.victim_link = *g.add_link(5, 6);  // C-D
+  g.add_link(6, 4);                    // D-A2
+  g.add_link(4, 1);                    // A2-M2
+  g.add_link(6, 2);                    // D-M3
+  return ex;
+}
+
+CutExample fig3_imperfect_cut() {
+  CutExample ex;
+  Graph& g = ex.graph;
+  // 0:M1 1:M2 2:M3 3:M4 4:A1 5:A2 6:B 7:C 8:D
+  for (int i = 0; i < 9; ++i) g.add_node();
+  ex.monitors = {0, 1, 2, 3};
+  ex.attackers = {4, 5};
+  g.add_link(0, 4);                    // M1-A1
+  g.add_link(4, 7);                    // A1-C
+  g.add_link(0, 6);                    // M1-B
+  g.add_link(6, 7);                    // B-C
+  ex.victim_link = *g.add_link(7, 8);  // C-D
+  g.add_link(8, 5);                    // D-A2
+  g.add_link(5, 1);                    // A2-M2
+  g.add_link(8, 2);                    // D-M3
+  g.add_link(8, 3);                    // D-M4: M1→B→C→D→M4 avoids A1 and A2
+  return ex;
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,54 @@
+// The paper's running example (Fig. 1): 7 nodes, 10 links, 23 measurement
+// paths, monitors M1/M2/M3, malicious nodes B and C.
+//
+// The figure itself is not reproduced in the paper text, so the topology is
+// reconstructed from every constraint the text states:
+//   * path 3  = links {1,4,7,10}: M1 → A → C → D → M2,
+//   * path 5  = links {8,7,5,3} (a path B is merely *cooperative* on),
+//   * path 17 = links {9,10} (contains neither B nor C),
+//   * B and C are incident to exactly links 2-8,
+//   * every measurement path containing link 1 passes through B or C
+//     ({B,C} perfectly cut link 1), and 13 of the 23 paths contain link 1.
+// The resulting unique-up-to-relabeling topology:
+//   links (paper 1-based): 1:M1-A 2:A-B 3:B-M2 4:A-C 5:B-D
+//                          6:B-C 7:C-D 8:C-M3 9:M3-D 10:D-M2
+// Note: the text's claim that the link-1 paths are "1-5, 12-16, 21-23"
+// conflicts with its own description of path 5 as a non-link-1 path; we keep
+// the explicit path compositions (3, 5, 17) and the count of 13 link-1
+// paths (our indices 1-4, 12-16 and 20-23).
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace scapegoat {
+
+struct ExampleNetwork {
+  Graph graph;
+  std::vector<NodeId> monitors;    // {M1, M2, M3}
+  std::vector<NodeId> attackers;   // {B, C}
+  std::vector<Path> paths;         // the 23 measurement paths, 0-indexed
+
+  // Node ids for readability in tests/examples.
+  NodeId m1, m2, m3, a, b, c, d;
+};
+
+// Builds the Fig. 1 network with its 23 measurement paths.
+ExampleNetwork fig1_network();
+
+// Fig. 3's two didactic 6-node topologies: attackers A1, A2 around the
+// victim link C-D, with monitors M1..M4. In the perfect-cut variant every
+// monitor-to-monitor path through C-D passes an attacker; the imperfect
+// variant adds a bypass path M1 → B → C → D → M4 that avoids both.
+struct CutExample {
+  Graph graph;
+  std::vector<NodeId> monitors;
+  std::vector<NodeId> attackers;
+  LinkId victim_link;
+};
+CutExample fig3_perfect_cut();
+CutExample fig3_imperfect_cut();
+
+}  // namespace scapegoat

@@ -1,0 +1,100 @@
+#include "topology/generators.hpp"
+
+#include <cassert>
+
+#include "graph/traversal.hpp"
+
+namespace scapegoat {
+
+Graph erdos_renyi(std::size_t n, double p, Rng& rng, bool require_connected,
+                  std::size_t max_attempts) {
+  assert(n > 0);
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    Graph g(n);
+    for (NodeId u = 0; u < n; ++u)
+      for (NodeId v = u + 1; v < n; ++v)
+        if (rng.bernoulli(p)) g.add_link(u, v);
+    if (!require_connected || is_connected(g)) return g;
+  }
+  // Fall back to a guaranteed-connected instance: sample once more and add a
+  // random spanning chain over the components.
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v)
+      if (rng.bernoulli(p)) g.add_link(u, v);
+  Components comps = connected_components(g);
+  while (comps.count > 1) {
+    // Connect a random representative of component 0 to one of component 1.
+    NodeId a = 0, b = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (comps.component[v] == 0) a = v;
+      if (comps.component[v] == 1) b = v;
+    }
+    g.add_link(a, b);
+    comps = connected_components(g);
+  }
+  return g;
+}
+
+Graph grid(std::size_t rows, std::size_t cols) {
+  assert(rows > 0 && cols > 0);
+  Graph g(rows * cols);
+  auto id = [cols](std::size_t r, std::size_t c) { return r * cols + c; };
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_link(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_link(id(r, c), id(r + 1, c));
+    }
+  }
+  return g;
+}
+
+Graph ring(std::size_t n) {
+  assert(n >= 3);
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) g.add_link(v, (v + 1) % n);
+  return g;
+}
+
+Graph complete(std::size_t n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u)
+    for (NodeId v = u + 1; v < n; ++v) g.add_link(u, v);
+  return g;
+}
+
+Graph barabasi_albert(std::size_t n, std::size_t m_edges, Rng& rng) {
+  assert(m_edges >= 1 && n > m_edges);
+  Graph g(n);
+  // Seed clique over the first m_edges + 1 nodes.
+  const std::size_t seed = m_edges + 1;
+  for (NodeId u = 0; u < seed; ++u)
+    for (NodeId v = u + 1; v < seed; ++v) g.add_link(u, v);
+
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportionally to degree.
+  std::vector<NodeId> endpoints;
+  for (const Link& l : g.links()) {
+    endpoints.push_back(l.u);
+    endpoints.push_back(l.v);
+  }
+
+  for (NodeId v = seed; v < n; ++v) {
+    std::vector<NodeId> targets;
+    while (targets.size() < m_edges) {
+      const NodeId candidate = endpoints[rng.index(endpoints.size())];
+      bool fresh = candidate != v;
+      for (NodeId t : targets) fresh = fresh && t != candidate;
+      if (fresh) targets.push_back(candidate);
+    }
+    for (NodeId t : targets) {
+      if (g.add_link(v, t)) {
+        endpoints.push_back(v);
+        endpoints.push_back(t);
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,32 @@
+// General-purpose random/regular topology generators used by tests and
+// sensitivity experiments (the paper's two evaluation topologies live in
+// isp.hpp and geometric.hpp).
+
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace scapegoat {
+
+// Erdős–Rényi G(n, p). If `require_connected`, resamples (new edges, same
+// n/p) until connected — callers should pick p comfortably above the
+// connectivity threshold ln(n)/n.
+Graph erdos_renyi(std::size_t n, double p, Rng& rng,
+                  bool require_connected = true, std::size_t max_attempts = 100);
+
+// rows×cols grid (4-neighborhood).
+Graph grid(std::size_t rows, std::size_t cols);
+
+// Cycle over n ≥ 3 nodes.
+Graph ring(std::size_t n);
+
+Graph complete(std::size_t n);
+
+// Barabási–Albert preferential attachment: starts from a clique of
+// `m_edges + 1` nodes, each new node attaches to `m_edges` distinct existing
+// nodes chosen proportionally to degree. Produces the heavy-tailed hub
+// structure typical of AS-level maps.
+Graph barabasi_albert(std::size_t n, std::size_t m_edges, Rng& rng);
+
+}  // namespace scapegoat

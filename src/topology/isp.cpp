@@ -1,0 +1,50 @@
+#include "topology/isp.hpp"
+
+#include <cassert>
+
+#include "graph/traversal.hpp"
+#include "topology/generators.hpp"
+
+namespace scapegoat {
+
+Graph isp_topology(const IspParams& params, Rng& rng) {
+  assert(params.num_backbone >= 3);
+  Graph backbone =
+      barabasi_albert(params.num_backbone, params.backbone_attach, rng);
+
+  Graph g(params.num_backbone + params.num_access);
+  for (const Link& l : backbone.links()) g.add_link(l.u, l.v);
+
+  // Extra backbone mesh links (Rocketfuel backbones are denser than a pure
+  // preferential-attachment tree-ish core).
+  std::size_t added = 0, guard = 0;
+  while (added < params.extra_mesh_links && guard++ < 1000) {
+    const NodeId u = rng.index(params.num_backbone);
+    const NodeId v = rng.index(params.num_backbone);
+    if (u != v && g.add_link(u, v)) ++added;
+  }
+
+  // Access routers: single- or dual-homed into the backbone. Dual-homed
+  // routers are what make access links identifiable (and attackable) —
+  // a degree-1 router's link can only ever be measured from that router.
+  for (std::size_t i = 0; i < params.num_access; ++i) {
+    const NodeId router = params.num_backbone + i;
+    const NodeId up1 = rng.index(params.num_backbone);
+    g.add_link(router, up1);
+    if (rng.bernoulli(params.dual_home_prob)) {
+      for (int tries = 0; tries < 10; ++tries) {
+        const NodeId up2 = rng.index(params.num_backbone);
+        if (up2 != up1 && g.add_link(router, up2)) break;
+      }
+    }
+  }
+  assert(is_connected(g));
+  return g;
+}
+
+Graph as1221_like(std::uint64_t seed) {
+  Rng rng(seed);
+  return isp_topology(IspParams{}, rng);
+}
+
+}  // namespace scapegoat

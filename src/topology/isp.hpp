@@ -1,0 +1,38 @@
+// Synthetic ISP (wireline) topologies — the substitution for the Rocketfuel
+// AS1221 dataset (see DESIGN.md §4).
+//
+// Rocketfuel maps of ISP backbones (the paper uses Telstra's AS1221) are
+// sparse graphs with a two-level structure: a meshy backbone of hub routers
+// plus PoP/access routers hanging off one or two backbone nodes, giving a
+// heavy-tailed degree distribution. This generator reproduces that shape:
+//   * backbone: preferential-attachment graph over `num_backbone` routers
+//     with extra random mesh links,
+//   * access: `num_access` routers, each attached to 1-2 backbone routers
+//     (dual-homing probability `dual_home_prob`).
+// A deterministic `as1221_like()` preset (~100 routers, ~150 links) stands
+// in for the dataset in the Fig. 7/8 experiments; rocketfuel.hpp can load a
+// real .cch file instead when one is available.
+
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/random.hpp"
+
+namespace scapegoat {
+
+struct IspParams {
+  std::size_t num_backbone = 24;
+  std::size_t backbone_attach = 2;   // pref-attachment links per backbone node
+  std::size_t extra_mesh_links = 8;  // additional random backbone-backbone links
+  std::size_t num_access = 80;
+  double dual_home_prob = 0.35;      // access router gets a second uplink
+};
+
+// Generates a connected ISP-like topology. Backbone routers occupy node ids
+// [0, num_backbone); access routers the rest.
+Graph isp_topology(const IspParams& params, Rng& rng);
+
+// Deterministic AS1221-style preset used by the paper-figure experiments.
+Graph as1221_like(std::uint64_t seed = 1221);
+
+}  // namespace scapegoat

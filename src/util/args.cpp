@@ -1,0 +1,100 @@
+#include "util/args.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace scapegoat {
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) {
+      if (!command_) {
+        command_ = token;
+      } else {
+        errors_.push_back("unexpected positional argument: " + token);
+      }
+      continue;
+    }
+    token = token.substr(2);
+    const auto eq = token.find('=');
+    if (eq != std::string::npos) {
+      flags_[token.substr(0, eq)] = token.substr(eq + 1);
+      continue;
+    }
+    // "--flag value" when the next token isn't a flag; bare "--flag" else.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[token] = argv[++i];
+    } else {
+      flags_[token] = "";
+    }
+  }
+}
+
+bool ArgParser::has(const std::string& flag) const {
+  return flags_.contains(flag);
+}
+
+std::string ArgParser::get_string(const std::string& flag,
+                                  const std::string& fallback) {
+  consumed_[flag] = true;
+  const auto it = flags_.find(flag);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+long ArgParser::get_int(const std::string& flag, long fallback) {
+  consumed_[flag] = true;
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + flag + " expects an integer, got '" +
+                      it->second + "'");
+    return fallback;
+  }
+  return v;
+}
+
+double ArgParser::get_double(const std::string& flag, double fallback) {
+  consumed_[flag] = true;
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    errors_.push_back("--" + flag + " expects a number, got '" + it->second +
+                      "'");
+    return fallback;
+  }
+  return v;
+}
+
+std::vector<long> ArgParser::get_int_list(const std::string& flag) {
+  consumed_[flag] = true;
+  std::vector<long> out;
+  const auto it = flags_.find(flag);
+  if (it == flags_.end()) return out;
+  std::istringstream stream(it->second);
+  std::string piece;
+  while (std::getline(stream, piece, ',')) {
+    char* end = nullptr;
+    const long v = std::strtol(piece.c_str(), &end, 10);
+    if (end == piece.c_str() || *end != '\0') {
+      errors_.push_back("--" + flag + " expects integers, got '" + piece +
+                        "'");
+      return out;
+    }
+    out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<std::string> ArgParser::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : flags_)
+    if (!consumed_.contains(name)) out.push_back(name);
+  return out;
+}
+
+}  // namespace scapegoat

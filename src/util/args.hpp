@@ -1,0 +1,53 @@
+// Minimal command-line flag parser for the CLI tool and benches.
+//
+// Supports `--flag value`, `--flag=value`, boolean `--flag`, and one
+// positional command word. Unknown flags are collected as errors so tools
+// can fail fast with a usage message.
+
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace scapegoat {
+
+class ArgParser {
+ public:
+  // argv-style input; argv[0] is skipped.
+  ArgParser(int argc, const char* const* argv);
+
+  // First non-flag token ("attack", "fig7", ...), if any.
+  const std::optional<std::string>& command() const { return command_; }
+
+  bool has(const std::string& flag) const;
+
+  // Typed getters; return `fallback` when the flag is absent. Parse errors
+  // are recorded in errors().
+  std::string get_string(const std::string& flag,
+                         const std::string& fallback = "");
+  long get_int(const std::string& flag, long fallback = 0);
+  double get_double(const std::string& flag, double fallback = 0.0);
+  bool get_bool(const std::string& flag) {
+    consumed_[flag] = true;
+    return has(flag);
+  }
+
+  // Comma-separated integer list, e.g. --attackers 3,17,42.
+  std::vector<long> get_int_list(const std::string& flag);
+
+  const std::vector<std::string>& errors() const { return errors_; }
+
+  // Flags that were provided but never queried (likely typos); call after
+  // all get_* calls.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::optional<std::string> command_;
+  std::map<std::string, std::string> flags_;  // name → raw value ("" = bare)
+  std::map<std::string, bool> consumed_;
+  mutable std::vector<std::string> errors_;
+};
+
+}  // namespace scapegoat

@@ -1,0 +1,23 @@
+#include "util/random.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace scapegoat {
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), std::size_t{0});
+  if (k >= n) return all;
+  // Partial Fisher-Yates: only the first k positions need to be randomized.
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j =
+        std::uniform_int_distribution<std::size_t>(i, n - 1)(engine_);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,60 @@
+// Deterministic RNG wrapper used by every stochastic component.
+//
+// All experiments in the library take an explicit `Rng&` (or a seed) so that
+// every figure/table reproduction is bit-reproducible. We wrap std::mt19937_64
+// rather than exposing it directly so call sites get the small set of
+// distributions the paper needs (uniform reals for link delays, uniform ints
+// for node/link selection, shuffles, Bernoulli for random placement) without
+// re-deriving distribution parameters everywhere.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace scapegoat {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5ca9e90a7u) : engine_(seed) {}
+
+  // Uniform real in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] (inclusive).
+  int uniform_int(int lo, int hi) {
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  std::size_t index(std::size_t n) {
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  double gaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  // Sample k distinct indices from [0, n) without replacement.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace scapegoat

@@ -1,0 +1,51 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scapegoat {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.min = xs.front();
+  s.max = xs.front();
+  for (double x : xs) {
+    s.sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = s.sum / static_cast<double>(s.count);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.stddev = s.count > 1 ? std::sqrt(ss / static_cast<double>(s.count - 1)) : 0.0;
+  return s;
+}
+
+double percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  std::sort(xs.begin(), xs.end());
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double ratio(std::size_t hits, std::size_t trials) {
+  return trials == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(trials);
+}
+
+double wilson_halfwidth(std::size_t hits, std::size_t trials) {
+  if (trials == 0) return 0.0;
+  const double z = 1.96;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(hits) / n;
+  return z * std::sqrt(p * (1.0 - p) / n + z * z / (4.0 * n * n)) /
+         (1.0 + z * z / n);
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,33 @@
+// Small summary-statistics helpers for experiment reporting.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scapegoat {
+
+// Running/summary statistics over a sample of doubles.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+};
+
+// Computes a Summary; an empty sample yields an all-zero Summary.
+Summary summarize(const std::vector<double>& xs);
+
+// p in [0, 1]; linear interpolation between order statistics.
+double percentile(std::vector<double> xs, double p);
+
+// Ratio of `hits` to `trials`; 0 when trials == 0.
+double ratio(std::size_t hits, std::size_t trials);
+
+// Wilson score interval half-width for a binomial proportion at ~95%
+// confidence. Used to report error bars on success/detection probabilities.
+double wilson_halfwidth(std::size_t hits, std::size_t trials);
+
+}  // namespace scapegoat

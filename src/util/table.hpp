@@ -1,0 +1,35 @@
+// ASCII table / CSV writers used by the bench harness so every figure
+// reproduction prints the same row/series structure the paper reports.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scapegoat {
+
+// Column-aligned text table. Usage:
+//   Table t({"link", "delay_ms", "state"});
+//   t.add_row({"1", "912.3", "abnormal"});
+//   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 2);
+
+  void print(std::ostream& os) const;
+  std::string to_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace scapegoat

@@ -1,0 +1,79 @@
+// Tests for the CLI argument parser.
+
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scapegoat {
+namespace {
+
+ArgParser parse(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return ArgParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, CommandAndFlags) {
+  ArgParser a = parse({"attack", "--seed", "42", "--csv"});
+  ASSERT_TRUE(a.command().has_value());
+  EXPECT_EQ(*a.command(), "attack");
+  EXPECT_EQ(a.get_int("seed", 0), 42);
+  EXPECT_TRUE(a.get_bool("csv"));
+  EXPECT_FALSE(a.get_bool("quiet"));
+  EXPECT_TRUE(a.errors().empty());
+  EXPECT_TRUE(a.unused().empty());
+}
+
+TEST(Args, EqualsSyntax) {
+  ArgParser a = parse({"topo", "--topology=wireless", "--alpha=12.5"});
+  EXPECT_EQ(a.get_string("topology"), "wireless");
+  EXPECT_DOUBLE_EQ(a.get_double("alpha", 0.0), 12.5);
+}
+
+TEST(Args, FallbacksWhenAbsent) {
+  ArgParser a = parse({"topo"});
+  EXPECT_EQ(a.get_string("topology", "fig1"), "fig1");
+  EXPECT_EQ(a.get_int("seed", 7), 7);
+  EXPECT_DOUBLE_EQ(a.get_double("alpha", 200.0), 200.0);
+  EXPECT_TRUE(a.get_int_list("attackers").empty());
+}
+
+TEST(Args, IntList) {
+  ArgParser a = parse({"attack", "--attackers", "3,17,42"});
+  EXPECT_EQ(a.get_int_list("attackers"), (std::vector<long>{3, 17, 42}));
+}
+
+TEST(Args, ParseErrorsAreRecorded) {
+  ArgParser a = parse({"attack", "--seed", "abc"});
+  EXPECT_EQ(a.get_int("seed", 5), 5);
+  ASSERT_EQ(a.errors().size(), 1u);
+  ArgParser b = parse({"attack", "--attackers", "1,x"});
+  b.get_int_list("attackers");
+  EXPECT_FALSE(b.errors().empty());
+}
+
+TEST(Args, ExtraPositionalIsError) {
+  ArgParser a = parse({"attack", "extra"});
+  EXPECT_FALSE(a.errors().empty());
+}
+
+TEST(Args, UnusedFlagsReported) {
+  ArgParser a = parse({"attack", "--seed", "1", "--typo", "x"});
+  a.get_int("seed", 0);
+  const auto unused = a.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Args, BareFlagFollowedByFlag) {
+  ArgParser a = parse({"detect", "--csv", "--seed", "9"});
+  EXPECT_TRUE(a.get_bool("csv"));
+  EXPECT_EQ(a.get_int("seed", 0), 9);
+}
+
+TEST(Args, NoCommand) {
+  ArgParser a = parse({"--seed", "1"});
+  EXPECT_FALSE(a.command().has_value());
+}
+
+}  // namespace
+}  // namespace scapegoat

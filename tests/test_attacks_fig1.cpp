@@ -1,0 +1,167 @@
+// End-to-end attack tests on the paper's Fig. 1 network: the §V-B
+// experiments (Figs. 4-6) plus Theorem 1/3 behaviour.
+
+#include <gtest/gtest.h>
+
+#include "attack/chosen_victim.hpp"
+#include "attack/cut.hpp"
+#include "attack/max_damage.hpp"
+#include "attack/obfuscation.hpp"
+#include "core/scenario.hpp"
+#include "detect/detector.hpp"
+#include "topology/example_networks.hpp"
+
+namespace scapegoat {
+namespace {
+
+class Fig1Attacks : public ::testing::Test {
+ protected:
+  Fig1Attacks() : rng_(4), scenario_(Scenario::fig1(rng_)), net_(fig1_network()) {}
+
+  Rng rng_;
+  Scenario scenario_;
+  ExampleNetwork net_;
+};
+
+TEST_F(Fig1Attacks, PerfectCutVictimAlwaysFeasible) {
+  // Link 1 is perfectly cut by {B, C}: Theorem 1 ⇒ the attack must succeed.
+  AttackContext ctx = scenario_.context(net_.attackers);
+  const AttackResult r = chosen_victim_attack(ctx, {0});
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify_chosen_victim_result(ctx, r));
+  EXPECT_GT(r.damage, 0.0);
+  EXPECT_EQ(r.states[0], LinkState::kAbnormal);
+  for (LinkId l : ctx.controlled_links())
+    EXPECT_EQ(r.states[l], LinkState::kNormal);
+}
+
+TEST_F(Fig1Attacks, Fig4ChosenVictimLink10Succeeds) {
+  // Link 10 is NOT perfectly cut, yet §V-B finds the attack feasible.
+  AttackContext ctx = scenario_.context(net_.attackers);
+  EXPECT_FALSE(is_perfect_cut(net_.paths, net_.attackers, {9}));
+  const AttackResult r = chosen_victim_attack(ctx, {9});
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(verify_chosen_victim_result(ctx, r));
+  EXPECT_EQ(r.states[9], LinkState::kAbnormal);
+  // Paper: estimated delay of link 10 exceeds the 800 ms threshold.
+  EXPECT_GT(r.x_estimated[9], 800.0);
+}
+
+TEST_F(Fig1Attacks, ManipulationRespectsConstraint1AndCap) {
+  AttackContext ctx = scenario_.context(net_.attackers);
+  const AttackResult r = chosen_victim_attack(ctx, {9});
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(satisfies_constraint1(ctx, r.m));
+  // Path 17 carries no attacker: its entry must be zero.
+  EXPECT_NEAR(r.m[16], 0.0, 1e-9);
+  for (double mi : r.m) {
+    EXPECT_GE(mi, -1e-9);
+    EXPECT_LE(mi, ctx.per_path_cap + 1e-6);
+  }
+}
+
+TEST_F(Fig1Attacks, VictimInControlledSetIsRejected) {
+  AttackContext ctx = scenario_.context(net_.attackers);
+  // Link 5 (paper index, LinkId 4) touches B: Eq. 7 forbids it as victim.
+  const AttackResult r = chosen_victim_attack(ctx, {4});
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.status, lp::SolveStatus::kInfeasible);
+}
+
+TEST_F(Fig1Attacks, Fig5MaxDamageFindsVictims) {
+  AttackContext ctx = scenario_.context(net_.attackers);
+  const MaxDamageResult md = max_damage_attack(ctx);
+  ASSERT_TRUE(md.best.success);
+  EXPECT_FALSE(md.best.victims.empty());
+  EXPECT_FALSE(md.single_victim_damages.empty());
+  // Max-damage dominates every single chosen-victim attack (paper: "highest
+  // in all chosen-victim attacks").
+  for (const auto& [v, d] : md.single_victim_damages)
+    EXPECT_GE(md.best.damage + 1e-6, d);
+  // Victims classify abnormal, attacker links normal.
+  for (LinkId v : md.best.victims)
+    EXPECT_EQ(md.best.states[v], LinkState::kAbnormal);
+  for (LinkId l : ctx.controlled_links())
+    EXPECT_EQ(md.best.states[l], LinkState::kNormal);
+  // Only links 1, 9, 10 (ids 0, 8, 9) are outside the attackers' control, so
+  // victims must come from that set.
+  for (LinkId v : md.best.victims) {
+    EXPECT_TRUE(v == 0 || v == 8 || v == 9);
+  }
+}
+
+TEST_F(Fig1Attacks, Fig6ObfuscationPutsAllLinksInBand) {
+  AttackContext ctx = scenario_.context(net_.attackers);
+  ObfuscationOptions opt;
+  opt.min_victims = 1;  // only 3 non-controlled links exist here
+  const AttackResult r = obfuscation_attack(ctx, opt);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.damage, 0.0);
+  // Every link in L_o = L_m ∪ L_s is inside the uncertain band.
+  for (LinkId l : ctx.controlled_links())
+    EXPECT_EQ(r.states[l], LinkState::kUncertain);
+  for (LinkId v : r.victims)
+    EXPECT_EQ(r.states[v], LinkState::kUncertain);
+  EXPECT_TRUE(satisfies_constraint1(ctx, r.m));
+}
+
+TEST_F(Fig1Attacks, ConsistentModeIsUndetectableOnPerfectCut) {
+  AttackContext ctx = scenario_.context(net_.attackers);
+  const AttackResult r =
+      chosen_victim_attack(ctx, {0}, ManipulationMode::kConsistent);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.states[0], LinkState::kAbnormal);
+  // Theorem 3: under a perfect cut the attacker stays consistent with the
+  // linear model — the Eq. 23 detector cannot fire.
+  const DetectionOutcome d =
+      detect_scapegoating(scenario_.estimator(), r.y_observed);
+  EXPECT_FALSE(d.detected);
+  EXPECT_LT(d.residual_norm1, 1.0);
+}
+
+TEST_F(Fig1Attacks, ConsistentModeInfeasibleOnImperfectCut) {
+  AttackContext ctx = scenario_.context(net_.attackers);
+  // Link 10 is imperfectly cut: no consistent manipulation can scapegoat it.
+  const AttackResult r =
+      chosen_victim_attack(ctx, {9}, ManipulationMode::kConsistent);
+  EXPECT_FALSE(r.success);
+}
+
+TEST_F(Fig1Attacks, UnrestrictedImperfectCutAttackIsDetected) {
+  AttackContext ctx = scenario_.context(net_.attackers);
+  const AttackResult r = chosen_victim_attack(ctx, {9});
+  ASSERT_TRUE(r.success);
+  const DetectionOutcome d =
+      detect_scapegoating(scenario_.estimator(), r.y_observed);
+  EXPECT_TRUE(d.detected);
+  EXPECT_GT(d.residual_norm1, 200.0);
+}
+
+TEST_F(Fig1Attacks, CleanMeasurementsRaiseNoAlarm) {
+  const DetectionOutcome d = detect_scapegoating(
+      scenario_.estimator(), scenario_.clean_measurements());
+  EXPECT_FALSE(d.detected);
+  EXPECT_NEAR(d.residual_norm1, 0.0, 1e-6);
+}
+
+TEST_F(Fig1Attacks, DamageIsCappedByAttackerPathBudget) {
+  AttackContext ctx = scenario_.context(net_.attackers);
+  const AttackResult r = chosen_victim_attack(ctx, {0});
+  ASSERT_TRUE(r.success);
+  // 22 attacker-present paths, each capped at 2000 ms.
+  EXPECT_LE(r.damage, 22 * ctx.per_path_cap + 1e-6);
+}
+
+TEST_F(Fig1Attacks, TighterCapReducesOrKeepsDamage) {
+  AttackContext loose = scenario_.context(net_.attackers);
+  AttackContext tight = scenario_.context(net_.attackers);
+  tight.per_path_cap = 1000.0;
+  const AttackResult rl = chosen_victim_attack(loose, {0});
+  const AttackResult rt = chosen_victim_attack(tight, {0});
+  ASSERT_TRUE(rl.success);
+  ASSERT_TRUE(rt.success);
+  EXPECT_LE(rt.damage, rl.damage + 1e-6);
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -1,0 +1,85 @@
+// Tests for articulation points, bridges and vertex-cut queries.
+
+#include "graph/connectivity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generators.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(ArticulationPoints, ChainInteriorNodes) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  EXPECT_EQ(articulation_points(g), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(ArticulationPoints, NoneInRingOrComplete) {
+  EXPECT_TRUE(articulation_points(ring(6)).empty());
+  EXPECT_TRUE(articulation_points(complete(5)).empty());
+}
+
+TEST(ArticulationPoints, BowtieCenter) {
+  // Two triangles sharing node 2.
+  Graph g(5);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 0);
+  g.add_link(2, 3);
+  g.add_link(3, 4);
+  g.add_link(4, 2);
+  EXPECT_EQ(articulation_points(g), (std::vector<NodeId>{2}));
+}
+
+TEST(Bridges, ChainAllLinksAreBridges) {
+  Graph g(4);
+  LinkId a = *g.add_link(0, 1);
+  LinkId b = *g.add_link(1, 2);
+  LinkId c = *g.add_link(2, 3);
+  EXPECT_EQ(bridges(g), (std::vector<LinkId>{a, b, c}));
+}
+
+TEST(Bridges, RingHasNone) { EXPECT_TRUE(bridges(ring(5)).empty()); }
+
+TEST(Bridges, PendantEdgeOnRing) {
+  Graph g = ring(4);
+  const NodeId leaf = g.add_node();
+  const LinkId pendant = *g.add_link(0, leaf);
+  EXPECT_EQ(bridges(g), (std::vector<LinkId>{pendant}));
+}
+
+TEST(Separates, CutVertexSeparates) {
+  Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  EXPECT_TRUE(separates(g, {1}, 0, 2));
+  EXPECT_FALSE(separates(g, {}, 0, 2));
+}
+
+TEST(Separates, RedundantPathsNeedFullCut) {
+  // Diamond 0-1-3, 0-2-3.
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 3);
+  g.add_link(0, 2);
+  g.add_link(2, 3);
+  EXPECT_FALSE(separates(g, {1}, 0, 3));
+  EXPECT_TRUE(separates(g, {1, 2}, 0, 3));
+}
+
+TEST(ArticulationAndBridgesOnDisconnectedGraph, PerComponent) {
+  Graph g(6);
+  g.add_link(0, 1);
+  g.add_link(1, 2);  // chain component: node 1 articulates
+  g.add_link(3, 4);
+  g.add_link(4, 5);
+  g.add_link(5, 3);  // triangle component: nothing articulates
+  EXPECT_EQ(articulation_points(g), (std::vector<NodeId>{1}));
+  EXPECT_EQ(bridges(g).size(), 2u);
+}
+
+}  // namespace
+}  // namespace scapegoat

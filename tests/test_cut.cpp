@@ -1,0 +1,83 @@
+// Tests for perfect-cut analysis and the attack presence ratio (Fig. 7's
+// x-axis).
+
+#include "attack/cut.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/example_networks.hpp"
+
+namespace scapegoat {
+namespace {
+
+Path make_path(std::vector<NodeId> nodes, std::vector<LinkId> links) {
+  Path p;
+  p.nodes = std::move(nodes);
+  p.links = std::move(links);
+  return p;
+}
+
+TEST(PerfectCut, VacuouslyTrueWithNoVictimPaths) {
+  std::vector<Path> paths = {make_path({0, 1}, {0})};
+  EXPECT_TRUE(is_perfect_cut(paths, {5}, {99}));  // no path carries link 99
+  const PresenceRatio pr = attack_presence_ratio(paths, {5}, {99});
+  EXPECT_EQ(pr.victim_paths, 0u);
+  EXPECT_DOUBLE_EQ(pr.ratio(), 1.0);
+}
+
+TEST(PerfectCut, DetectsCoveredAndUncoveredPaths) {
+  // Two paths over victim link 7: one passes attacker node 3, one doesn't.
+  std::vector<Path> paths = {
+      make_path({0, 3, 4}, {1, 7}),
+      make_path({5, 6, 4}, {2, 7}),
+  };
+  EXPECT_FALSE(is_perfect_cut(paths, {3}, {7}));
+  const PresenceRatio pr = attack_presence_ratio(paths, {3}, {7});
+  EXPECT_EQ(pr.victim_paths, 2u);
+  EXPECT_EQ(pr.covered_paths, 1u);
+  EXPECT_DOUBLE_EQ(pr.ratio(), 0.5);
+
+  // Adding node 6 as attacker completes the cut.
+  EXPECT_TRUE(is_perfect_cut(paths, {3, 6}, {7}));
+  EXPECT_DOUBLE_EQ(attack_presence_ratio(paths, {3, 6}, {7}).ratio(), 1.0);
+}
+
+TEST(PerfectCut, MultiVictimNeedsAllCovered) {
+  std::vector<Path> paths = {
+      make_path({0, 3, 4}, {1, 7}),   // victim 7, covered by 3
+      make_path({5, 6, 4}, {2, 8}),   // victim 8, covered only by 6
+  };
+  EXPECT_TRUE(is_perfect_cut(paths, {3, 6}, {7, 8}));
+  EXPECT_FALSE(is_perfect_cut(paths, {3}, {7, 8}));
+}
+
+TEST(PerfectCut, Fig1GroundTruth) {
+  ExampleNetwork net = fig1_network();
+  // {B, C} perfectly cut link 1 but not links 9/10.
+  EXPECT_TRUE(is_perfect_cut(net.paths, net.attackers, {0}));
+  EXPECT_FALSE(is_perfect_cut(net.paths, net.attackers, {8}));
+  EXPECT_FALSE(is_perfect_cut(net.paths, net.attackers, {9}));
+  // Joint victim {1, 10}: imperfect because of link 10's path 17.
+  EXPECT_FALSE(is_perfect_cut(net.paths, net.attackers, {0, 9}));
+}
+
+TEST(PresenceRatio, Fig1Link10) {
+  ExampleNetwork net = fig1_network();
+  const PresenceRatio pr =
+      attack_presence_ratio(net.paths, net.attackers, {9});
+  // All link-10 paths are covered except path 17.
+  EXPECT_EQ(pr.covered_paths + 1, pr.victim_paths);
+  EXPECT_GT(pr.ratio(), 0.8);
+  EXPECT_LT(pr.ratio(), 1.0);
+}
+
+TEST(PresenceRatio, NoAttackersMeansZeroCoverage) {
+  ExampleNetwork net = fig1_network();
+  const PresenceRatio pr = attack_presence_ratio(net.paths, {}, {9});
+  EXPECT_GT(pr.victim_paths, 0u);
+  EXPECT_EQ(pr.covered_paths, 0u);
+  EXPECT_DOUBLE_EQ(pr.ratio(), 0.0);
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -1,0 +1,104 @@
+// Tests for the Eq. 23 consistency detector and Theorem 3's dichotomy.
+
+#include "detect/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/chosen_victim.hpp"
+#include "core/scenario.hpp"
+#include "tomography/routing_matrix.hpp"
+#include "topology/example_networks.hpp"
+#include "topology/generators.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(Detector, CleanMeasurementsPass) {
+  Rng rng(61);
+  Scenario sc = Scenario::fig1(rng);
+  const DetectionOutcome d =
+      detect_scapegoating(sc.estimator(), sc.clean_measurements());
+  EXPECT_FALSE(d.detected);
+  EXPECT_NEAR(d.residual_norm1, 0.0, 1e-6);
+}
+
+TEST(Detector, SmallNoiseStaysBelowAlpha) {
+  // Remark 4: randomness in delivery should not trip the α = 200 ms test.
+  Rng rng(62);
+  Scenario sc = Scenario::fig1(rng);
+  Vector y = sc.clean_measurements();
+  for (auto& yi : y) yi += rng.uniform(0.0, 3.0);  // small jitter
+  const DetectionOutcome d = detect_scapegoating(sc.estimator(), y);
+  EXPECT_FALSE(d.detected);
+}
+
+TEST(Detector, GrossInconsistencyIsFlagged) {
+  Rng rng(63);
+  Scenario sc = Scenario::fig1(rng);
+  Vector y = sc.clean_measurements();
+  y[16] += 1500.0;  // blast the attacker-free path
+  const DetectionOutcome d = detect_scapegoating(sc.estimator(), y);
+  EXPECT_TRUE(d.detected);
+  EXPECT_GT(d.residual_norm1, 200.0);
+}
+
+TEST(Detector, ThresholdIsConfigurable) {
+  Rng rng(64);
+  Scenario sc = Scenario::fig1(rng);
+  Vector y = sc.clean_measurements();
+  y[0] += 100.0;
+  const DetectionOutcome strict =
+      detect_scapegoating(sc.estimator(), y, DetectorOptions{1e-3});
+  EXPECT_TRUE(strict.detected);
+  const DetectionOutcome lax =
+      detect_scapegoating(sc.estimator(), y, DetectorOptions{1e9});
+  EXPECT_FALSE(lax.detected);
+  EXPECT_DOUBLE_EQ(strict.residual_norm1, lax.residual_norm1);
+}
+
+TEST(Detector, SquareRoutingMatrixIsBlind) {
+  // Theorem 3: square invertible R reproduces any y′ exactly — detection is
+  // impossible no matter how wild the manipulation.
+  Graph g = ring(4);  // 4 links
+  std::vector<Path> paths;
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    Path p;
+    p.nodes = {g.link(l).u, g.link(l).v};
+    p.links = {l};
+    paths.push_back(p);
+  }
+  TomographyEstimator est(g, paths);
+  ASSERT_TRUE(est.ok());
+  ASSERT_EQ(est.num_paths(), est.num_links());
+
+  Rng rng(65);
+  Vector y(4);
+  for (auto& yi : y) yi = rng.uniform(0.0, 5000.0);  // arbitrary garbage
+  const DetectionOutcome d = detect_scapegoating(est, y);
+  EXPECT_FALSE(d.detected);
+  EXPECT_NEAR(d.residual_norm1, 0.0, 1e-6);
+}
+
+TEST(Detector, PerfectCutConsistentAttackInvisible) {
+  Rng rng(66);
+  Scenario sc = Scenario::fig1(rng);
+  ExampleNetwork net = fig1_network();
+  AttackContext ctx = sc.context(net.attackers);
+  const AttackResult r =
+      chosen_victim_attack(ctx, {0}, ManipulationMode::kConsistent);
+  ASSERT_TRUE(r.success);
+  EXPECT_FALSE(detect_scapegoating(sc.estimator(), r.y_observed).detected);
+}
+
+TEST(Detector, ImperfectCutDamageMaxAttackVisible) {
+  Rng rng(67);
+  Scenario sc = Scenario::fig1(rng);
+  ExampleNetwork net = fig1_network();
+  AttackContext ctx = sc.context(net.attackers);
+  const AttackResult r = chosen_victim_attack(ctx, {9});
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(detect_scapegoating(sc.estimator(), r.y_observed).detected);
+}
+
+}  // namespace
+}  // namespace scapegoat

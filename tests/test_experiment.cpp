@@ -1,0 +1,92 @@
+// Smoke tests over the Monte-Carlo experiment runners (Figs. 7-9) with tiny
+// budgets: structural invariants, probability ranges, and the Theorem-3
+// detection dichotomy.
+
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scapegoat {
+namespace {
+
+TEST(ExperimentSmoke, MakeScenarioIsSeedDeterministic) {
+  Rng a(55), b(55);
+  auto sa = make_scenario(TopologyKind::kWireline, a);
+  auto sb = make_scenario(TopologyKind::kWireline, b);
+  ASSERT_TRUE(sa.has_value());
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(sa->graph().num_links(), sb->graph().num_links());
+  EXPECT_EQ(sa->estimator().num_paths(), sb->estimator().num_paths());
+  EXPECT_TRUE(approx_equal(sa->x_true(), sb->x_true(), 0.0));
+}
+
+TEST(ExperimentSmoke, PresenceRatioSeriesInvariants) {
+  PresenceRatioOptions opt;
+  opt.topologies = 1;
+  opt.trials_per_topology = 40;
+  opt.seed = 1234;
+  const PresenceRatioSeries s =
+      run_presence_ratio_experiment(TopologyKind::kWireline, opt);
+  EXPECT_EQ(s.kind, TopologyKind::kWireline);
+  EXPECT_EQ(s.bins.size(), opt.bins + 1);
+  std::size_t total = 0;
+  for (const PresenceRatioBin& b : s.bins) {
+    EXPECT_GE(b.trials, b.successes);
+    EXPECT_GE(b.probability(), 0.0);
+    EXPECT_LE(b.probability(), 1.0);
+    total += b.trials;
+  }
+  EXPECT_EQ(total, s.total_trials);
+  EXPECT_GT(s.total_trials, 0u);
+  // Theorem 1: the exact-perfect-cut bin never fails.
+  const PresenceRatioBin& perfect = s.bins.back();
+  if (perfect.trials > 0) EXPECT_EQ(perfect.successes, perfect.trials);
+}
+
+TEST(ExperimentSmoke, SingleAttackerProbabilitiesInRange) {
+  SingleAttackerOptions opt;
+  opt.topologies = 1;
+  opt.trials_per_topology = 6;
+  opt.seed = 99;
+  const SingleAttackerResult r =
+      run_single_attacker_experiment(TopologyKind::kWireline, opt);
+  EXPECT_EQ(r.trials, 6u);
+  EXPECT_LE(r.max_damage_successes, r.trials);
+  EXPECT_LE(r.obfuscation_successes, r.trials);
+  EXPECT_GE(r.max_damage_probability(), r.obfuscation_probability() - 1.0);
+}
+
+TEST(ExperimentSmoke, DetectionDichotomyTinyRun) {
+  DetectionOptionsExperiment opt;
+  opt.topologies = 1;
+  opt.successful_attacks_per_cell = 4;
+  opt.max_trials_per_cell = 120;
+  opt.seed = 77;
+  const DetectionSeries s =
+      run_detection_experiment(TopologyKind::kWireline, opt);
+  EXPECT_EQ(s.cells.size(), 6u);
+  EXPECT_EQ(s.false_alarms, 0u);
+  EXPECT_GT(s.clean_trials, 0u);
+  for (const DetectionCell& c : s.cells) {
+    EXPECT_LE(c.detected, c.attacks);
+    if (c.attacks == 0) continue;
+    if (c.perfect_cut) {
+      // Theorem 3: consistent perfect-cut attacks are invisible.
+      EXPECT_EQ(c.detected, 0u) << to_string(c.strategy);
+    } else {
+      // Damage-max imperfect-cut attacks leave large residuals.
+      EXPECT_GT(c.detection_ratio(), 0.5) << to_string(c.strategy);
+    }
+  }
+}
+
+TEST(ExperimentSmoke, ToStringNames) {
+  EXPECT_EQ(to_string(TopologyKind::kWireline), "wireline");
+  EXPECT_EQ(to_string(TopologyKind::kWireless), "wireless");
+  EXPECT_EQ(to_string(AttackStrategy::kChosenVictim), "chosen-victim");
+  EXPECT_EQ(to_string(AttackStrategy::kMaxDamage), "maximum-damage");
+  EXPECT_EQ(to_string(AttackStrategy::kObfuscation), "obfuscation");
+}
+
+}  // namespace
+}  // namespace scapegoat

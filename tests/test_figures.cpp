@@ -1,0 +1,96 @@
+// Tests for the figure drivers (Figs. 2, 4, 5, 6): each must reproduce the
+// paper's qualitative claims on the Fig. 1 network.
+
+#include "core/figures.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+namespace scapegoat {
+namespace {
+
+TEST(Fig2, ThreeDistinctProfiles) {
+  const Fig2Result r = run_fig2();
+  ASSERT_EQ(r.chosen_victim.size(), 10u);
+  // Profiles must differ between strategies.
+  EXPECT_FALSE(approx_equal(r.chosen_victim, r.obfuscation, 1.0));
+  EXPECT_FALSE(approx_equal(r.max_damage, r.obfuscation, 1.0));
+  // Obfuscation: everything inside the band — no estimate above b_u.
+  for (double x : r.obfuscation) EXPECT_LE(x, 800.0 + 1e-6);
+  std::ostringstream os;
+  print_fig2(r, os);
+  EXPECT_NE(os.str().find("Fig. 2"), std::string::npos);
+}
+
+TEST(Fig4, MatchesPaperNarrative) {
+  const Fig4Result r = run_fig4();
+  ASSERT_TRUE(r.attack.success);
+  // The victim (paper link 10, id 9) was NOT perfectly cut, yet the attack
+  // succeeded — the paper's headline for Fig. 4.
+  EXPECT_FALSE(r.perfect_cut);
+  EXPECT_GT(r.attack.x_estimated[9], 800.0);
+  EXPECT_EQ(r.attack.states[9], LinkState::kAbnormal);
+  // Only the victim exceeds the abnormal threshold.
+  for (LinkId l = 0; l < 9; ++l)
+    EXPECT_NE(r.attack.states[l], LinkState::kAbnormal) << "link " << l;
+  // Attacker links look normal.
+  for (LinkId l = 1; l <= 7; ++l)
+    EXPECT_EQ(r.attack.states[l], LinkState::kNormal);
+  // Average end-to-end delay is in the high-hundreds/low-thousands regime
+  // (paper: 820.87 ms with their solver; the LP damage-max lands higher).
+  EXPECT_GT(r.avg_path_delay, 500.0);
+  EXPECT_LT(r.avg_path_delay, 2000.0);
+  // Theorem 3: the imperfect-cut attack is detectable.
+  EXPECT_TRUE(r.detection.detected);
+  std::ostringstream os;
+  print_fig4(r, os);
+  EXPECT_NE(os.str().find("DETECTED"), std::string::npos);
+}
+
+TEST(Fig5, MaxDamageBeatsFig4AndFlagsOnlyVictims) {
+  const Fig4Result f4 = run_fig4();
+  const Fig5Result f5 = run_fig5();
+  ASSERT_TRUE(f5.attack.success);
+  // The paper's comparison: maximum-damage yields the highest average
+  // end-to-end delay of all chosen-victim attacks.
+  EXPECT_GE(f5.attack.damage + 1e-6, f4.attack.damage);
+  for (LinkId v : f5.attack.victims)
+    EXPECT_EQ(f5.attack.states[v], LinkState::kAbnormal);
+  // Attacker links (ids 1..7) stay normal.
+  for (LinkId l = 1; l <= 7; ++l)
+    EXPECT_EQ(f5.attack.states[l], LinkState::kNormal);
+  // Non-victim links never cross b_u (collateral policy).
+  for (LinkId l = 0; l < 10; ++l) {
+    const bool is_victim =
+        std::find(f5.attack.victims.begin(), f5.attack.victims.end(), l) !=
+        f5.attack.victims.end();
+    if (!is_victim) EXPECT_NE(f5.attack.states[l], LinkState::kAbnormal);
+  }
+  EXPECT_GT(f5.avg_path_delay, 800.0);
+  std::ostringstream os;
+  print_fig5(f5, os);
+  EXPECT_NE(os.str().find("per-victim damages"), std::string::npos);
+}
+
+TEST(Fig6, AllLinksUncertain) {
+  const Fig6Result r = run_fig6();
+  ASSERT_TRUE(r.attack.success);
+  EXPECT_EQ(r.uncertain_links, 10u);  // paper: every link inside the band
+  EXPECT_GT(r.attack.damage, 0.0);
+  std::ostringstream os;
+  print_fig6(r, os);
+  EXPECT_NE(os.str().find("10 / 10"), std::string::npos);
+}
+
+TEST(Figures, DeterministicAcrossRuns) {
+  const Fig4Result a = run_fig4();
+  const Fig4Result b = run_fig4();
+  ASSERT_TRUE(a.attack.success);
+  EXPECT_TRUE(approx_equal(a.attack.x_estimated, b.attack.x_estimated, 0.0));
+  EXPECT_DOUBLE_EQ(a.attack.damage, b.attack.damage);
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -1,0 +1,133 @@
+// Tests for the Graph type and Path validity.
+
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scapegoat {
+namespace {
+
+TEST(Graph, AddNodesAndLinks) {
+  Graph g(3);
+  EXPECT_EQ(g.num_nodes(), 3u);
+  auto l = g.add_link(0, 1);
+  ASSERT_TRUE(l.has_value());
+  EXPECT_EQ(*l, 0u);
+  EXPECT_EQ(g.num_links(), 1u);
+  EXPECT_TRUE(g.has_link(0, 1));
+  EXPECT_TRUE(g.has_link(1, 0));
+  EXPECT_FALSE(g.has_link(0, 2));
+  EXPECT_EQ(g.add_node(), 3u);
+  EXPECT_EQ(g.num_nodes(), 4u);
+}
+
+TEST(Graph, RejectsSelfLoopsAndDuplicates) {
+  Graph g(2);
+  EXPECT_FALSE(g.add_link(0, 0).has_value());
+  ASSERT_TRUE(g.add_link(0, 1).has_value());
+  EXPECT_FALSE(g.add_link(0, 1).has_value());
+  EXPECT_FALSE(g.add_link(1, 0).has_value());
+  EXPECT_EQ(g.num_links(), 1u);
+}
+
+TEST(Graph, AdjacencyAndDegree) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.add_link(0, 3);
+  EXPECT_EQ(g.degree(0), 3u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.neighbors(0).size(), 3u);
+  EXPECT_EQ(g.neighbors(1)[0].neighbor, 0u);
+}
+
+TEST(Graph, FindLinkScansSmallerList) {
+  Graph g(5);
+  LinkId hub01 = *g.add_link(0, 1);
+  g.add_link(0, 2);
+  g.add_link(0, 3);
+  g.add_link(0, 4);
+  EXPECT_EQ(g.find_link(0, 1), hub01);
+  EXPECT_EQ(g.find_link(1, 0), hub01);
+  EXPECT_FALSE(g.find_link(1, 2).has_value());
+}
+
+TEST(Graph, IncidentLinksSingleNode) {
+  Graph g(4);
+  LinkId a = *g.add_link(0, 1);
+  LinkId b = *g.add_link(1, 2);
+  g.add_link(2, 3);
+  auto inc = g.incident_links(NodeId{1});
+  ASSERT_EQ(inc.size(), 2u);
+  EXPECT_EQ(inc[0], a);
+  EXPECT_EQ(inc[1], b);
+}
+
+TEST(Graph, IncidentLinksNodeSetDeduplicates) {
+  Graph g(3);
+  LinkId ab = *g.add_link(0, 1);
+  LinkId bc = *g.add_link(1, 2);
+  LinkId ca = *g.add_link(2, 0);
+  auto inc = g.incident_links(std::vector<NodeId>{0, 1});
+  // The shared link 0-1 must appear once.
+  ASSERT_EQ(inc.size(), 3u);
+  EXPECT_EQ(inc[0], ab);
+  EXPECT_EQ(inc[1], bc);
+  EXPECT_EQ(inc[2], ca);
+}
+
+TEST(Link, OtherEndpoint) {
+  Link l{3, 7};
+  EXPECT_EQ(l.other(3), 7u);
+  EXPECT_EQ(l.other(7), 3u);
+  EXPECT_TRUE(l.has_endpoint(3));
+  EXPECT_FALSE(l.has_endpoint(5));
+}
+
+TEST(Path, ContainsQueries) {
+  Path p;
+  p.nodes = {0, 1, 2};
+  p.links = {10, 11};
+  EXPECT_TRUE(p.contains_node(1));
+  EXPECT_FALSE(p.contains_node(3));
+  EXPECT_TRUE(p.contains_link(11));
+  EXPECT_FALSE(p.contains_link(12));
+  EXPECT_TRUE(p.contains_any_node({5, 2}));
+  EXPECT_FALSE(p.contains_any_node({5, 6}));
+  EXPECT_EQ(p.source(), 0u);
+  EXPECT_EQ(p.destination(), 2u);
+  EXPECT_EQ(p.length(), 2u);
+}
+
+TEST(Path, ValidityChecks) {
+  Graph g(4);
+  LinkId l01 = *g.add_link(0, 1);
+  LinkId l12 = *g.add_link(1, 2);
+  *g.add_link(2, 3);
+
+  Path good;
+  good.nodes = {0, 1, 2};
+  good.links = {l01, l12};
+  EXPECT_TRUE(is_valid_simple_path(g, good));
+
+  Path wrong_link;
+  wrong_link.nodes = {0, 1, 2};
+  wrong_link.links = {l12, l01};  // swapped
+  EXPECT_FALSE(is_valid_simple_path(g, wrong_link));
+
+  Path repeated_node;
+  repeated_node.nodes = {0, 1, 0};
+  repeated_node.links = {l01, l01};
+  EXPECT_FALSE(is_valid_simple_path(g, repeated_node));
+
+  Path shape_mismatch;
+  shape_mismatch.nodes = {0, 1};
+  shape_mismatch.links = {l01, l12};
+  EXPECT_FALSE(is_valid_simple_path(g, shape_mismatch));
+
+  Path empty;
+  EXPECT_FALSE(is_valid_simple_path(g, empty));
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -1,0 +1,101 @@
+// Tests for Yen's k-shortest loopless paths.
+
+#include "graph/k_shortest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/paths.hpp"
+#include "topology/generators.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(KShortest, FirstPathIsTheGeodesic) {
+  Graph g = ring(6);
+  auto paths = k_shortest_paths(g, 0, 2, 1);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].length(), 2u);
+}
+
+TEST(KShortest, RingHasExactlyTwoPaths) {
+  Graph g = ring(6);
+  auto paths = k_shortest_paths(g, 0, 3, 10);
+  ASSERT_EQ(paths.size(), 2u);  // clockwise and counterclockwise only
+  EXPECT_EQ(paths[0].length(), 3u);
+  EXPECT_EQ(paths[1].length(), 3u);
+  EXPECT_NE(paths[0].nodes, paths[1].nodes);
+}
+
+TEST(KShortest, AscendingCostsAndValidity) {
+  Rng rng(111);
+  Graph g = erdos_renyi(15, 0.3, rng);
+  std::vector<double> w(g.num_links());
+  for (auto& wi : w) wi = rng.uniform(0.5, 3.0);
+  auto paths = k_shortest_paths(g, 0, 14, 8, w);
+  ASSERT_FALSE(paths.empty());
+  double prev = 0.0;
+  std::set<std::vector<NodeId>> uniq;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(is_valid_simple_path(g, p));
+    EXPECT_EQ(p.source(), 0u);
+    EXPECT_EQ(p.destination(), 14u);
+    double cost = 0.0;
+    for (LinkId l : p.links) cost += w[l];
+    EXPECT_GE(cost + 1e-12, prev);
+    prev = cost;
+    EXPECT_TRUE(uniq.insert(p.nodes).second);  // all distinct
+  }
+}
+
+TEST(KShortest, MatchesExhaustiveEnumerationOnK4) {
+  Graph g = complete(4);
+  // All 5 simple paths 0→3, by hop count: 1 + 2 + 2 of lengths 1,2,2,3,3.
+  auto paths = k_shortest_paths(g, 0, 3, 10);
+  ASSERT_EQ(paths.size(), 5u);
+  EXPECT_EQ(paths[0].length(), 1u);
+  EXPECT_EQ(paths[1].length(), 2u);
+  EXPECT_EQ(paths[2].length(), 2u);
+  EXPECT_EQ(paths[3].length(), 3u);
+  EXPECT_EQ(paths[4].length(), 3u);
+}
+
+TEST(KShortest, WeightsChangeTheOrder) {
+  // Triangle where the direct link is expensive.
+  Graph g(3);
+  LinkId direct = *g.add_link(0, 2);
+  LinkId a = *g.add_link(0, 1);
+  LinkId b = *g.add_link(1, 2);
+  std::vector<double> w(3, 1.0);
+  w[direct] = 5.0;
+  auto paths = k_shortest_paths(g, 0, 2, 2, w);
+  ASSERT_EQ(paths.size(), 2u);
+  EXPECT_EQ(paths[0].length(), 2u);  // via node 1: cost 2
+  EXPECT_EQ(paths[1].length(), 1u);  // direct: cost 5
+  EXPECT_EQ(paths[0].links, (std::vector<LinkId>{a, b}));
+}
+
+TEST(KShortest, DisconnectedOrDegenerateInputs) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  EXPECT_TRUE(k_shortest_paths(g, 0, 3, 3).empty());
+  EXPECT_TRUE(k_shortest_paths(g, 0, 0, 3).empty());
+  Graph conn = ring(4);
+  EXPECT_TRUE(k_shortest_paths(conn, 0, 2, 0).empty());
+}
+
+TEST(KShortest, AgreesWithDfsEnumerationOnRandomGraphs) {
+  Rng rng(112);
+  for (int trial = 0; trial < 5; ++trial) {
+    Graph g = erdos_renyi(9, 0.35, rng);
+    auto all = enumerate_simple_paths(g, 0, 8,
+                                      PathEnumerationOptions{9, 100000});
+    auto yen = k_shortest_paths(g, 0, 8, all.size() + 5);
+    EXPECT_EQ(yen.size(), all.size());
+  }
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -1,0 +1,108 @@
+// Tests for the least-squares entry point and the incremental RankTracker.
+
+#include "linalg/least_squares.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.hpp"
+#include "util/random.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(LeastSquares, QrAndNormalEquationsAgree) {
+  Rng rng(21);
+  Matrix a(15, 6);
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    for (std::size_t c = 0; c < a.cols(); ++c) a(r, c) = rng.uniform(-2, 2);
+  Vector b(15);
+  for (std::size_t i = 0; i < b.size(); ++i) b[i] = rng.uniform(-5, 5);
+
+  auto x_qr = least_squares(a, b, LeastSquaresMethod::kQr);
+  auto x_ne = least_squares(a, b, LeastSquaresMethod::kNormalEquations);
+  ASSERT_TRUE(x_qr.has_value());
+  ASSERT_TRUE(x_ne.has_value());
+  EXPECT_TRUE(approx_equal(*x_qr, *x_ne, 1e-7));
+}
+
+TEST(LeastSquares, RejectsUnderdeterminedSystem) {
+  Matrix a(2, 5, 1.0);
+  Vector b{1.0, 2.0};
+  EXPECT_FALSE(least_squares(a, b).has_value());
+}
+
+TEST(LeastSquares, RejectsRankDeficientColumns) {
+  Matrix a(4, 2);
+  for (std::size_t r = 0; r < 4; ++r) {
+    a(r, 0) = static_cast<double>(r + 1);
+    a(r, 1) = 2.0 * static_cast<double>(r + 1);
+  }
+  EXPECT_FALSE(least_squares(a, Vector(4, 1.0)).has_value());
+  EXPECT_FALSE(
+      least_squares(a, Vector(4, 1.0), LeastSquaresMethod::kNormalEquations)
+          .has_value());
+}
+
+TEST(LeastSquares, ResidualOrthogonalToColumns) {
+  Matrix a{{1.0, 1.0}, {1.0, 2.0}, {1.0, 3.0}, {1.0, 4.0}};
+  Vector b{6.0, 5.0, 7.0, 10.0};
+  auto x = least_squares(a, b);
+  ASSERT_TRUE(x.has_value());
+  Vector r = residual(a, *x, b);
+  EXPECT_NEAR((a.transposed() * r).norm_inf(), 0.0, 1e-10);
+}
+
+TEST(RankTracker, AcceptsOnlyIndependentRows) {
+  RankTracker t(3);
+  EXPECT_TRUE(t.add(Vector{1.0, 0.0, 0.0}));
+  EXPECT_TRUE(t.add(Vector{1.0, 1.0, 0.0}));
+  EXPECT_FALSE(t.add(Vector{2.0, 1.0, 0.0}));  // in the span
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_FALSE(t.full());
+  EXPECT_TRUE(t.add(Vector{0.0, 0.0, 5.0}));
+  EXPECT_TRUE(t.full());
+  // Once full, nothing is independent.
+  EXPECT_FALSE(t.add(Vector{1.0, 2.0, 3.0}));
+}
+
+TEST(RankTracker, RejectsZeroRow) {
+  RankTracker t(4);
+  EXPECT_FALSE(t.add(Vector(4, 0.0)));
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(RankTracker, IsIndependentDoesNotMutate) {
+  RankTracker t(2);
+  EXPECT_TRUE(t.is_independent(Vector{1.0, 0.0}));
+  EXPECT_EQ(t.rank(), 0u);
+  t.add(Vector{1.0, 0.0});
+  EXPECT_FALSE(t.is_independent(Vector{2.0, 0.0}));
+  EXPECT_TRUE(t.is_independent(Vector{0.0, 1.0}));
+}
+
+TEST(RankTracker, NumericallyNearDependentRowRejected) {
+  RankTracker t(2, 1e-6);
+  t.add(Vector{1.0, 0.0});
+  // Angle ~1e-9 off the span: should be treated as dependent.
+  EXPECT_FALSE(t.add(Vector{1.0, 1e-9}));
+  // A clearly independent direction is accepted.
+  EXPECT_TRUE(t.add(Vector{1.0, 0.5}));
+}
+
+TEST(RankTracker, MatchesQrRankOnRandomRows) {
+  Rng rng(33);
+  const std::size_t dim = 8;
+  Matrix rows(20, dim);
+  RankTracker t(dim);
+  for (std::size_t r = 0; r < rows.rows(); ++r) {
+    Vector row(dim);
+    // Low-entropy rows: entries in {0, 1} give frequent dependencies.
+    for (std::size_t c = 0; c < dim; ++c) row[c] = rng.bernoulli(0.4) ? 1 : 0;
+    rows.set_row(r, row);
+    t.add(row);
+  }
+  EXPECT_EQ(t.rank(), matrix_rank(rows));
+}
+
+}  // namespace
+}  // namespace scapegoat

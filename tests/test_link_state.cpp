@@ -1,0 +1,56 @@
+// Tests for link-state classification (Definition 1).
+
+#include "tomography/link_state.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scapegoat {
+namespace {
+
+TEST(LinkState, ThreeStateClassification) {
+  const StateThresholds t{100.0, 800.0};
+  EXPECT_EQ(classify(0.0, t), LinkState::kNormal);
+  EXPECT_EQ(classify(99.999, t), LinkState::kNormal);
+  EXPECT_EQ(classify(100.0, t), LinkState::kUncertain);  // boundary inclusive
+  EXPECT_EQ(classify(400.0, t), LinkState::kUncertain);
+  EXPECT_EQ(classify(800.0, t), LinkState::kUncertain);  // boundary inclusive
+  EXPECT_EQ(classify(800.001, t), LinkState::kAbnormal);
+}
+
+TEST(LinkState, TwoStateCollapseWithSingleThreshold) {
+  // Definition 1, Remark: b_l == b_u gives the two-state scenario where
+  // only the exact boundary value is "uncertain".
+  const StateThresholds t{500.0, 500.0};
+  EXPECT_EQ(classify(499.0, t), LinkState::kNormal);
+  EXPECT_EQ(classify(500.0, t), LinkState::kUncertain);
+  EXPECT_EQ(classify(501.0, t), LinkState::kAbnormal);
+}
+
+TEST(LinkState, ClassifyAllAndSelect) {
+  const StateThresholds t{100.0, 800.0};
+  const Vector x{10.0, 500.0, 900.0, 50.0, 850.0};
+  const auto states = classify_all(x, t);
+  ASSERT_EQ(states.size(), 5u);
+  EXPECT_EQ(links_in_state(states, LinkState::kNormal),
+            (std::vector<std::size_t>{0, 3}));
+  EXPECT_EQ(links_in_state(states, LinkState::kUncertain),
+            (std::vector<std::size_t>{1}));
+  EXPECT_EQ(links_in_state(states, LinkState::kAbnormal),
+            (std::vector<std::size_t>{2, 4}));
+}
+
+TEST(LinkState, ToStringNames) {
+  EXPECT_EQ(to_string(LinkState::kNormal), "normal");
+  EXPECT_EQ(to_string(LinkState::kUncertain), "uncertain");
+  EXPECT_EQ(to_string(LinkState::kAbnormal), "abnormal");
+}
+
+TEST(LinkState, DefaultThresholdsMatchPaper) {
+  const StateThresholds t;
+  EXPECT_DOUBLE_EQ(t.lower, 100.0);
+  EXPECT_DOUBLE_EQ(t.upper, 800.0);
+  EXPECT_TRUE(t.valid());
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -1,0 +1,141 @@
+// Tests for the manipulation-localization defense extension.
+
+#include "detect/localize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "attack/chosen_victim.hpp"
+#include "core/scenario.hpp"
+#include "topology/example_networks.hpp"
+
+namespace scapegoat {
+namespace {
+
+class LocalizeTest : public ::testing::Test {
+ protected:
+  LocalizeTest()
+      : rng_(81), scenario_(Scenario::fig1(rng_)), net_(fig1_network()) {}
+
+  Rng rng_;
+  Scenario scenario_;
+  ExampleNetwork net_;
+};
+
+TEST_F(LocalizeTest, CleanMeasurementsAreNotManipulated) {
+  const LocalizationResult r = localize_manipulation(
+      scenario_.estimator(), scenario_.clean_measurements());
+  EXPECT_FALSE(r.manipulated);
+  EXPECT_TRUE(r.clean);
+  EXPECT_TRUE(r.suspicious_paths.empty());
+  EXPECT_TRUE(approx_equal(r.x_cleaned, scenario_.x_true(), 1e-7));
+}
+
+TEST_F(LocalizeTest, SinglePathTamperingIsolatedExactly) {
+  Vector y = scenario_.clean_measurements();
+  y[16] += 900.0;  // tamper path 17 only
+  const LocalizationResult r =
+      localize_manipulation(scenario_.estimator(), y);
+  EXPECT_TRUE(r.manipulated);
+  ASSERT_TRUE(r.clean);
+  EXPECT_EQ(r.suspicious_paths, (std::vector<std::size_t>{16}));
+  // With path 17 removed, the rest re-estimates the truth.
+  EXPECT_TRUE(approx_equal(r.x_cleaned, scenario_.x_true(), 1e-6));
+}
+
+TEST_F(LocalizeTest, TwoTamperedPathsFound) {
+  Vector y = scenario_.clean_measurements();
+  y[16] += 700.0;
+  y[5] += 500.0;
+  const LocalizationResult r =
+      localize_manipulation(scenario_.estimator(), y);
+  ASSERT_TRUE(r.clean);
+  EXPECT_TRUE(std::find(r.suspicious_paths.begin(), r.suspicious_paths.end(),
+                        16u) != r.suspicious_paths.end());
+  EXPECT_TRUE(std::find(r.suspicious_paths.begin(), r.suspicious_paths.end(),
+                        5u) != r.suspicious_paths.end());
+  EXPECT_TRUE(approx_equal(r.x_cleaned, scenario_.x_true(), 1e-6));
+}
+
+TEST_F(LocalizeTest, SuspectNodesContainIntersection) {
+  Vector y = scenario_.clean_measurements();
+  y[16] += 900.0;  // path 17: M3 → D → M2
+  const LocalizationResult r =
+      localize_manipulation(scenario_.estimator(), y);
+  ASSERT_TRUE(r.clean);
+  // All of path 17's nodes are "suspect" under a single-path flag.
+  EXPECT_EQ(r.suspect_nodes.size(), 3u);
+  EXPECT_TRUE(std::find(r.suspect_nodes.begin(), r.suspect_nodes.end(),
+                        net_.d) != r.suspect_nodes.end());
+}
+
+TEST_F(LocalizeTest, StopsWhenIdentifiabilityWouldBreak) {
+  // Tamper nearly everything: localization cannot clean without losing
+  // rank; it must report clean == false, not crash or loop.
+  Vector y = scenario_.clean_measurements();
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += 300.0 + 30.0 * i;
+  LocalizationOptions opt;
+  opt.max_removals = 23;
+  const LocalizationResult r =
+      localize_manipulation(scenario_.estimator(), y, opt);
+  EXPECT_TRUE(r.manipulated);
+  EXPECT_LE(r.suspicious_paths.size(), 23u - 0u);
+}
+
+TEST_F(LocalizeTest, BudgetIsRespected) {
+  Vector y = scenario_.clean_measurements();
+  y[0] += 500.0;
+  y[5] += 500.0;
+  y[16] += 500.0;
+  LocalizationOptions opt;
+  opt.max_removals = 1;
+  const LocalizationResult r =
+      localize_manipulation(scenario_.estimator(), y, opt);
+  EXPECT_LE(r.suspicious_paths.size(), 1u);
+}
+
+TEST_F(LocalizeTest, MinoritySupportManipulationIsolatedToAttackerPaths) {
+  // A manipulation confined to a minority of rows is pinned onto exactly
+  // those rows, and the surviving rows recover the truth.
+  Vector m(scenario_.estimator().num_paths(), 0.0);
+  m[0] = 600.0;   // paths 1, 2, 4 all traverse attacker B
+  m[1] = 450.0;
+  m[3] = 800.0;
+  AttackContext ctx = scenario_.context(net_.attackers);
+  ASSERT_TRUE(satisfies_constraint1(ctx, m));
+  const Vector y = scenario_.clean_measurements() + m;
+
+  const LocalizationResult r =
+      localize_manipulation(scenario_.estimator(), y);
+  EXPECT_TRUE(r.manipulated);
+  ASSERT_TRUE(r.clean);
+  for (std::size_t idx : {0u, 1u, 3u}) {
+    EXPECT_TRUE(std::find(r.suspicious_paths.begin(),
+                          r.suspicious_paths.end(),
+                          idx) != r.suspicious_paths.end())
+        << "path " << idx;
+  }
+  EXPECT_TRUE(approx_equal(r.x_cleaned, scenario_.x_true(), 1e-6));
+}
+
+TEST_F(LocalizeTest, MajorityManipulationShiftsBlameToHonestPaths) {
+  // Documented limitation: the Fig. 1 attackers sit on 22 of 23 paths, so
+  // least squares treats the single honest row (path 17) as the outlier —
+  // the cheapest consistent explanation removes IT, not the attack. An
+  // operator can still see the manipulated verdict; trusting the "cleaned"
+  // estimate requires the attacker's coverage to be a minority of rows.
+  AttackContext ctx = scenario_.context(net_.attackers);
+  const AttackResult attack = chosen_victim_attack(ctx, {9});
+  ASSERT_TRUE(attack.success);
+  const LocalizationResult r = localize_manipulation(
+      scenario_.estimator(), attack.y_observed);
+  EXPECT_TRUE(r.manipulated);
+  ASSERT_FALSE(r.suspicious_paths.empty());
+  // The honest path is among the blamed ones.
+  EXPECT_TRUE(std::find(r.suspicious_paths.begin(), r.suspicious_paths.end(),
+                        16u) != r.suspicious_paths.end());
+}
+
+}  // namespace
+}  // namespace scapegoat

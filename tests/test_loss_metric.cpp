@@ -1,0 +1,72 @@
+// Tests for loss-rate tomography support (log-additive metrics).
+
+#include "tomography/loss_metric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tomography/estimator.hpp"
+#include "tomography/routing_matrix.hpp"
+#include "topology/example_networks.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(LossMetric, ConversionRoundTrip) {
+  for (double p : {1.0, 0.99, 0.9, 0.5, 0.1}) {
+    const double x = loss_metric_from_delivery(p);
+    EXPECT_GE(x, 0.0);
+    EXPECT_NEAR(delivery_from_loss_metric(x), p, 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(loss_metric_from_delivery(1.0), 0.0);
+}
+
+TEST(LossMetric, ZeroDeliveryStaysFinite) {
+  const double x = loss_metric_from_delivery(0.0);
+  EXPECT_TRUE(std::isfinite(x));
+  EXPECT_GT(x, 10.0);
+}
+
+TEST(LossMetric, VectorConversions) {
+  const std::vector<double> probs{1.0, 0.9, 0.5};
+  const Vector metrics = loss_metrics_from_delivery(probs);
+  EXPECT_DOUBLE_EQ(metrics[0], 0.0);
+  EXPECT_NEAR(metrics[1], -std::log(0.9), 1e-12);
+  const auto back = delivery_from_loss_metrics(metrics);
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    EXPECT_NEAR(back[i], probs[i], 1e-12);
+}
+
+TEST(LossMetric, ThresholdsAreOrderedAndInverted) {
+  const StateThresholds t = loss_thresholds(0.99, 0.90);
+  EXPECT_TRUE(t.valid());
+  EXPECT_LT(t.lower, t.upper);
+  // A 99.5%-delivery link is normal; an 85%-delivery link abnormal.
+  EXPECT_EQ(classify(loss_metric_from_delivery(0.995), t),
+            LinkState::kNormal);
+  EXPECT_EQ(classify(loss_metric_from_delivery(0.85), t),
+            LinkState::kAbnormal);
+  EXPECT_EQ(classify(loss_metric_from_delivery(0.95), t),
+            LinkState::kUncertain);
+}
+
+TEST(LossMetric, TomographyRecoversLossRates) {
+  // The whole linear pipeline works in the loss domain: path metrics are
+  // sums of per-link −log p, and the estimator returns them exactly.
+  ExampleNetwork net = fig1_network();
+  TomographyEstimator est(net.graph, net.paths);
+  ASSERT_TRUE(est.ok());
+  std::vector<double> delivery(net.graph.num_links(), 0.995);
+  delivery[3] = 0.80;  // one lossy link
+  const Vector x = loss_metrics_from_delivery(delivery);
+  const Vector y = path_metrics(net.paths, x);
+  const Vector x_hat = est.estimate(y);
+  EXPECT_TRUE(approx_equal(x_hat, x, 1e-8));
+  const auto states = classify_all(x_hat, loss_thresholds());
+  EXPECT_EQ(states[3], LinkState::kAbnormal);
+  EXPECT_EQ(states[0], LinkState::kNormal);
+}
+
+}  // namespace
+}  // namespace scapegoat

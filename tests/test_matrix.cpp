@@ -1,0 +1,131 @@
+// Unit tests for the dense Matrix/Vector substrate.
+
+#include "linalg/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scapegoat {
+namespace {
+
+TEST(Vector, ConstructionAndIndexing) {
+  Vector v(3, 1.5);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], 1.5);
+  v[2] = -2.0;
+  EXPECT_DOUBLE_EQ(v[2], -2.0);
+
+  Vector init{1.0, 2.0, 3.0};
+  EXPECT_EQ(init.size(), 3u);
+  EXPECT_DOUBLE_EQ(init[1], 2.0);
+}
+
+TEST(Vector, Arithmetic) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector b{4.0, 5.0, 6.0};
+  Vector sum = a + b;
+  EXPECT_TRUE(approx_equal(sum, Vector{5.0, 7.0, 9.0}));
+  Vector diff = b - a;
+  EXPECT_TRUE(approx_equal(diff, Vector{3.0, 3.0, 3.0}));
+  Vector scaled = 2.0 * a;
+  EXPECT_TRUE(approx_equal(scaled, Vector{2.0, 4.0, 6.0}));
+}
+
+TEST(Vector, DotAndNorms) {
+  Vector a{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(a.dot(a), 25.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 5.0);
+  EXPECT_DOUBLE_EQ(a.norm1(), 7.0);
+  EXPECT_DOUBLE_EQ(a.norm_inf(), 4.0);
+}
+
+TEST(Vector, ComponentwiseGeq) {
+  Vector a{1.0, 2.0, 3.0};
+  Vector zero(3, 0.0);
+  EXPECT_TRUE(a.componentwise_geq(zero));
+  EXPECT_FALSE(zero.componentwise_geq(a));
+  Vector almost{0.9999999, 2.0, 3.0};
+  EXPECT_FALSE(almost.componentwise_geq(a));
+  EXPECT_TRUE(almost.componentwise_geq(a, 1e-3));
+}
+
+TEST(Matrix, ConstructionAndIdentity) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+
+  Matrix id = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_TRUE(approx_equal(t.transposed(), m));
+}
+
+TEST(Matrix, RowColAccess) {
+  Matrix m{{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}};
+  EXPECT_TRUE(approx_equal(m.row(1), Vector{3.0, 4.0}));
+  EXPECT_TRUE(approx_equal(m.col(0), Vector{1.0, 3.0, 5.0}));
+  m.set_row(0, Vector{9.0, 8.0});
+  EXPECT_DOUBLE_EQ(m(0, 1), 8.0);
+}
+
+TEST(Matrix, MatrixMatrixProduct) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{5.0, 6.0}, {7.0, 8.0}};
+  Matrix ab = a * b;
+  EXPECT_TRUE(approx_equal(ab, Matrix{{19.0, 22.0}, {43.0, 50.0}}));
+
+  // Identity is neutral.
+  EXPECT_TRUE(approx_equal(Matrix::identity(2) * a, a));
+  EXPECT_TRUE(approx_equal(a * Matrix::identity(2), a));
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  Matrix a{{1.0, 0.0, 2.0}, {0.0, 3.0, 0.0}};
+  Vector x{1.0, 2.0, 3.0};
+  EXPECT_TRUE(approx_equal(a * x, Vector{7.0, 6.0}));
+}
+
+TEST(Matrix, NonSquareProductShapes) {
+  Matrix a(2, 3, 1.0);
+  Matrix b(3, 4, 1.0);
+  Matrix ab = a * b;
+  EXPECT_EQ(ab.rows(), 2u);
+  EXPECT_EQ(ab.cols(), 4u);
+  EXPECT_DOUBLE_EQ(ab(0, 0), 3.0);
+}
+
+TEST(Matrix, Norms) {
+  Matrix m{{3.0, 0.0}, {0.0, -4.0}};
+  EXPECT_DOUBLE_EQ(m.norm_fro(), 5.0);
+  EXPECT_DOUBLE_EQ(m.max_abs(), 4.0);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  Matrix a{{1.0, 2.0}, {3.0, 4.0}};
+  Matrix b{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_TRUE(approx_equal(a + b, Matrix{{2.0, 3.0}, {4.0, 5.0}}));
+  EXPECT_TRUE(approx_equal(a - b, Matrix{{0.0, 1.0}, {2.0, 3.0}}));
+  EXPECT_TRUE(approx_equal(0.5 * a, Matrix{{0.5, 1.0}, {1.5, 2.0}}));
+}
+
+TEST(Matrix, ApproxEqualRespectsShapeAndTolerance) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 3, 1.0);
+  EXPECT_FALSE(approx_equal(a, b));
+  Matrix c(2, 2, 1.0 + 1e-12);
+  EXPECT_TRUE(approx_equal(a, c));
+  Matrix d(2, 2, 1.1);
+  EXPECT_FALSE(approx_equal(a, d));
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -1,0 +1,185 @@
+// Tests for shortest paths and simple-path enumeration / sampling.
+
+#include "graph/paths.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/shortest_path.hpp"
+#include "topology/generators.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(ShortestPath, FindsGeodesic) {
+  Graph g = ring(6);
+  auto p = shortest_path(g, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 3u);
+  EXPECT_TRUE(is_valid_simple_path(g, *p));
+  EXPECT_EQ(p->source(), 0u);
+  EXPECT_EQ(p->destination(), 3u);
+}
+
+TEST(ShortestPath, NulloptForSameNodeOrDisconnected) {
+  Graph g(3);
+  g.add_link(0, 1);
+  EXPECT_FALSE(shortest_path(g, 0, 0).has_value());
+  EXPECT_FALSE(shortest_path(g, 0, 2).has_value());
+}
+
+TEST(ShortestPathAvoiding, RespectsForbiddenNodes) {
+  Graph g(5);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(0, 3);
+  g.add_link(3, 4);
+  g.add_link(4, 2);
+  auto direct = shortest_path(g, 0, 2);
+  ASSERT_TRUE(direct.has_value());
+  EXPECT_EQ(direct->length(), 2u);
+  auto detour = shortest_path_avoiding(g, 0, 2, {1});
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_EQ(detour->length(), 3u);
+  EXPECT_FALSE(detour->contains_node(1));
+  EXPECT_FALSE(shortest_path_avoiding(g, 0, 2, {1, 4}).has_value());
+}
+
+TEST(Dijkstra, PrefersLowWeightDetour) {
+  // Triangle: direct link heavy, two-hop light.
+  Graph g(3);
+  LinkId direct = *g.add_link(0, 2);
+  LinkId a = *g.add_link(0, 1);
+  LinkId b = *g.add_link(1, 2);
+  std::vector<double> w(3, 0.0);
+  w[direct] = 10.0;
+  w[a] = 1.0;
+  w[b] = 1.0;
+  auto p = dijkstra(g, 0, 2, w);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 2u);
+  EXPECT_TRUE(p->contains_node(1));
+
+  // Flip the weights: the direct hop wins.
+  w[direct] = 0.5;
+  p = dijkstra(g, 0, 2, w);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 1u);
+}
+
+TEST(DijkstraAvoiding, BansNodesAndLinks) {
+  // Triangle 0-1-2 plus direct 0-2.
+  Graph g(3);
+  LinkId direct = *g.add_link(0, 2);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  std::vector<double> w(3, 1.0);
+
+  std::vector<bool> no_nodes(3, false), no_links(3, false);
+  auto p = dijkstra_avoiding(g, 0, 2, w, no_nodes, no_links);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 1u);
+
+  no_links[direct] = true;
+  p = dijkstra_avoiding(g, 0, 2, w, no_nodes, no_links);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 2u);
+  EXPECT_TRUE(p->contains_node(1));
+
+  std::vector<bool> ban_mid(3, false);
+  ban_mid[1] = true;
+  p = dijkstra_avoiding(g, 0, 2, w, ban_mid, no_links);
+  EXPECT_FALSE(p.has_value());  // both routes blocked
+
+  // Banned endpoint: no path.
+  std::vector<bool> ban_src(3, false);
+  ban_src[0] = true;
+  EXPECT_FALSE(dijkstra_avoiding(g, 0, 2, w, ban_src, {}).has_value());
+}
+
+TEST(DijkstraAvoiding, EmptyMasksEqualPlainDijkstra) {
+  Rng rng(881);
+  Graph g = erdos_renyi(12, 0.3, rng);
+  std::vector<double> w(g.num_links());
+  for (auto& wi : w) wi = rng.uniform(0.1, 2.0);
+  auto a = dijkstra(g, 0, 11, w);
+  auto b = dijkstra_avoiding(g, 0, 11, w, {}, {});
+  ASSERT_EQ(a.has_value(), b.has_value());
+  if (a) {
+    EXPECT_EQ(a->nodes, b->nodes);
+    EXPECT_EQ(a->links, b->links);
+  }
+}
+
+TEST(EnumerateSimplePaths, CompleteGraphK4) {
+  Graph g = complete(4);
+  // 0→3 simple paths in K4: direct (1), via one node (2), via two (2) = 5.
+  auto paths = enumerate_simple_paths(g, 0, 3);
+  EXPECT_EQ(paths.size(), 5u);
+  std::set<std::vector<NodeId>> unique;
+  for (const Path& p : paths) {
+    EXPECT_TRUE(is_valid_simple_path(g, p));
+    EXPECT_EQ(p.source(), 0u);
+    EXPECT_EQ(p.destination(), 3u);
+    unique.insert(p.nodes);
+  }
+  EXPECT_EQ(unique.size(), paths.size());
+}
+
+TEST(EnumerateSimplePaths, LengthCapFilters) {
+  Graph g = complete(4);
+  PathEnumerationOptions opt;
+  opt.max_length = 1;
+  auto paths = enumerate_simple_paths(g, 0, 3, opt);
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_EQ(paths[0].length(), 1u);
+}
+
+TEST(EnumerateSimplePaths, MaxPathsCapStopsEarly) {
+  Graph g = complete(6);
+  PathEnumerationOptions opt;
+  opt.max_paths = 3;
+  auto paths = enumerate_simple_paths(g, 0, 5, opt);
+  EXPECT_EQ(paths.size(), 3u);
+}
+
+TEST(EnumerateSimplePaths, NoPathAcrossComponents) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  EXPECT_TRUE(enumerate_simple_paths(g, 0, 3).empty());
+}
+
+TEST(SampleSimplePath, ValidAndWithinCap) {
+  Rng rng(99);
+  Graph g = grid(4, 4);
+  for (int i = 0; i < 50; ++i) {
+    Path p = sample_simple_path(g, 0, 15, 10, rng);
+    ASSERT_FALSE(p.empty());
+    EXPECT_TRUE(is_valid_simple_path(g, p));
+    EXPECT_LE(p.length(), 10u);
+    EXPECT_EQ(p.source(), 0u);
+    EXPECT_EQ(p.destination(), 15u);
+  }
+}
+
+TEST(SampleSimplePath, EmptyWhenCapTooTight) {
+  Graph g = ring(8);  // 0 to 4 needs ≥ 4 hops
+  Rng rng(1);
+  Path p = sample_simple_path(g, 0, 4, 3, rng);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(SampleSimplePath, ProducesPathDiversity) {
+  // Randomized DFS should find more than one route in a well-connected graph.
+  Graph g = complete(5);
+  Rng rng(7);
+  std::set<std::vector<NodeId>> seen;
+  for (int i = 0; i < 60; ++i)
+    seen.insert(sample_simple_path(g, 0, 4, 4, rng).nodes);
+  EXPECT_GT(seen.size(), 3u);
+}
+
+}  // namespace
+}  // namespace scapegoat

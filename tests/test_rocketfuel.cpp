@@ -1,0 +1,85 @@
+// Tests for the Rocketfuel/edge-list topology loaders.
+
+#include "topology/rocketfuel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace scapegoat {
+namespace {
+
+TEST(EdgeList, ParsesSimpleFile) {
+  std::istringstream in(
+      "# AS example\n"
+      "10 20\n"
+      "20 30\n"
+      "\n"
+      "10 30  # triangle\n");
+  auto topo = load_edge_list(in);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->graph.num_nodes(), 3u);
+  EXPECT_EQ(topo->graph.num_links(), 3u);
+  EXPECT_EQ(topo->original_ids, (std::vector<long>{10, 20, 30}));
+}
+
+TEST(EdgeList, DeduplicatesParallelEdges) {
+  std::istringstream in("1 2\n2 1\n1 2\n");
+  auto topo = load_edge_list(in);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->graph.num_links(), 1u);
+}
+
+TEST(EdgeList, RejectsMalformedLines) {
+  std::istringstream missing("1\n");
+  EXPECT_FALSE(load_edge_list(missing).has_value());
+  std::istringstream extra("1 2 3\n");
+  EXPECT_FALSE(load_edge_list(extra).has_value());
+  std::istringstream empty("# nothing\n");
+  EXPECT_FALSE(load_edge_list(empty).has_value());
+}
+
+TEST(RocketfuelCch, ParsesRouterLines) {
+  // Shape of real .cch lines: uid @loc [bb] (n) -> <nuid> ... =name rn
+  std::istringstream in(
+      "1 @Sydney,+Australia bb (2) -> <2> <3> =r1.syd rn\n"
+      "2 @Sydney,+Australia bb (1) -> <1> =r2.syd rn\n"
+      "3 @Melbourne,+Australia (2) -> <1> {-99} =r1.mel rn\n"
+      "-99 external stuff\n");
+  auto topo = load_rocketfuel_cch(in);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->graph.num_nodes(), 3u);
+  EXPECT_EQ(topo->graph.num_links(), 2u);  // 1-2 and 1-3; {-99} skipped
+}
+
+TEST(RocketfuelCch, SymmetricDeclarationsCollapse) {
+  std::istringstream in(
+      "5 (1) -> <6>\n"
+      "6 (1) -> <5>\n");
+  auto topo = load_rocketfuel_cch(in);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->graph.num_links(), 1u);
+}
+
+TEST(RocketfuelCch, NoEdgesMeansFailure) {
+  std::istringstream in("hello world\n");
+  EXPECT_FALSE(load_rocketfuel_cch(in).has_value());
+}
+
+TEST(RocketfuelCch, TokensBeforeArrowIgnored) {
+  // "<...>"-looking tokens before "->" (e.g. weird names) must not create
+  // edges.
+  std::istringstream in("7 <8> -> <9>\n");
+  auto topo = load_rocketfuel_cch(in);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->graph.num_nodes(), 2u);  // 7 and 9 only
+  EXPECT_EQ(topo->graph.num_links(), 1u);
+}
+
+TEST(LoaderFiles, MissingFileYieldsNullopt) {
+  EXPECT_FALSE(load_edge_list_file("/nonexistent/file.txt").has_value());
+  EXPECT_FALSE(load_rocketfuel_cch_file("/nonexistent/file.cch").has_value());
+}
+
+}  // namespace
+}  // namespace scapegoat

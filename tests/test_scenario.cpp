@@ -1,0 +1,92 @@
+// Tests for the Scenario bundle and its configuration plumbing.
+
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tomography/routing_matrix.hpp"
+#include "topology/generators.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(Scenario, Fig1ShapeAndDefaults) {
+  Rng rng(71);
+  Scenario sc = Scenario::fig1(rng);
+  EXPECT_EQ(sc.graph().num_nodes(), 7u);
+  EXPECT_EQ(sc.estimator().num_paths(), 23u);
+  EXPECT_TRUE(sc.estimator().ok());
+  EXPECT_EQ(sc.monitors().size(), 3u);
+  EXPECT_TRUE(sc.is_monitor(0));
+  EXPECT_FALSE(sc.is_monitor(3));
+  EXPECT_DOUBLE_EQ(sc.config().thresholds.lower, 100.0);
+  EXPECT_DOUBLE_EQ(sc.config().thresholds.upper, 800.0);
+  EXPECT_DOUBLE_EQ(sc.config().per_path_cap_ms, 2000.0);
+}
+
+TEST(Scenario, MetricsRespectConfigRange) {
+  Rng rng(72);
+  ScenarioConfig cfg;
+  cfg.delay_min_ms = 5.0;
+  cfg.delay_max_ms = 6.0;
+  Scenario sc = Scenario::fig1(rng, cfg);
+  for (double x : sc.x_true()) {
+    EXPECT_GE(x, 5.0);
+    EXPECT_LT(x, 6.0);
+  }
+}
+
+TEST(Scenario, ResampleChangesMetrics) {
+  Rng rng(73);
+  Scenario sc = Scenario::fig1(rng);
+  const Vector before = sc.x_true();
+  sc.resample_metrics(rng);
+  EXPECT_FALSE(approx_equal(before, sc.x_true(), 1e-12));
+}
+
+TEST(Scenario, CleanMeasurementsConsistent) {
+  Rng rng(74);
+  Scenario sc = Scenario::fig1(rng);
+  const Vector y = sc.clean_measurements();
+  EXPECT_TRUE(approx_equal(y, path_metrics(sc.estimator().paths(), sc.x_true()),
+                           1e-12));
+  EXPECT_TRUE(approx_equal(sc.estimator().estimate(y), sc.x_true(), 1e-7));
+}
+
+TEST(Scenario, ContextBorrowsScenarioState) {
+  Rng rng(75);
+  Scenario sc = Scenario::fig1(rng);
+  AttackContext ctx = sc.context({4, 5});
+  EXPECT_EQ(ctx.graph, &sc.graph());
+  EXPECT_EQ(ctx.estimator, &sc.estimator());
+  EXPECT_TRUE(approx_equal(ctx.x_true, sc.x_true(), 0.0));
+  EXPECT_EQ(ctx.attackers, (std::vector<NodeId>{4, 5}));
+  EXPECT_DOUBLE_EQ(ctx.per_path_cap, 2000.0);
+}
+
+TEST(Scenario, FromGraphProducesIdentifiableSystem) {
+  Rng rng(76);
+  auto sc = Scenario::from_graph(complete(7), rng);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_TRUE(sc->estimator().ok());
+  EXPECT_GT(sc->estimator().num_paths(), sc->estimator().num_links());
+  EXPECT_TRUE(approx_equal(sc->estimator().estimate(sc->clean_measurements()),
+                           sc->x_true(), 1e-7));
+}
+
+TEST(Scenario, FromGraphHonorsRedundantPaths) {
+  Rng rng(77);
+  auto sc = Scenario::from_graph(complete(6), rng, ScenarioConfig{}, 10);
+  ASSERT_TRUE(sc.has_value());
+  EXPECT_GE(sc->estimator().num_paths(), sc->estimator().num_links() + 8);
+}
+
+TEST(Scenario, DeterministicGivenSeed) {
+  Rng a(99), b(99);
+  Scenario sa = Scenario::fig1(a);
+  Scenario sb = Scenario::fig1(b);
+  EXPECT_TRUE(approx_equal(sa.x_true(), sb.x_true(), 0.0));
+}
+
+}  // namespace
+}  // namespace scapegoat

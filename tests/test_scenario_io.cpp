@@ -1,0 +1,142 @@
+// Round-trip and robustness tests for scenario persistence.
+
+#include "core/scenario_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "attack/chosen_victim.hpp"
+#include "topology/example_networks.hpp"
+#include "topology/generators.hpp"
+
+namespace scapegoat {
+namespace {
+
+void expect_equivalent(const Scenario& a, const Scenario& b) {
+  EXPECT_EQ(a.graph().num_nodes(), b.graph().num_nodes());
+  ASSERT_EQ(a.graph().num_links(), b.graph().num_links());
+  for (LinkId l = 0; l < a.graph().num_links(); ++l) {
+    EXPECT_EQ(a.graph().link(l).u, b.graph().link(l).u);
+    EXPECT_EQ(a.graph().link(l).v, b.graph().link(l).v);
+  }
+  EXPECT_EQ(a.monitors(), b.monitors());
+  ASSERT_EQ(a.estimator().num_paths(), b.estimator().num_paths());
+  for (std::size_t i = 0; i < a.estimator().num_paths(); ++i) {
+    EXPECT_EQ(a.estimator().paths()[i].nodes, b.estimator().paths()[i].nodes);
+    EXPECT_EQ(a.estimator().paths()[i].links, b.estimator().paths()[i].links);
+  }
+  EXPECT_TRUE(approx_equal(a.x_true(), b.x_true(), 0.0));
+  EXPECT_DOUBLE_EQ(a.config().per_path_cap_ms, b.config().per_path_cap_ms);
+  EXPECT_DOUBLE_EQ(a.config().thresholds.lower, b.config().thresholds.lower);
+}
+
+TEST(ScenarioIo, Fig1RoundTrip) {
+  Rng rng(301);
+  Scenario original = Scenario::fig1(rng);
+  std::stringstream buffer;
+  save_scenario(buffer, original);
+  auto loaded = load_scenario(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equivalent(original, *loaded);
+}
+
+TEST(ScenarioIo, RandomTopologyRoundTrip) {
+  Rng rng(302);
+  auto original = Scenario::from_graph(erdos_renyi(20, 0.25, rng), rng);
+  ASSERT_TRUE(original.has_value());
+  std::stringstream buffer;
+  save_scenario(buffer, *original);
+  auto loaded = load_scenario(buffer);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equivalent(*original, *loaded);
+}
+
+TEST(ScenarioIo, AttacksAgreeAfterRoundTrip) {
+  Rng rng(303);
+  Scenario original = Scenario::fig1(rng);
+  std::stringstream buffer;
+  save_scenario(buffer, original);
+  auto loaded = load_scenario(buffer);
+  ASSERT_TRUE(loaded.has_value());
+
+  const ExampleNetwork net = fig1_network();
+  const AttackResult a =
+      chosen_victim_attack(original.context(net.attackers), {9});
+  const AttackResult b =
+      chosen_victim_attack(loaded->context(net.attackers), {9});
+  ASSERT_EQ(a.success, b.success);
+  EXPECT_NEAR(a.damage, b.damage, 1e-9);
+  EXPECT_TRUE(approx_equal(a.x_estimated, b.x_estimated, 1e-9));
+}
+
+TEST(ScenarioIo, CommentsAndBlankLinesTolerated) {
+  Rng rng(304);
+  Scenario original = Scenario::fig1(rng);
+  std::stringstream buffer;
+  buffer << "# a comment\n\n";
+  save_scenario(buffer, original);
+  buffer << "\n# trailing comment\n";
+  auto loaded = load_scenario(buffer);
+  ASSERT_TRUE(loaded.has_value());
+}
+
+TEST(ScenarioIo, RejectsGarbage) {
+  std::istringstream empty("");
+  EXPECT_FALSE(load_scenario(empty).has_value());
+  std::istringstream wrong_magic("other-format 1\n");
+  EXPECT_FALSE(load_scenario(wrong_magic).has_value());
+  std::istringstream wrong_version("scapegoat-scenario 99\n");
+  EXPECT_FALSE(load_scenario(wrong_version).has_value());
+  std::istringstream truncated("scapegoat-scenario 1\nnodes 5\n");
+  EXPECT_FALSE(load_scenario(truncated).has_value());
+}
+
+TEST(ScenarioIo, RejectsPathOverMissingLink) {
+  std::istringstream bad(
+      "scapegoat-scenario 1\n"
+      "nodes 3\n"
+      "links 2\n"
+      "0 1\n"
+      "1 2\n"
+      "monitors 2\n"
+      "0 2\n"
+      "paths 1\n"
+      "2 0 2\n"  // nodes 0-2 are not adjacent
+      "metrics 2\n"
+      "1.0 2.0\n"
+      "config 1 20 100 800 2000 1\n");
+  EXPECT_FALSE(load_scenario(bad).has_value());
+}
+
+TEST(ScenarioIo, RejectsUnidentifiableSavedSystem) {
+  // Structurally valid but only one path: rank 1 < 2.
+  std::istringstream bad(
+      "scapegoat-scenario 1\n"
+      "nodes 3\n"
+      "links 2\n"
+      "0 1\n"
+      "1 2\n"
+      "monitors 2\n"
+      "0 2\n"
+      "paths 1\n"
+      "3 0 1 2\n"
+      "metrics 2\n"
+      "1.0 2.0\n"
+      "config 1 20 100 800 2000 1\n");
+  EXPECT_FALSE(load_scenario(bad).has_value());
+}
+
+TEST(ScenarioIo, FileHelpers) {
+  EXPECT_FALSE(load_scenario_file("/nonexistent/scenario.txt").has_value());
+  Rng rng(305);
+  Scenario original = Scenario::fig1(rng);
+  const std::string path = "/tmp/scapegoat_scenario_io_test.txt";
+  ASSERT_TRUE(save_scenario_file(path, original));
+  auto loaded = load_scenario_file(path);
+  ASSERT_TRUE(loaded.has_value());
+  expect_equivalent(original, *loaded);
+}
+
+}  // namespace
+}  // namespace scapegoat

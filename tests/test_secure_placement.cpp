@@ -1,0 +1,97 @@
+// Tests for the §VI security-aware path selection extension.
+
+#include "tomography/secure_placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tomography/monitor_placement.hpp"
+#include "tomography/routing_matrix.hpp"
+#include "topology/generators.hpp"
+
+namespace scapegoat {
+namespace {
+
+std::vector<NodeId> all_nodes(const Graph& g) {
+  std::vector<NodeId> v(g.num_nodes());
+  for (NodeId i = 0; i < g.num_nodes(); ++i) v[i] = i;
+  return v;
+}
+
+TEST(PresenceRatios, CountsPathMembership) {
+  Graph g(4);
+  LinkId a = *g.add_link(0, 1);
+  LinkId b = *g.add_link(1, 2);
+  *g.add_link(2, 3);
+  Path p1;
+  p1.nodes = {0, 1, 2};
+  p1.links = {a, b};
+  Path p2;
+  p2.nodes = {0, 1};
+  p2.links = {a};
+  const auto ratios = node_presence_ratios(g, {p1, p2});
+  EXPECT_DOUBLE_EQ(ratios[0], 1.0);  // on both paths
+  EXPECT_DOUBLE_EQ(ratios[1], 1.0);
+  EXPECT_DOUBLE_EQ(ratios[2], 0.5);
+  EXPECT_DOUBLE_EQ(ratios[3], 0.0);
+  EXPECT_DOUBLE_EQ(max_presence_ratio(g, {p1, p2}), 1.0);
+}
+
+TEST(PresenceRatios, EmptyPathSetIsZero) {
+  Graph g = ring(4);
+  const auto ratios = node_presence_ratios(g, {});
+  for (double r : ratios) EXPECT_DOUBLE_EQ(r, 0.0);
+  EXPECT_DOUBLE_EQ(max_presence_ratio(g, {}), 0.0);
+}
+
+TEST(SecureSelection, ReachesIdentifiability) {
+  Graph g = complete(7);
+  Rng rng(201);
+  SecureSelectionOptions opt;
+  opt.base.redundant_paths = 5;
+  const PathSelectionResult res =
+      secure_select_paths(g, all_nodes(g), opt, rng);
+  EXPECT_TRUE(res.identifiable);
+  EXPECT_TRUE(is_identifiable(routing_matrix(g, res.paths)));
+  EXPECT_GT(res.paths.size(), g.num_links());
+}
+
+TEST(SecureSelection, PathsAreValidAndDeduplicated) {
+  Graph g = grid(3, 4);
+  Rng rng(202);
+  SecureSelectionOptions opt;
+  opt.base.redundant_paths = 6;
+  const PathSelectionResult res =
+      secure_select_paths(g, all_nodes(g), opt, rng);
+  ASSERT_TRUE(res.identifiable);
+  std::set<std::vector<LinkId>> seen;
+  for (Path p : res.paths) {
+    EXPECT_TRUE(is_valid_simple_path(g, p));
+    std::sort(p.links.begin(), p.links.end());
+    EXPECT_TRUE(seen.insert(p.links).second);
+  }
+}
+
+TEST(SecureSelection, LowersExposureVersusBaselineOnAverage) {
+  // On a hub topology the baseline tends to route everything through the
+  // hubs; the secure policy must not be WORSE on max presence ratio.
+  Rng topo_rng(203);
+  Graph g = barabasi_albert(40, 2, topo_rng);
+  MonitorPlacementOptions mp;
+  mp.path_options.redundant_paths = 6;
+  Rng rng_a(204);
+  const MonitorPlacementResult base = place_monitors(g, mp, rng_a);
+  ASSERT_TRUE(base.identifiable);
+
+  SecureSelectionOptions sopt;
+  sopt.base.redundant_paths = 6;
+  Rng rng_b(205);
+  const PathSelectionResult secure =
+      secure_select_paths(g, base.monitors, sopt, rng_b);
+  ASSERT_TRUE(secure.identifiable);
+
+  EXPECT_LE(max_presence_ratio(g, secure.paths),
+            max_presence_ratio(g, base.paths) + 0.05);
+}
+
+}  // namespace
+}  // namespace scapegoat

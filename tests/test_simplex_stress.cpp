@@ -1,0 +1,150 @@
+// Randomized stress battery for the simplex: mixed row senses, shifted and
+// negative bounds, free variables — each optimum cross-checked by Monte
+// Carlo feasible sampling (no sampled feasible point may beat the reported
+// optimum) and by exact feasibility of the returned solution.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+#include "util/random.hpp"
+
+namespace scapegoat::lp {
+namespace {
+
+// Random LP with box-bounded variables and mixed ≤ / ≥ / = rows anchored on
+// a known feasible point so feasibility is guaranteed by construction.
+struct AnchoredLp {
+  Model model{Sense::kMaximize};
+  std::vector<double> anchor;
+};
+
+AnchoredLp make_anchored_lp(Rng& rng) {
+  AnchoredLp out;
+  const std::size_t n = 2 + rng.index(4);
+  out.anchor.resize(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double lo = rng.uniform(-4.0, 1.0);
+    const double hi = lo + rng.uniform(0.5, 5.0);
+    out.anchor[j] = rng.uniform(lo, hi);
+    out.model.add_variable(lo, hi, rng.uniform(-2.0, 2.0));
+  }
+  const std::size_t rows = 1 + rng.index(4);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<Term> terms;
+    double at_anchor = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double c = rng.uniform(-1.5, 1.5);
+      if (std::abs(c) < 0.1) continue;
+      terms.push_back({j, c});
+      at_anchor += c * out.anchor[j];
+    }
+    if (terms.empty()) continue;
+    // Pick a sense and an rhs that keeps the anchor feasible.
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        out.model.add_constraint(std::move(terms), RowType::kLessEqual,
+                                 at_anchor + rng.uniform(0.0, 2.0));
+        break;
+      case 1:
+        out.model.add_constraint(std::move(terms), RowType::kGreaterEqual,
+                                 at_anchor - rng.uniform(0.0, 2.0));
+        break;
+      default:
+        out.model.add_constraint(std::move(terms), RowType::kEqual,
+                                 at_anchor);
+        break;
+    }
+  }
+  return out;
+}
+
+class SimplexStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexStress, AnchoredProblemsSolveToVerifiedOptima) {
+  Rng rng(static_cast<std::uint64_t>(9000 + GetParam()));
+  for (int instance = 0; instance < 10; ++instance) {
+    AnchoredLp lp = make_anchored_lp(rng);
+    ASSERT_LE(lp.model.max_violation(lp.anchor), 1e-9);
+
+    const Solution s = solve(lp.model);
+    ASSERT_EQ(s.status, SolveStatus::kOptimal)
+        << "anchored LP must be feasible";
+    EXPECT_LE(lp.model.max_violation(s.x), 1e-6);
+    EXPECT_NEAR(lp.model.objective_value(s.x), s.objective, 1e-7);
+    // The anchor is feasible, so the optimum must be at least as good.
+    EXPECT_GE(s.objective + 1e-7, lp.model.objective_value(lp.anchor));
+
+    // Monte Carlo: random feasible perturbations of the anchor can't beat
+    // the optimum.
+    const std::size_t n = lp.model.num_variables();
+    std::vector<double> x(n);
+    for (int sample = 0; sample < 200; ++sample) {
+      for (std::size_t j = 0; j < n; ++j) {
+        const Variable& v = lp.model.variable(j);
+        x[j] = std::clamp(lp.anchor[j] + rng.uniform(-1.0, 1.0), v.lower,
+                          v.upper);
+      }
+      if (lp.model.max_violation(x) > 1e-9) continue;
+      EXPECT_LE(lp.model.objective_value(x), s.objective + 1e-6);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexStress, ::testing::Range(0, 12));
+
+TEST(SimplexStress, LargeAttackShapedProblem) {
+  // 300 variables, 120 dense rows — comfortably larger than any LP the
+  // experiments produce; must stay optimal and feasible.
+  Rng rng(424242);
+  Model m(Sense::kMaximize);
+  const std::size_t vars = 300, rows = 120;
+  for (std::size_t j = 0; j < vars; ++j) m.add_variable(0.0, 2000.0, 1.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<Term> terms;
+    for (std::size_t j = 0; j < vars; ++j) {
+      const double c = rng.uniform(-0.1, 0.3);
+      if (std::abs(c) > 0.03) terms.push_back({j, c});
+    }
+    m.add_constraint(std::move(terms), RowType::kLessEqual,
+                     rng.uniform(100.0, 2000.0));
+  }
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_LE(m.max_violation(s.x), 1e-5);
+  EXPECT_GT(s.objective, 0.0);
+}
+
+TEST(SimplexStress, EqualityChainSystem) {
+  // x1 = 1, x_{k+1} - x_k = 1 → x_k = k; maximize -x_n picks the forced
+  // solution; any objective gives the same point (unique feasible).
+  Model m(Sense::kMaximize);
+  const std::size_t n = 20;
+  for (std::size_t j = 0; j < n; ++j)
+    m.add_variable(0.0, kInfinity, j + 1 == n ? -1.0 : 0.0);
+  m.add_constraint({{0, 1.0}}, RowType::kEqual, 1.0);
+  for (std::size_t j = 0; j + 1 < n; ++j)
+    m.add_constraint({{j + 1, 1.0}, {j, -1.0}}, RowType::kEqual, 1.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  for (std::size_t j = 0; j < n; ++j)
+    EXPECT_NEAR(s.x[j], static_cast<double>(j + 1), 1e-7);
+}
+
+TEST(SimplexStress, RedundantRowsDoNotConfusePhase1) {
+  // The same equality three times: phase 1 must drive out artificials on
+  // the redundant copies (or zero the rows) and still succeed.
+  Model m(Sense::kMaximize);
+  auto x = m.add_variable(0.0, kInfinity, 1.0);
+  auto y = m.add_variable(0.0, kInfinity, 1.0);
+  for (int rep = 0; rep < 3; ++rep)
+    m.add_constraint({{x, 1.0}, {y, 1.0}}, RowType::kEqual, 4.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-8);
+}
+
+}  // namespace
+}  // namespace scapegoat::lp

@@ -1,0 +1,164 @@
+// Tests for the topology generators (ER, grid, ring, BA, RGG, ISP).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "graph/traversal.hpp"
+#include "topology/generators.hpp"
+#include "topology/geometric.hpp"
+#include "topology/isp.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(Generators, GridShape) {
+  Graph g = grid(3, 4);
+  EXPECT_EQ(g.num_nodes(), 12u);
+  // links = rows*(cols-1) + cols*(rows-1) = 3*3 + 4*2 = 17
+  EXPECT_EQ(g.num_links(), 17u);
+  EXPECT_TRUE(is_connected(g));
+  // Corner degree 2, interior degree 4.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(5), 4u);
+}
+
+TEST(Generators, RingShape) {
+  Graph g = ring(7);
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_links(), 7u);
+  for (NodeId v = 0; v < 7; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, CompleteShape) {
+  Graph g = complete(6);
+  EXPECT_EQ(g.num_links(), 15u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 5u);
+}
+
+TEST(Generators, ErdosRenyiConnectedAndSized) {
+  Rng rng(101);
+  Graph g = erdos_renyi(40, 0.15, rng);
+  EXPECT_EQ(g.num_nodes(), 40u);
+  EXPECT_TRUE(is_connected(g));
+  // Expected edges ≈ p·n(n-1)/2 = 117; allow a wide band.
+  EXPECT_GT(g.num_links(), 60u);
+  EXPECT_LT(g.num_links(), 200u);
+}
+
+TEST(Generators, ErdosRenyiLowPStillConnectedViaFallback) {
+  Rng rng(102);
+  Graph g = erdos_renyi(30, 0.01, rng, true, 3);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BarabasiAlbertShapeAndHubs) {
+  Rng rng(103);
+  const std::size_t n = 60, m = 2;
+  Graph g = barabasi_albert(n, m, rng);
+  EXPECT_EQ(g.num_nodes(), n);
+  EXPECT_TRUE(is_connected(g));
+  // Every new node adds m links (duplicates suppressed rarely reduce this).
+  EXPECT_GE(g.num_links(), (m + 1) * m / 2 + (n - m - 1) * m - 5);
+  // Heavy tail: max degree well above the mean.
+  std::size_t max_deg = 0, total = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    max_deg = std::max(max_deg, g.degree(v));
+    total += g.degree(v);
+  }
+  const double mean = static_cast<double>(total) / n;
+  EXPECT_GT(static_cast<double>(max_deg), 2.5 * mean);
+}
+
+TEST(Geometric, RespectsDensityAndRadius) {
+  Rng rng(104);
+  GeometricParams p;
+  p.num_nodes = 100;
+  p.density = 5.0;
+  p.mean_degree = 5.0;
+  GeometricGraph g = random_geometric(p, rng);
+  EXPECT_EQ(g.graph.num_nodes(), 100u);
+  EXPECT_NEAR(g.side, std::sqrt(100.0 / 5.0), 1e-12);
+  EXPECT_NEAR(g.radius, std::sqrt(1.0 / std::numbers::pi), 1e-12);
+  EXPECT_TRUE(is_connected(g.graph));
+  // All positions inside the region.
+  for (std::size_t i = 0; i < 100; ++i) {
+    EXPECT_GE(g.x[i], 0.0);
+    EXPECT_LE(g.x[i], g.side);
+    EXPECT_GE(g.y[i], 0.0);
+    EXPECT_LE(g.y[i], g.side);
+  }
+}
+
+TEST(Geometric, LinksRespectRadiusWhenNoStitching) {
+  Rng rng(105);
+  GeometricParams p;
+  p.num_nodes = 60;
+  p.density = 5.0;
+  p.mean_degree = 8.0;  // dense enough to connect without stitching
+  GeometricGraph g = random_geometric(p, rng);
+  const double r2 = g.radius * g.radius + 1e-12;
+  for (const Link& l : g.graph.links()) {
+    const double dx = g.x[l.u] - g.x[l.v];
+    const double dy = g.y[l.u] - g.y[l.v];
+    EXPECT_LE(dx * dx + dy * dy, r2);
+  }
+}
+
+TEST(Geometric, MeanDegreeIsInTheRightBallpark) {
+  Rng rng(106);
+  GeometricParams p;
+  p.num_nodes = 100;
+  double total = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    GeometricGraph g = random_geometric(p, rng);
+    for (NodeId v = 0; v < 100; ++v) total += g.graph.degree(v);
+  }
+  const double mean = total / 500.0;
+  // Boundary effects pull below 5; connectivity stitching pushes up.
+  EXPECT_GT(mean, 3.0);
+  EXPECT_LT(mean, 7.5);
+}
+
+TEST(Isp, ShapeAndConnectivity) {
+  Rng rng(107);
+  IspParams p;
+  Graph g = isp_topology(p, rng);
+  EXPECT_EQ(g.num_nodes(), p.num_backbone + p.num_access);
+  EXPECT_TRUE(is_connected(g));
+  // Backbone nodes should carry the hubs.
+  std::size_t best = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (g.degree(v) > g.degree(best)) best = v;
+  EXPECT_LT(best, p.num_backbone);
+}
+
+TEST(Isp, AccessRoutersAreSingleOrDualHomed) {
+  Rng rng(108);
+  IspParams p;
+  Graph g = isp_topology(p, rng);
+  for (NodeId v = p.num_backbone; v < g.num_nodes(); ++v) {
+    EXPECT_GE(g.degree(v), 1u);
+    EXPECT_LE(g.degree(v), 2u);
+    for (const Adjacent& a : g.neighbors(v))
+      EXPECT_LT(a.neighbor, p.num_backbone);  // uplinks go to the backbone
+  }
+}
+
+TEST(Isp, As1221PresetIsDeterministic) {
+  Graph a = as1221_like();
+  Graph b = as1221_like();
+  EXPECT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.num_links(), b.num_links());
+  for (std::size_t i = 0; i < a.num_links(); ++i) {
+    EXPECT_EQ(a.link(i).u, b.link(i).u);
+    EXPECT_EQ(a.link(i).v, b.link(i).v);
+  }
+  // Rocketfuel-scale: ~100 routers, ~150 links.
+  EXPECT_GT(a.num_nodes(), 80u);
+  EXPECT_GT(a.num_links(), 100u);
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -1,0 +1,83 @@
+// Tests for BFS traversal utilities.
+
+#include "graph/traversal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "topology/generators.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(BfsDistances, ChainGraph) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(2, 3);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(BfsDistances, DisconnectedNodeIsUnreachable) {
+  Graph g(3);
+  g.add_link(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], kUnreachable);
+}
+
+TEST(BfsDistances, AvoidingBlocksPath) {
+  // 0-1-2 and 0-3-4-2: blocking 1 forces the long way.
+  Graph g(5);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(0, 3);
+  g.add_link(3, 4);
+  g.add_link(4, 2);
+  EXPECT_EQ(bfs_distances(g, 0)[2], 2u);
+  EXPECT_EQ(bfs_distances_avoiding(g, 0, {1})[2], 3u);
+  // Blocking both cuts node 2 off entirely.
+  EXPECT_EQ(bfs_distances_avoiding(g, 0, {1, 4})[2], kUnreachable);
+}
+
+TEST(BfsDistances, BlockedSourceReachesNothing) {
+  Graph g(2);
+  g.add_link(0, 1);
+  const auto d = bfs_distances_avoiding(g, 0, {0});
+  EXPECT_EQ(d[0], kUnreachable);
+  EXPECT_EQ(d[1], kUnreachable);
+}
+
+TEST(IsConnected, Various) {
+  EXPECT_TRUE(is_connected(Graph(0)));
+  EXPECT_TRUE(is_connected(Graph(1)));
+  EXPECT_FALSE(is_connected(Graph(2)));  // two isolated nodes
+  EXPECT_TRUE(is_connected(ring(5)));
+  EXPECT_TRUE(is_connected(grid(3, 4)));
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(2, 3);
+  EXPECT_FALSE(is_connected(g));
+}
+
+TEST(ConnectedComponents, CountsAndLabels) {
+  Graph g(6);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(3, 4);
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3u);  // {0,1,2}, {3,4}, {5}
+  EXPECT_EQ(c.component[0], c.component[2]);
+  EXPECT_EQ(c.component[3], c.component[4]);
+  EXPECT_NE(c.component[0], c.component[3]);
+  EXPECT_NE(c.component[0], c.component[5]);
+  EXPECT_NE(c.component[3], c.component[5]);
+}
+
+TEST(ConnectedComponents, SingleComponentGrid) {
+  const Components c = connected_components(grid(4, 4));
+  EXPECT_EQ(c.count, 1u);
+  for (std::size_t id : c.component) EXPECT_EQ(id, 0u);
+}
+
+}  // namespace
+}  // namespace scapegoat

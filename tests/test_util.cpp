@@ -1,0 +1,126 @@
+// Tests for RNG, statistics and table utilities.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/random.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(Rng, DeterministicGivenSeed) {
+  Rng a(5), b(5);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+}
+
+TEST(Rng, UniformRespectsRange) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  std::set<int> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int v = rng.uniform_int(1, 4);
+    EXPECT_GE(v, 1);
+    EXPECT_LE(v, 4);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all values hit
+}
+
+TEST(Rng, SampleWithoutReplacement) {
+  Rng rng(8);
+  auto s = rng.sample_without_replacement(10, 4);
+  EXPECT_EQ(s.size(), 4u);
+  std::set<std::size_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 4u);
+  for (std::size_t v : s) EXPECT_LT(v, 10u);
+  // k ≥ n returns everything.
+  auto all = rng.sample_without_replacement(3, 7);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(Rng, ShuffleKeepsMultiset) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+}
+
+TEST(Stats, EmptySummaryIsZero) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, Percentiles) {
+  std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 0.5), 0.0);
+}
+
+TEST(Stats, RatioAndWilson) {
+  EXPECT_DOUBLE_EQ(ratio(3, 4), 0.75);
+  EXPECT_DOUBLE_EQ(ratio(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(wilson_halfwidth(0, 0), 0.0);
+  // Half-width shrinks with more trials.
+  EXPECT_GT(wilson_halfwidth(5, 10), wilson_halfwidth(500, 1000));
+  // And is within (0, 0.5] for nondegenerate inputs.
+  const double hw = wilson_halfwidth(5, 10);
+  EXPECT_GT(hw, 0.0);
+  EXPECT_LE(hw, 0.5);
+}
+
+TEST(Table, AlignedPrinting) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -1,0 +1,280 @@
+// scapegoat_cli — command-line driver over the library.
+//
+//   scapegoat_cli topo    --topology wireline --seed 3 --dump
+//   scapegoat_cli attack  --topology fig1 --strategy chosen --victim 10
+//   scapegoat_cli attack  --topology wireless --strategy max --attackers 4,17
+//   scapegoat_cli detect  --topology wireline --strategy obfuscation
+//   scapegoat_cli fig     --n 4
+//
+// Topologies: fig1 | wireline | wireless | file:<edge-list path>.
+// Strategies: chosen (needs --victim, 1-based link id) | max | obfuscation.
+// Common flags: --seed N, --attackers a,b,c (node ids; default: Fig. 1's
+// B,C or 2 random nodes), --redundant N, --alpha MS, --csv.
+
+#include <fstream>
+#include <iostream>
+#include <optional>
+
+#include "core/scapegoat.hpp"
+#include "util/args.hpp"
+
+namespace {
+
+using namespace scapegoat;
+
+int usage(const char* reason) {
+  if (reason) std::cerr << "error: " << reason << "\n\n";
+  std::cerr <<
+      "usage: scapegoat_cli <command> [flags]\n"
+      "  topo    — generate/inspect a topology (--dump prints an edge list)\n"
+      "  attack  — run a scapegoating strategy and print the link table\n"
+      "  detect  — attack + Eq. 23 detection + localization\n"
+      "  fig     — reproduce a paper figure (--n 2|4|5|6)\n"
+      "flags: --topology fig1|wireline|wireless|file:PATH  --seed N\n"
+      "       --strategy chosen|max|obfuscation  --victim L(1-based)\n"
+      "       --attackers a,b,c  --redundant N  --alpha MS  --csv\n"
+      "       --stealthy (Theorem-1 consistent manipulation)\n"
+      "       --save PATH / --load PATH (scenario persistence)\n";
+  return 2;
+}
+
+struct Setup {
+  Scenario scenario;
+  std::vector<NodeId> attackers;
+};
+
+std::optional<Setup> build_setup(ArgParser& args) {
+  const std::string topo = args.get_string("topology", "fig1");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  const auto redundant =
+      static_cast<std::size_t>(args.get_int("redundant", 8));
+  Rng rng(seed);
+
+  std::optional<Scenario> scenario;
+  std::vector<NodeId> default_attackers;
+  if (const std::string load = args.get_string("load"); !load.empty()) {
+    scenario = load_scenario_file(load);
+    if (!scenario) {
+      std::cerr << "error: cannot load scenario from " << load << '\n';
+      return std::nullopt;
+    }
+  } else if (topo == "fig1") {
+    scenario = Scenario::fig1(rng);
+    default_attackers = fig1_network().attackers;
+  } else if (topo == "wireline") {
+    scenario = make_scenario(TopologyKind::kWireline, rng, ScenarioConfig{},
+                             redundant);
+  } else if (topo == "wireless") {
+    scenario = make_scenario(TopologyKind::kWireless, rng, ScenarioConfig{},
+                             redundant);
+  } else if (topo.rfind("file:", 0) == 0) {
+    auto loaded = load_edge_list_file(topo.substr(5));
+    if (!loaded) {
+      std::cerr << "error: cannot load edge list from " << topo.substr(5)
+                << '\n';
+      return std::nullopt;
+    }
+    scenario = Scenario::from_graph(std::move(loaded->graph), rng,
+                                    ScenarioConfig{}, redundant);
+  } else {
+    std::cerr << "error: unknown topology '" << topo << "'\n";
+    return std::nullopt;
+  }
+  if (!scenario) {
+    std::cerr << "error: could not build an identifiable scenario\n";
+    return std::nullopt;
+  }
+
+  std::vector<NodeId> attackers;
+  for (long v : args.get_int_list("attackers")) {
+    if (v < 0 || static_cast<std::size_t>(v) >= scenario->graph().num_nodes()) {
+      std::cerr << "error: attacker node " << v << " out of range\n";
+      return std::nullopt;
+    }
+    attackers.push_back(static_cast<NodeId>(v));
+  }
+  if (attackers.empty()) {
+    attackers = default_attackers;
+    if (attackers.empty()) {
+      const auto draw =
+          rng.sample_without_replacement(scenario->graph().num_nodes(), 2);
+      attackers.assign(draw.begin(), draw.end());
+    }
+  }
+  if (const std::string save = args.get_string("save"); !save.empty()) {
+    if (!save_scenario_file(save, *scenario)) {
+      std::cerr << "error: cannot write scenario to " << save << '\n';
+      return std::nullopt;
+    }
+    std::cerr << "scenario saved to " << save << '\n';
+  }
+  return Setup{std::move(*scenario), std::move(attackers)};
+}
+
+void print_attack_table(const Setup& setup, const AttackResult& r,
+                        bool csv) {
+  Table t({"link", "true_ms", "estimated_ms", "state"});
+  for (LinkId l = 0; l < setup.scenario.x_true().size(); ++l) {
+    t.add_row({std::to_string(l + 1),
+               Table::num(setup.scenario.x_true()[l]),
+               Table::num(r.x_estimated[l]), to_string(r.states[l])});
+  }
+  if (csv) {
+    std::cout << t.to_csv();
+  } else {
+    t.print(std::cout);
+  }
+}
+
+AttackResult run_strategy(ArgParser& args, const Setup& setup) {
+  const std::string strategy = args.get_string("strategy", "max");
+  // --stealthy: use the Theorem-1 consistent construction (undetectable by
+  // Eq. 23; feasible essentially only under perfect cuts).
+  const ManipulationMode mode = args.get_bool("stealthy")
+                                    ? ManipulationMode::kConsistent
+                                    : ManipulationMode::kUnrestricted;
+  AttackContext ctx = setup.scenario.context(setup.attackers);
+  if (strategy == "chosen") {
+    const long victim = args.get_int("victim", 0);
+    if (victim < 1 ||
+        static_cast<std::size_t>(victim) > setup.scenario.graph().num_links()) {
+      std::cerr << "error: --victim must be a 1-based link id\n";
+      return {};
+    }
+    return chosen_victim_attack(ctx, {static_cast<LinkId>(victim - 1)}, mode,
+                                CollateralPolicy::kAvoidAbnormal);
+  }
+  if (strategy == "max") {
+    MaxDamageOptions opt;
+    opt.mode = mode;
+    opt.collateral = CollateralPolicy::kAvoidAbnormal;
+    return max_damage_attack(ctx, opt).best;
+  }
+  if (strategy == "obfuscation") {
+    ObfuscationOptions opt;
+    opt.mode = mode;
+    opt.min_victims = 1;
+    return obfuscation_attack(ctx, opt);
+  }
+  std::cerr << "error: unknown strategy '" << strategy << "'\n";
+  return {};
+}
+
+int cmd_topo(ArgParser& args) {
+  auto setup = build_setup(args);
+  if (!setup) return 1;
+  const Graph& g = setup->scenario.graph();
+  if (args.get_bool("dump")) {
+    write_edge_list(std::cout, g);
+    return 0;
+  }
+  std::cout << g.to_string() << '\n'
+            << "monitors: " << setup->scenario.monitors().size()
+            << "  measurement paths: "
+            << setup->scenario.estimator().num_paths() << "  (rank "
+            << setup->scenario.estimator().num_links() << ")\n"
+            << "max node presence ratio: "
+            << Table::num(max_presence_ratio(
+                              g, setup->scenario.estimator().paths()),
+                          3)
+            << '\n';
+  if (auto cond = estimate_condition(setup->scenario.estimator().r())) {
+    std::cout << "routing-matrix condition number: "
+              << Table::num(cond->condition(), 1)
+              << "  (higher = more attacker leverage via R⁺)\n";
+  }
+  return 0;
+}
+
+int cmd_attack(ArgParser& args) {
+  auto setup = build_setup(args);
+  if (!setup) return 1;
+  const AttackResult r = run_strategy(args, *setup);
+  if (!r.success) {
+    std::cout << "attack infeasible (" << lp::to_string(r.status) << ")\n";
+    return 0;
+  }
+  std::cout << "attackers:";
+  for (NodeId a : setup->attackers) std::cout << ' ' << a;
+  std::cout << "\nvictims (1-based links):";
+  for (LinkId v : r.victims) std::cout << ' ' << (v + 1);
+  std::cout << "\ndamage ‖m‖₁: " << Table::num(r.damage) << " ms\n\n";
+  print_attack_table(*setup, r, args.get_bool("csv"));
+  return 0;
+}
+
+int cmd_detect(ArgParser& args) {
+  auto setup = build_setup(args);
+  if (!setup) return 1;
+  const AttackResult r = run_strategy(args, *setup);
+  if (!r.success) {
+    std::cout << "attack infeasible — nothing to detect\n";
+    return 0;
+  }
+  DetectorOptions det;
+  det.alpha = args.get_double("alpha", 200.0);
+  const DetectionOutcome d = detect_scapegoating(
+      setup->scenario.estimator(), r.y_observed, det);
+  const bool perfect = is_perfect_cut(setup->scenario.estimator().paths(),
+                                      setup->attackers, r.victims);
+  std::cout << "cut: " << (perfect ? "perfect" : "imperfect")
+            << "   residual: " << Table::num(d.residual_norm1)
+            << " ms   verdict: "
+            << (d.detected ? "MANIPULATED" : "consistent") << '\n';
+  LocalizationOptions lopt;
+  lopt.alpha = det.alpha;
+  const LocalizationResult loc = localize_manipulation(
+      setup->scenario.estimator(), r.y_observed, lopt);
+  std::cout << "localization: " << loc.suspicious_paths.size()
+            << " paths flagged"
+            << (loc.clean ? ", consistency restored" : "") << '\n';
+  return 0;
+}
+
+int cmd_fig(ArgParser& args) {
+  switch (args.get_int("n", 4)) {
+    case 2:
+      print_fig2(run_fig2(), std::cout);
+      return 0;
+    case 4:
+      print_fig4(run_fig4(), std::cout);
+      return 0;
+    case 5:
+      print_fig5(run_fig5(), std::cout);
+      return 0;
+    case 6:
+      print_fig6(run_fig6(), std::cout);
+      return 0;
+    default:
+      std::cerr << "only figures 2, 4, 5, 6 run instantly; use the "
+                   "bench_fig7/8/9 binaries for the Monte-Carlo figures\n";
+      return 2;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (!args.command()) return usage("missing command");
+
+  int rc;
+  const std::string& cmd = *args.command();
+  if (cmd == "topo") {
+    rc = cmd_topo(args);
+  } else if (cmd == "attack") {
+    rc = cmd_attack(args);
+  } else if (cmd == "detect") {
+    rc = cmd_detect(args);
+  } else if (cmd == "fig") {
+    rc = cmd_fig(args);
+  } else {
+    return usage(("unknown command '" + cmd + "'").c_str());
+  }
+
+  for (const std::string& err : args.errors())
+    std::cerr << "warning: " << err << '\n';
+  for (const std::string& flag : args.unused())
+    std::cerr << "warning: unused flag --" << flag << '\n';
+  return rc;
+}
