@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "attack/chosen_victim.hpp"
 #include "attack/cut.hpp"
@@ -11,6 +12,7 @@
 #include "tomography/routing_matrix.hpp"
 #include "topology/geometric.hpp"
 #include "topology/isp.hpp"
+#include "util/thread_pool.hpp"
 
 namespace scapegoat {
 
@@ -44,6 +46,35 @@ std::optional<Scenario> make_scenario(TopologyKind kind, Rng& rng,
 
 namespace {
 
+// Stream-namespace salts: topology draws, clean-baseline runs, and the
+// attack-trial families each derive seeds in their own namespace so no two
+// purposes ever share an RNG stream (see derive_seed in util/random.hpp).
+constexpr std::uint64_t kTopologySalt = 0x7090a10975a17ull;
+constexpr std::uint64_t kTrialSalt = 0x7121a15a175ull;
+constexpr std::uint64_t kCleanSalt = 0xc1ea9ba5e11ull;
+constexpr std::uint64_t kPerfectSalt = 0x9e2fec7c07ull;
+constexpr std::uint64_t kImperfectSalt = 0x19e2fec7c07ull;
+
+// Experiments with threads == 0 share the process-global pool; a nonzero
+// count gets a dedicated pool for just this call (used by the scaling bench
+// and the determinism tests to pin exact worker counts).
+ThreadPool& pick_pool(std::size_t threads, std::unique_ptr<ThreadPool>& owned) {
+  if (threads == 0) return ThreadPool::global();
+  owned = std::make_unique<ThreadPool>(threads);
+  return *owned;
+}
+
+// Draws topology t of the run on its own seed stream and pre-computes the
+// estimator's lazily-cached pseudo-inverse, so the per-chunk Scenario copies
+// taken by worker threads are plain value copies with no shared lazy state.
+std::optional<Scenario> draw_topology(TopologyKind kind, std::uint64_t base,
+                                      std::size_t t) {
+  Rng rng(derive_seed(base ^ kTopologySalt, t));
+  std::optional<Scenario> sc = make_scenario(kind, rng);
+  if (sc) sc->estimator().pseudo_inverse();
+  return sc;
+}
+
 // Random attacker node set of size `count` (monitors are eligible — the
 // paper's §II-D explicitly allows malicious monitors).
 std::vector<NodeId> sample_attackers(const Graph& g, std::size_t count,
@@ -67,6 +98,70 @@ std::optional<LinkId> sample_victim(const Graph& g,
 
 }  // namespace
 
+namespace {
+
+struct PresenceTrialOut {
+  bool counted = false;
+  std::size_t bin = 0;
+  bool success = false;
+};
+
+// One Fig. 7 trial on a private scenario copy and a private RNG stream.
+PresenceTrialOut presence_trial(Scenario& sc, const PresenceRatioOptions& opt,
+                                Rng& rng) {
+  PresenceTrialOut out;
+  sc.resample_metrics(rng);
+  const auto& paths = sc.estimator().paths();
+  const std::size_t na =
+      static_cast<std::size_t>(rng.uniform_int(1, opt.max_attackers));
+
+  // Pick the victim first; draw attackers either uniformly (low-ratio
+  // regime) or from the nodes sitting on the victim's measurement paths
+  // (mid/high-ratio regime), so every presence-ratio bin receives
+  // trials — purely uniform placement concentrates mass near ratio 0.
+  const LinkId victim = rng.index(sc.graph().num_links());
+  std::vector<NodeId> attackers;
+  if (rng.bernoulli(0.5)) {
+    attackers = sample_attackers(sc.graph(), na, rng);
+  } else {
+    std::vector<NodeId> on_victim_paths;
+    std::vector<bool> seen(sc.graph().num_nodes(), false);
+    for (std::size_t i : paths_through_links(paths, {victim})) {
+      for (NodeId v : paths[i].nodes) {
+        const Link& vl = sc.graph().link(victim);
+        if (v != vl.u && v != vl.v && !seen[v]) {
+          seen[v] = true;
+          on_victim_paths.push_back(v);
+        }
+      }
+    }
+    rng.shuffle(on_victim_paths);
+    for (std::size_t i = 0; i < na && i < on_victim_paths.size(); ++i)
+      attackers.push_back(on_victim_paths[i]);
+    if (attackers.empty()) attackers = sample_attackers(sc.graph(), na, rng);
+  }
+
+  AttackContext ctx = sc.context(attackers);
+  const auto lm = ctx.controlled_links();
+  if (std::find(lm.begin(), lm.end(), victim) != lm.end())
+    return out;  // victim became attacker-controlled — not a scapegoat
+  const PresenceRatio pr = attack_presence_ratio(paths, attackers, {victim});
+  if (pr.victim_paths == 0) return out;  // cannot happen when identifiable
+
+  const double ratio = pr.ratio();
+  if (ratio >= 1.0 - 1e-12) {
+    out.bin = opt.bins;  // exact perfect cut
+  } else {
+    out.bin =
+        std::min(static_cast<std::size_t>(ratio * opt.bins), opt.bins - 1);
+  }
+  out.success = chosen_victim_attack(ctx, {victim}).success;
+  out.counted = true;
+  return out;
+}
+
+}  // namespace
+
 PresenceRatioSeries run_presence_ratio_experiment(
     TopologyKind kind, const PresenceRatioOptions& opt) {
   PresenceRatioSeries series;
@@ -78,61 +173,30 @@ PresenceRatioSeries run_presence_ratio_experiment(
   }
   series.bins.back().ratio_low = series.bins.back().ratio_high = 1.0;
 
-  Rng rng(opt.seed + (kind == TopologyKind::kWireline ? 0 : 0x9e3779b9u));
+  const std::uint64_t base =
+      opt.seed + (kind == TopologyKind::kWireline ? 0 : 0x9e3779b9u);
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = pick_pool(opt.threads, owned);
+
   for (std::size_t t = 0; t < opt.topologies; ++t) {
-    std::optional<Scenario> sc = make_scenario(kind, rng);
+    std::optional<Scenario> sc = draw_topology(kind, base, t);
     if (!sc) continue;
-    const auto& paths = sc->estimator().paths();
-    for (std::size_t trial = 0; trial < opt.trials_per_topology; ++trial) {
-      sc->resample_metrics(rng);
-      const std::size_t na =
-          static_cast<std::size_t>(rng.uniform_int(1, opt.max_attackers));
-
-      // Pick the victim first; draw attackers either uniformly (low-ratio
-      // regime) or from the nodes sitting on the victim's measurement paths
-      // (mid/high-ratio regime), so every presence-ratio bin receives
-      // trials — purely uniform placement concentrates mass near ratio 0.
-      const LinkId victim = rng.index(sc->graph().num_links());
-      std::vector<NodeId> attackers;
-      if (rng.bernoulli(0.5)) {
-        attackers = sample_attackers(sc->graph(), na, rng);
-      } else {
-        std::vector<NodeId> on_victim_paths;
-        std::vector<bool> seen(sc->graph().num_nodes(), false);
-        for (std::size_t i : paths_through_links(paths, {victim})) {
-          for (NodeId v : paths[i].nodes) {
-            const Link& vl = sc->graph().link(victim);
-            if (v != vl.u && v != vl.v && !seen[v]) {
-              seen[v] = true;
-              on_victim_paths.push_back(v);
-            }
+    std::vector<PresenceTrialOut> outs(opt.trials_per_topology);
+    pool.parallel_for(
+        0, opt.trials_per_topology, opt.grain,
+        [&](std::size_t lo, std::size_t hi) {
+          Scenario local = *sc;  // private copy: resample_metrics mutates
+          for (std::size_t i = lo; i < hi; ++i) {
+            Rng rng(derive_seed(base ^ kTrialSalt,
+                                t * opt.trials_per_topology + i));
+            outs[i] = presence_trial(local, opt, rng);
           }
-        }
-        rng.shuffle(on_victim_paths);
-        for (std::size_t i = 0; i < na && i < on_victim_paths.size(); ++i)
-          attackers.push_back(on_victim_paths[i]);
-        if (attackers.empty()) attackers = sample_attackers(sc->graph(), na, rng);
-      }
-
-      AttackContext ctx = sc->context(attackers);
-      const auto lm = ctx.controlled_links();
-      if (std::find(lm.begin(), lm.end(), victim) != lm.end())
-        continue;  // victim became attacker-controlled — not a scapegoat
-      const PresenceRatio pr =
-          attack_presence_ratio(paths, attackers, {victim});
-      if (pr.victim_paths == 0) continue;  // cannot happen when identifiable
-
-      const double ratio = pr.ratio();
-      std::size_t bin;
-      if (ratio >= 1.0 - 1e-12) {
-        bin = opt.bins;  // exact perfect cut
-      } else {
-        bin = std::min(static_cast<std::size_t>(ratio * opt.bins),
-                       opt.bins - 1);
-      }
-      const AttackResult res = chosen_victim_attack(ctx, {victim});
-      ++series.bins[bin].trials;
-      if (res.success) ++series.bins[bin].successes;
+        });
+    // Serial fold in trial order — identical at every thread count.
+    for (const PresenceTrialOut& o : outs) {
+      if (!o.counted) continue;
+      ++series.bins[o.bin].trials;
+      if (o.success) ++series.bins[o.bin].successes;
       ++series.total_trials;
     }
   }
@@ -143,25 +207,45 @@ SingleAttackerResult run_single_attacker_experiment(
     TopologyKind kind, const SingleAttackerOptions& opt) {
   SingleAttackerResult out;
   out.kind = kind;
-  Rng rng(opt.seed + (kind == TopologyKind::kWireline ? 0 : 0x51f15ee5u));
+  const std::uint64_t base =
+      opt.seed + (kind == TopologyKind::kWireline ? 0 : 0x51f15ee5u);
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = pick_pool(opt.threads, owned);
+
+  struct TrialOut {
+    bool max_damage = false;
+    bool obfuscation = false;
+  };
+
   for (std::size_t t = 0; t < opt.topologies; ++t) {
-    std::optional<Scenario> sc = make_scenario(kind, rng);
+    std::optional<Scenario> sc = draw_topology(kind, base, t);
     if (!sc) continue;
-    for (std::size_t trial = 0; trial < opt.trials_per_topology; ++trial) {
-      sc->resample_metrics(rng);
-      const NodeId attacker = rng.index(sc->graph().num_nodes());
-      AttackContext ctx = sc->context({attacker});
+    std::vector<TrialOut> outs(opt.trials_per_topology);
+    pool.parallel_for(
+        0, opt.trials_per_topology, opt.grain,
+        [&](std::size_t lo, std::size_t hi) {
+          Scenario local = *sc;
+          for (std::size_t i = lo; i < hi; ++i) {
+            Rng rng(derive_seed(base ^ kTrialSalt,
+                                t * opt.trials_per_topology + i));
+            local.resample_metrics(rng);
+            const NodeId attacker = rng.index(local.graph().num_nodes());
+            AttackContext ctx = local.context({attacker});
 
-      MaxDamageOptions md;
-      md.max_candidates = 32;
-      md.max_victims = 4;
-      if (max_damage_attack(ctx, md).best.success) ++out.max_damage_successes;
+            MaxDamageOptions md;
+            md.max_candidates = 32;
+            md.max_victims = 4;
+            outs[i].max_damage = max_damage_attack(ctx, md).best.success;
 
-      ObfuscationOptions ob;
-      ob.min_victims = opt.min_obfuscation_victims;
-      ob.max_victims = 24;
-      if (obfuscation_attack(ctx, ob).success) ++out.obfuscation_successes;
-
+            ObfuscationOptions ob;
+            ob.min_victims = opt.min_obfuscation_victims;
+            ob.max_victims = 24;
+            outs[i].obfuscation = obfuscation_attack(ctx, ob).success;
+          }
+        });
+    for (const TrialOut& o : outs) {
+      if (o.max_damage) ++out.max_damage_successes;
+      if (o.obfuscation) ++out.obfuscation_successes;
       ++out.trials;
     }
   }
@@ -230,6 +314,91 @@ DetectionCell& cell_for(DetectionSeries& series, AttackStrategy s,
   return series.cells.back();
 }
 
+// Per-strategy outcome of one detection trial, computed entirely inside the
+// worker; the serial fold only applies the per-cell sampling budget.
+struct StrategyOut {
+  bool success = false;
+  bool perfect = false;
+  bool detected = false;
+};
+
+struct DetectionTrialOut {
+  StrategyOut chosen, max_damage, obfuscation;
+};
+
+StrategyOut eval_attack(const Scenario& sc,
+                        const std::vector<NodeId>& attackers,
+                        const AttackResult& res, const DetectorOptions& det) {
+  StrategyOut out;
+  if (!res.success) return out;
+  out.success = true;
+  out.perfect = is_perfect_cut(sc.estimator().paths(), attackers, res.victims);
+  out.detected =
+      detect_scapegoating(sc.estimator(), res.y_observed, det).detected;
+  return out;
+}
+
+// Perfect-cut trial: enclose a non-monitor region, attack its internal
+// links with the Theorem-1 consistent construction.
+DetectionTrialOut perfect_cut_trial(Scenario& sc,
+                                    const DetectorOptions& det, Rng& rng) {
+  DetectionTrialOut out;
+  sc.resample_metrics(rng);
+  auto sample = grow_perfect_cut(sc, 8, rng);
+  if (!sample) return out;
+  AttackContext ctx = sc.context(sample->attackers);
+
+  const LinkId victim =
+      sample->internal_links[rng.index(sample->internal_links.size())];
+  out.chosen = eval_attack(
+      sc, sample->attackers,
+      chosen_victim_attack(ctx, {victim}, ManipulationMode::kConsistent), det);
+
+  MaxDamageOptions md;
+  md.mode = ManipulationMode::kConsistent;
+  md.candidate_victims = sample->internal_links;
+  md.max_victims = 3;
+  out.max_damage =
+      eval_attack(sc, sample->attackers, max_damage_attack(ctx, md).best, det);
+
+  ObfuscationOptions ob;
+  ob.mode = ManipulationMode::kConsistent;
+  ob.candidate_victims = sample->internal_links;
+  ob.min_victims = std::min<std::size_t>(5, sample->internal_links.size());
+  out.obfuscation =
+      eval_attack(sc, sample->attackers, obfuscation_attack(ctx, ob), det);
+  return out;
+}
+
+// Imperfect-cut trial: random attacker placements, damage-maximizing
+// manipulation (the stealthy construction is infeasible here).
+DetectionTrialOut imperfect_cut_trial(Scenario& sc,
+                                      const DetectorOptions& det, Rng& rng) {
+  DetectionTrialOut out;
+  sc.resample_metrics(rng);
+  const std::size_t na = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  std::vector<NodeId> attackers = sample_attackers(sc.graph(), na, rng);
+  AttackContext ctx = sc.context(attackers);
+
+  std::optional<LinkId> victim =
+      sample_victim(sc.graph(), ctx.controlled_links(), rng);
+  if (victim) {
+    out.chosen =
+        eval_attack(sc, attackers, chosen_victim_attack(ctx, {*victim}), det);
+  }
+
+  MaxDamageOptions md;
+  md.max_candidates = 24;
+  md.max_victims = 3;
+  out.max_damage =
+      eval_attack(sc, attackers, max_damage_attack(ctx, md).best, det);
+
+  ObfuscationOptions ob;
+  ob.max_victims = 24;
+  out.obfuscation = eval_attack(sc, attackers, obfuscation_attack(ctx, ob), det);
+  return out;
+}
+
 }  // namespace
 
 DetectionSeries run_detection_experiment(
@@ -242,101 +411,84 @@ DetectionSeries run_detection_experiment(
     for (bool perfect : {true, false}) cell_for(series, s, perfect);
 
   const DetectorOptions detector{opt.alpha};
-  Rng rng(opt.seed + (kind == TopologyKind::kWireline ? 0 : 0xdec0deu));
+  const std::uint64_t base =
+      opt.seed + (kind == TopologyKind::kWireline ? 0 : 0xdec0deu);
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = pick_pool(opt.threads, owned);
 
-  auto record = [&](AttackStrategy strategy, const Scenario& sc,
-                    const std::vector<NodeId>& attackers,
-                    const AttackResult& res) {
-    if (!res.success) return;
-    const bool perfect =
-        is_perfect_cut(sc.estimator().paths(), attackers, res.victims);
-    DetectionCell& cell = cell_for(series, strategy, perfect);
+  // Trials are computed in fixed-size waves (worker threads fill a wave in
+  // parallel) and folded serially in trial order with the per-cell budget.
+  // Budget decisions therefore depend only on the trial index order, never
+  // on scheduling: results are identical at every thread count, and a wave's
+  // surplus trials past the budget are discarded identically everywhere.
+  constexpr std::size_t kWave = 32;
+  constexpr std::size_t kCleanTrials = 20;
+
+  auto fold = [&](AttackStrategy s, const StrategyOut& o) {
+    if (!o.success) return;
+    DetectionCell& cell = cell_for(series, s, o.perfect);
     if (cell.attacks >= opt.successful_attacks_per_cell) return;
     ++cell.attacks;
-    if (detect_scapegoating(sc.estimator(), res.y_observed, detector).detected)
-      ++cell.detected;
-  };
-  auto cell_full = [&](AttackStrategy s, bool perfect) {
-    return cell_for(series, s, perfect).attacks >=
-           opt.successful_attacks_per_cell;
+    if (o.detected) ++cell.detected;
   };
 
   for (std::size_t t = 0; t < opt.topologies; ++t) {
-    std::optional<Scenario> sc = make_scenario(kind, rng);
+    std::optional<Scenario> sc = draw_topology(kind, base, t);
     if (!sc) continue;
 
     // False-alarm baseline: honest measurements through the detector.
-    for (int i = 0; i < 20; ++i) {
-      sc->resample_metrics(rng);
+    std::vector<char> alarms(kCleanTrials, 0);
+    pool.parallel_for(
+        0, kCleanTrials, opt.grain, [&](std::size_t lo, std::size_t hi) {
+          Scenario local = *sc;
+          for (std::size_t i = lo; i < hi; ++i) {
+            Rng rng(derive_seed(base ^ kCleanSalt, t * kCleanTrials + i));
+            local.resample_metrics(rng);
+            alarms[i] = detect_scapegoating(local.estimator(),
+                                            local.clean_measurements(),
+                                            detector)
+                            .detected;
+          }
+        });
+    for (char a : alarms) {
       ++series.clean_trials;
-      if (detect_scapegoating(sc->estimator(), sc->clean_measurements(),
-                              detector)
-              .detected)
-        ++series.false_alarms;
+      if (a) ++series.false_alarms;
     }
 
-    // Perfect-cut cells: enclose a non-monitor region, attack its internal
-    // links with the Theorem-1 consistent construction.
-    for (std::size_t trial = 0; trial < opt.max_trials_per_cell; ++trial) {
-      if (cell_full(AttackStrategy::kChosenVictim, true) &&
-          cell_full(AttackStrategy::kMaxDamage, true) &&
-          cell_full(AttackStrategy::kObfuscation, true))
-        break;
-      sc->resample_metrics(rng);
-      auto sample = grow_perfect_cut(*sc, 8, rng);
-      if (!sample) continue;
-      AttackContext ctx = sc->context(sample->attackers);
-
-      const LinkId victim =
-          sample->internal_links[rng.index(sample->internal_links.size())];
-      record(AttackStrategy::kChosenVictim, *sc, sample->attackers,
-             chosen_victim_attack(ctx, {victim},
-                                  ManipulationMode::kConsistent));
-
-      MaxDamageOptions md;
-      md.mode = ManipulationMode::kConsistent;
-      md.candidate_victims = sample->internal_links;
-      md.max_victims = 3;
-      record(AttackStrategy::kMaxDamage, *sc, sample->attackers,
-             max_damage_attack(ctx, md).best);
-
-      ObfuscationOptions ob;
-      ob.mode = ManipulationMode::kConsistent;
-      ob.candidate_victims = sample->internal_links;
-      ob.min_victims = std::min<std::size_t>(5, sample->internal_links.size());
-      record(AttackStrategy::kObfuscation, *sc, sample->attackers,
-             obfuscation_attack(ctx, ob));
-    }
-
-    // Imperfect-cut cells: random attacker placements, damage-maximizing
-    // manipulation (the stealthy construction is infeasible here).
-    for (std::size_t trial = 0; trial < opt.max_trials_per_cell; ++trial) {
-      if (cell_full(AttackStrategy::kChosenVictim, false) &&
-          cell_full(AttackStrategy::kMaxDamage, false) &&
-          cell_full(AttackStrategy::kObfuscation, false))
-        break;
-      sc->resample_metrics(rng);
-      const std::size_t na = static_cast<std::size_t>(rng.uniform_int(1, 4));
-      std::vector<NodeId> attackers = sample_attackers(sc->graph(), na, rng);
-      AttackContext ctx = sc->context(attackers);
-
-      std::optional<LinkId> victim =
-          sample_victim(sc->graph(), ctx.controlled_links(), rng);
-      if (victim) {
-        record(AttackStrategy::kChosenVictim, *sc, attackers,
-               chosen_victim_attack(ctx, {*victim}));
+    for (bool perfect_phase : {true, false}) {
+      const std::uint64_t salt = perfect_phase ? kPerfectSalt : kImperfectSalt;
+      auto phase_full = [&] {
+        return cell_for(series, AttackStrategy::kChosenVictim, perfect_phase)
+                       .attacks >= opt.successful_attacks_per_cell &&
+               cell_for(series, AttackStrategy::kMaxDamage, perfect_phase)
+                       .attacks >= opt.successful_attacks_per_cell &&
+               cell_for(series, AttackStrategy::kObfuscation, perfect_phase)
+                       .attacks >= opt.successful_attacks_per_cell;
+      };
+      std::size_t next = 0;
+      while (!phase_full() && next < opt.max_trials_per_cell) {
+        const std::size_t wave_end =
+            std::min(next + kWave, opt.max_trials_per_cell);
+        std::vector<DetectionTrialOut> outs(wave_end - next);
+        pool.parallel_for(
+            0, outs.size(), opt.grain, [&](std::size_t lo, std::size_t hi) {
+              Scenario local = *sc;
+              for (std::size_t i = lo; i < hi; ++i) {
+                Rng rng(derive_seed(base ^ salt,
+                                    t * opt.max_trials_per_cell + next + i));
+                outs[i] = perfect_phase
+                              ? perfect_cut_trial(local, detector, rng)
+                              : imperfect_cut_trial(local, detector, rng);
+              }
+            });
+        for (const DetectionTrialOut& o : outs) {
+          if (phase_full()) break;
+          fold(AttackStrategy::kChosenVictim, o.chosen);
+          fold(AttackStrategy::kMaxDamage, o.max_damage);
+          fold(AttackStrategy::kObfuscation, o.obfuscation);
+        }
+        next = wave_end;
       }
-
-      MaxDamageOptions md;
-      md.max_candidates = 24;
-      md.max_victims = 3;
-      record(AttackStrategy::kMaxDamage, *sc, attackers,
-             max_damage_attack(ctx, md).best);
-
-      ObfuscationOptions ob;
-      ob.max_victims = 24;
-      record(AttackStrategy::kObfuscation, *sc, attackers,
-             obfuscation_attack(ctx, ob));
     }
   }
   return series;

@@ -5,6 +5,14 @@
 // monitors/paths once per topology, then runs many attack trials with fresh
 // ground-truth delays, attacker placements and victims. Results are plain
 // structs the bench binaries print as the paper's series.
+//
+// Trials fan out over a thread pool. Each trial owns a deterministically
+// derived RNG stream — Rng(derive_seed(seed ⊕ kind salt, trial index)) — and
+// a private copy of the topology's Scenario, so per-trial estimates and the
+// folded aggregates are bitwise identical at every thread count (see
+// DESIGN.md "Threading model"). `threads` = 0 runs on the process-global
+// pool (ThreadPool::global()); any other value uses a dedicated pool of that
+// size for the call.
 
 #pragma once
 
@@ -34,6 +42,8 @@ struct PresenceRatioOptions {
   std::size_t max_attackers = 6;       // attacker count drawn U[1, max]
   std::size_t bins = 10;               // histogram bins over ratio (0, 1)
   std::uint64_t seed = 7;
+  std::size_t threads = 0;             // 0 = global pool; n = dedicated pool
+  std::size_t grain = 8;               // trials per worker chunk
 };
 
 struct PresenceRatioBin {
@@ -65,6 +75,8 @@ struct SingleAttackerOptions {
   std::size_t trials_per_topology = 60;
   std::size_t min_obfuscation_victims = 5;  // §V-C2 success bar
   std::uint64_t seed = 8;
+  std::size_t threads = 0;             // 0 = global pool; n = dedicated pool
+  std::size_t grain = 4;               // trials per worker chunk
 };
 
 struct SingleAttackerResult {
@@ -98,6 +110,8 @@ struct DetectionOptionsExperiment {
   std::size_t max_trials_per_cell = 4000;        // sampling budget
   double alpha = 200.0;                          // detector threshold (§V-D)
   std::uint64_t seed = 9;
+  std::size_t threads = 0;             // 0 = global pool; n = dedicated pool
+  std::size_t grain = 4;               // trials per worker chunk
 };
 
 struct DetectionCell {

@@ -117,7 +117,17 @@ class Matrix {
 Matrix operator+(Matrix lhs, const Matrix& rhs);
 Matrix operator-(Matrix lhs, const Matrix& rhs);
 Matrix operator*(double s, Matrix m);
+
+// Product a·b. Large products are computed by row blocks on the global
+// ThreadPool; each output row is written by exactly one task and inner-loop
+// accumulation order matches the serial kernel, so the result is bitwise
+// identical at any thread count. Small products run serially.
 Matrix operator*(const Matrix& a, const Matrix& b);
+
+// The serial multiply kernel (always single-threaded). Exposed so property
+// tests can pin the parallel path against it.
+Matrix multiply_serial(const Matrix& a, const Matrix& b);
+
 Vector operator*(const Matrix& a, const Vector& x);
 bool approx_equal(const Matrix& a, const Matrix& b, double tol = 1e-9);
 

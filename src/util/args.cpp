@@ -90,6 +90,15 @@ std::vector<long> ArgParser::get_int_list(const std::string& flag) {
   return out;
 }
 
+std::size_t ArgParser::get_threads(const std::string& flag) {
+  const long v = get_int(flag, 0);
+  if (v < 0) {
+    errors_.push_back("--" + flag + " expects a non-negative thread count");
+    return 0;
+  }
+  return static_cast<std::size_t>(v);
+}
+
 std::vector<std::string> ArgParser::unused() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : flags_)

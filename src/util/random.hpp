@@ -57,4 +57,16 @@ class Rng {
   std::mt19937_64 engine_;
 };
 
+// Seed-splitting for parallel Monte-Carlo: the seed for stream `index` under
+// `base` is base ⊕ mix(index), where mix is the splitmix64 finalizer. Every
+// trial owns Rng(derive_seed(base, trial_index)), so its draws depend only
+// on (base, trial_index) — never on scheduling order or thread count — and
+// adjacent indices still land in well-separated engine states.
+inline std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = index + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return base ^ (z ^ (z >> 31));
+}
+
 }  // namespace scapegoat

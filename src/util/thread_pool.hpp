@@ -1,0 +1,101 @@
+// Fixed-size worker thread pool with task futures and a grain-controlled
+// parallel_for — the substrate behind the parallel Monte-Carlo experiment
+// engine (core/experiment) and the blocked linalg kernels (linalg/matrix,
+// linalg/qr).
+//
+// Design rules that keep every caller bit-reproducible:
+//   * parallel_for hands each index range to exactly one task, so any
+//     computation whose chunks are independent produces the same bits at any
+//     thread count. Chunk boundaries depend only on the grain, never on the
+//     number of workers.
+//   * Workers never nest: a parallel_for issued from inside a pool worker
+//     runs inline on that worker (serially), which both avoids deadlock and
+//     keeps per-trial work on a single deterministic thread.
+//   * The calling thread participates in parallel_for (caller-runs), so a
+//     1-worker pool degrades to plain serial execution with no handoff.
+//
+// Destruction drains the queue: tasks already submitted run to completion
+// before the workers join. Exceptions thrown by a task are captured and
+// rethrown from the future (submit) or from parallel_for's caller.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace scapegoat {
+
+class ThreadPool {
+ public:
+  // `threads` = 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  // True when called from one of this pool's worker threads.
+  bool on_worker_thread() const;
+
+  // Queue a task; the future reports its result or rethrows its exception.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> out = task->get_future();
+    enqueue([task] { (*task)(); });
+    return out;
+  }
+
+  // Split [begin, end) into chunks of at most `grain` indices and run
+  // `body(chunk_begin, chunk_end)` across the pool, caller included. Chunk
+  // boundaries are a pure function of (begin, end, grain) — results of
+  // chunk-independent bodies do not depend on the worker count. Rethrows the
+  // first task exception after all chunks finish. Runs inline (serially)
+  // when the pool has one worker, the range fits in one chunk, or the caller
+  // is itself a pool worker.
+  void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& body);
+
+  // Convenience: per-index body.
+  void parallel_for_each(std::size_t begin, std::size_t end, std::size_t grain,
+                         const std::function<void(std::size_t)>& body);
+
+  // ------------------------------------------------------------- global --
+  // Process-wide pool used by the linalg kernels and any caller that does
+  // not thread an explicit pool through. Created lazily with the configured
+  // thread count (default: hardware concurrency).
+
+  static ThreadPool& global();
+
+  // Replace the global pool with one of `threads` workers (0 = hardware).
+  // Call from a single thread, before or between parallel regions — the old
+  // pool drains first.
+  static void set_global_threads(std::size_t threads);
+
+  // Worker count the global pool has (or would be created with).
+  static std::size_t global_threads();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace scapegoat

@@ -17,6 +17,7 @@
 
 #include "core/scapegoat.hpp"
 #include "util/args.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -34,7 +35,8 @@ int usage(const char* reason) {
       "       --strategy chosen|max|obfuscation  --victim L(1-based)\n"
       "       --attackers a,b,c  --redundant N  --alpha MS  --csv\n"
       "       --stealthy (Theorem-1 consistent manipulation)\n"
-      "       --save PATH / --load PATH (scenario persistence)\n";
+      "       --save PATH / --load PATH (scenario persistence)\n"
+      "       --threads N (worker threads for linalg/experiments; 0 = auto)\n";
   return 2;
 }
 
@@ -257,6 +259,7 @@ int cmd_fig(ArgParser& args) {
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   if (!args.command()) return usage("missing command");
+  ThreadPool::set_global_threads(args.get_threads());
 
   int rc;
   const std::string& cmd = *args.command();
