@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Sanitizer gate for the robustness layer.
+#
+# Builds the tree under ASan+UBSan (or TSan with `--tsan`) and runs the
+# suites most likely to trip memory/UB bugs under fault injection: the
+# robust subsystem units, the chaos harness, and the loaders that digest
+# corrupted files. Pass `--all` to run the full ctest suite instead.
+#
+#   scripts/sanitize.sh [--tsan] [--all] [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+preset=asan-ubsan
+suites='test_robust test_fault_injection test_rocketfuel test_scenario_io test_args test_lp test_simnet'
+jobs=$(nproc 2>/dev/null || echo 4)
+run_all=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --tsan) preset=tsan ;;
+    --all) run_all=1 ;;
+    -j) jobs=$2; shift ;;
+    *) echo "usage: $0 [--tsan] [--all] [-j N]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$jobs"
+
+builddir=build-$preset
+[ "$preset" = default ] && builddir=build
+
+if [ "$run_all" = 1 ]; then
+  ctest --preset "$preset" -j "$jobs"
+else
+  # ctest registers individual gtest case names, so filter by running the
+  # suite binaries directly.
+  for suite in $suites; do
+    echo "== $suite =="
+    "$builddir/tests/$suite" --gtest_brief=1
+  done
+fi

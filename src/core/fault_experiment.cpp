@@ -1,0 +1,161 @@
+#include "core/fault_experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "core/simulate.hpp"
+#include "detect/detector.hpp"
+#include "robust/degraded.hpp"
+#include "simnet/resilient_probing.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scapegoat {
+
+namespace {
+
+// Own namespaces for the sweep's topology draws, trial RNGs and fault
+// schedules — disjoint from the Fig. 7-9 salts in experiment.cpp.
+constexpr std::uint64_t kSweepTopologySalt = 0xfa010907090ull;
+constexpr std::uint64_t kSweepTrialSalt = 0xfa0107121a1ull;
+constexpr std::uint64_t kSweepFaultSalt = 0xfa01f5c4edull;
+
+ThreadPool& pick_pool(std::size_t threads, std::unique_ptr<ThreadPool>& owned) {
+  if (threads == 0) return ThreadPool::global();
+  owned = std::make_unique<ThreadPool>(threads);
+  return *owned;
+}
+
+struct FaultTrialOut {
+  enum class Status { kFullRank, kFallback, kUnsolvable } status =
+      Status::kUnsolvable;
+  std::size_t paths_total = 0;
+  std::size_t paths_measured = 0;
+  double abs_error_sum = 0.0;  // over links, solvable trials only
+  double abs_error_max = 0.0;
+  std::size_t links = 0;
+  bool alarm = false;
+};
+
+// One honest-network trial under the cell's fault schedule. The scenario
+// copy is private to the worker; rng is this trial's own stream.
+FaultTrialOut fault_trial(Scenario& sc, const FaultSweepOptions& opt,
+                          const robust::FaultInjector& faults, Rng& rng) {
+  FaultTrialOut out;
+  sc.resample_metrics(rng);
+  const auto& paths = sc.estimator().paths();
+  out.paths_total = paths.size();
+
+  simnet::NullAdversary honest;
+  simnet::Simulator sim(sc.graph(), link_models(sc), honest, rng);
+  simnet::ProbeOptions probe;
+  probe.probes_per_path = opt.probes_per_path;
+
+  const robust::DegradedMeasurement m =
+      simnet::probe_with_retries(sim, paths, probe, faults, opt.retry);
+  out.paths_measured = m.num_measured();
+
+  const auto est = robust::degraded_estimate(sc.estimator().r(), m);
+  if (!est.ok()) return out;  // status stays kUnsolvable — structured, no crash
+  out.status = est->method == robust::SolveMethod::kFullRank
+                   ? FaultTrialOut::Status::kFullRank
+                   : FaultTrialOut::Status::kFallback;
+
+  const Vector& x_true = sc.x_true();
+  out.links = x_true.size();
+  for (std::size_t l = 0; l < x_true.size(); ++l) {
+    const double e = std::abs(est->x[l] - x_true[l]);
+    out.abs_error_sum += e;
+    out.abs_error_max = std::max(out.abs_error_max, e);
+  }
+
+  DetectorOptions det;
+  det.alpha = opt.alpha;
+  const auto verdict = detect_scapegoating_degraded(sc.estimator(), m, det);
+  out.alarm = verdict.ok() && verdict->detected;
+  return out;
+}
+
+}  // namespace
+
+FaultSweepSeries run_fault_sweep(TopologyKind kind,
+                                 const FaultSweepOptions& opt) {
+  FaultSweepSeries series;
+  series.kind = kind;
+  series.cells.resize(opt.loss_rates.size());
+
+  const std::uint64_t base =
+      opt.seed + (kind == TopologyKind::kWireline ? 0 : 0xfa017ab1eull);
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = pick_pool(opt.threads, owned);
+
+  // Topologies are shared across cells: the same deployments face every
+  // loss rate, so cell-to-cell differences are pure fault effects.
+  std::vector<Scenario> topologies;
+  for (std::size_t t = 0; t < opt.topologies; ++t) {
+    Rng trng(derive_seed(base ^ kSweepTopologySalt, t));
+    std::optional<Scenario> sc = make_scenario(kind, trng);
+    if (sc) {
+      sc->estimator().pseudo_inverse();  // pre-warm shared lazy state
+      topologies.push_back(std::move(*sc));
+    }
+  }
+
+  for (std::size_t c = 0; c < opt.loss_rates.size(); ++c) {
+    FaultSweepCell& cell = series.cells[c];
+    cell.loss_rate = opt.loss_rates[c];
+    robust::FaultSpec spec = opt.faults;
+    spec.probe_loss_rate = cell.loss_rate;
+
+    double err_sum = 0.0;
+    std::size_t err_links = 0;
+    for (std::size_t t = 0; t < topologies.size(); ++t) {
+      const Scenario& sc = topologies[t];
+      std::vector<FaultTrialOut> outs(opt.trials_per_topology);
+      pool.parallel_for(
+          0, opt.trials_per_topology, opt.grain,
+          [&](std::size_t lo, std::size_t hi) {
+            Scenario local = sc;  // private copy: resample_metrics mutates
+            for (std::size_t i = lo; i < hi; ++i) {
+              // Global trial index: unique across (cell, topology, trial)
+              // so no two trials anywhere share an RNG or fault stream.
+              const std::size_t g =
+                  (c * topologies.size() + t) * opt.trials_per_topology + i;
+              Rng rng(derive_seed(base ^ kSweepTrialSalt, g));
+              robust::FaultInjector faults(
+                  spec, derive_seed(base ^ kSweepFaultSalt, g));
+              outs[i] = fault_trial(local, opt, faults, rng);
+            }
+          });
+      // Serial fold in trial order — identical at every thread count.
+      for (const FaultTrialOut& o : outs) {
+        ++cell.trials;
+        ++series.total_trials;
+        cell.paths_total += o.paths_total;
+        cell.paths_measured += o.paths_measured;
+        switch (o.status) {
+          case FaultTrialOut::Status::kFullRank:
+            ++cell.full_rank;
+            break;
+          case FaultTrialOut::Status::kFallback:
+            ++cell.fallback;
+            break;
+          case FaultTrialOut::Status::kUnsolvable:
+            ++cell.unsolvable;
+            break;
+        }
+        if (o.links > 0) {
+          err_sum += o.abs_error_sum;
+          err_links += o.links;
+          cell.max_abs_error_ms =
+              std::max(cell.max_abs_error_ms, o.abs_error_max);
+        }
+        if (o.alarm) ++cell.alarms;
+      }
+    }
+    if (err_links > 0) cell.mean_abs_error_ms = err_sum / err_links;
+  }
+  return series;
+}
+
+}  // namespace scapegoat

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "graph/shortest_path.hpp"
 
@@ -21,6 +22,34 @@ double true_cost(const Path& path, const Vector& x_true,
 }
 
 }  // namespace
+
+robust::Expected<RecoveryAssessment> try_assess_recovery(
+    const Scenario& scenario, const AttackContext& ctx,
+    const AttackResult& attack, const RecoveryOptions& opt, Rng& rng) {
+  const Graph& g = scenario.graph();
+  if (!attack.success) {
+    return robust::Error{robust::ErrorCode::kInvalidInput,
+                         "attack did not succeed; no recovery to assess"};
+  }
+  if (attack.states.size() != g.num_links() ||
+      attack.x_estimated.size() != g.num_links()) {
+    return robust::Error{
+        robust::ErrorCode::kDimensionMismatch,
+        "attack result sized for a different topology (" +
+            std::to_string(attack.states.size()) + " states, " +
+            std::to_string(attack.x_estimated.size()) + " estimates, " +
+            std::to_string(g.num_links()) + " links)"};
+  }
+  for (NodeId a : ctx.attackers) {
+    if (a >= g.num_nodes()) {
+      return robust::Error{robust::ErrorCode::kInvalidInput,
+                           "attacker id " + std::to_string(a) +
+                               " out of range for " +
+                               std::to_string(g.num_nodes()) + " nodes"};
+    }
+  }
+  return assess_recovery(scenario, ctx, attack, opt, rng);
+}
 
 RecoveryAssessment assess_recovery(const Scenario& scenario,
                                    const AttackContext& ctx,

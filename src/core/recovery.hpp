@@ -19,6 +19,7 @@
 
 #include "attack/manipulation.hpp"
 #include "core/scenario.hpp"
+#include "robust/expected.hpp"
 
 namespace scapegoat {
 
@@ -44,5 +45,13 @@ RecoveryAssessment assess_recovery(const Scenario& scenario,
                                    const AttackContext& ctx,
                                    const AttackResult& attack,
                                    const RecoveryOptions& opt, Rng& rng);
+
+// Checked variant: a failed attack, an estimate/state vector of the wrong
+// size, or an out-of-range attacker id comes back as a structured error
+// instead of tripping asserts (assess_recovery keeps the asserting contract
+// for callers that already validated).
+robust::Expected<RecoveryAssessment> try_assess_recovery(
+    const Scenario& scenario, const AttackContext& ctx,
+    const AttackResult& attack, const RecoveryOptions& opt, Rng& rng);
 
 }  // namespace scapegoat

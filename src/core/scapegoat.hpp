@@ -11,6 +11,8 @@
 //               Rocketfuel loaders
 //   tomography/ routing matrix, link states, Eq. 2 estimator, monitor and
 //               path selection
+//   robust/     Expected error taxonomy, deterministic fault schedules,
+//               retry policy, degraded (partially-measured) estimation
 //   attack/     Constraint-1 model, perfect cuts, the three scapegoating
 //               strategies (Eqs. 4-11), consistent/stealthy variants
 //   detect/     Eq. 23 consistency detector
@@ -26,6 +28,7 @@
 #include "attack/naive_attack.hpp"
 #include "attack/obfuscation.hpp"
 #include "core/experiment.hpp"
+#include "core/fault_experiment.hpp"
 #include "core/figures.hpp"
 #include "core/scenario.hpp"
 #include "core/recovery.hpp"
@@ -47,7 +50,12 @@
 #include "linalg/qr.hpp"
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
+#include "robust/degraded.hpp"
+#include "robust/expected.hpp"
+#include "robust/faults.hpp"
+#include "robust/retry.hpp"
 #include "simnet/event_queue.hpp"
+#include "simnet/resilient_probing.hpp"
 #include "simnet/simulator.hpp"
 #include "tomography/estimator.hpp"
 #include "tomography/link_state.hpp"

@@ -3,6 +3,7 @@
 #include <fstream>
 #include <iomanip>
 #include <sstream>
+#include <string>
 
 namespace scapegoat {
 
@@ -65,87 +66,150 @@ void save_scenario(std::ostream& out, const Scenario& scenario) {
       << c.per_path_cap_ms << ' ' << c.margin_ms << '\n';
 }
 
-std::optional<Scenario> load_scenario(std::istream& in) {
+robust::Expected<Scenario> load_scenario_checked(std::istream& in) {
+  using robust::Error;
+  using robust::ErrorCode;
+  const auto parse_error = [](const std::string& what) {
+    return Error{ErrorCode::kParseError, what};
+  };
+
+  // Sanity caps: a corrupted header count must produce a diagnostic, not a
+  // multi-gigabyte allocation attempt. Orders of magnitude above any
+  // topology this library targets.
+  constexpr std::size_t kMaxNodes = 1'000'000;
+  constexpr std::size_t kMaxLinks = 4'000'000;
+  constexpr std::size_t kMaxPaths = 1'000'000;
+  constexpr std::size_t kMaxPathLen = 100'000;
+
   std::string line;
-  if (!next_line(in, line)) return std::nullopt;
+  if (!next_line(in, line)) return parse_error("empty stream");
   {
     std::istringstream ls(line);
     std::string magic;
     int version = 0;
-    if (!(ls >> magic >> version) || magic != kMagic || version != kVersion)
-      return std::nullopt;
+    if (!(ls >> magic >> version) || magic != kMagic)
+      return parse_error("missing '" + std::string(kMagic) + "' header");
+    if (version != kVersion)
+      return parse_error("unsupported version " + std::to_string(version));
   }
 
   auto nodes_hdr = expect(in, "nodes");
   std::size_t num_nodes = 0;
-  if (!nodes_hdr || !(*nodes_hdr >> num_nodes)) return std::nullopt;
+  if (!nodes_hdr || !(*nodes_hdr >> num_nodes))
+    return parse_error("bad or missing 'nodes' section");
+  if (num_nodes > kMaxNodes)
+    return Error{ErrorCode::kInvalidInput,
+                 "implausible node count " + std::to_string(num_nodes)};
 
   auto links_hdr = expect(in, "links");
   std::size_t num_links = 0;
-  if (!links_hdr || !(*links_hdr >> num_links)) return std::nullopt;
+  if (!links_hdr || !(*links_hdr >> num_links))
+    return parse_error("bad or missing 'links' section");
+  if (num_links > kMaxLinks)
+    return Error{ErrorCode::kInvalidInput,
+                 "implausible link count " + std::to_string(num_links)};
   Graph g(num_nodes);
   for (std::size_t i = 0; i < num_links; ++i) {
-    if (!next_line(in, line)) return std::nullopt;
+    if (!next_line(in, line))
+      return parse_error("truncated link list at entry " + std::to_string(i));
     std::istringstream ls(line);
     NodeId u, v;
-    if (!(ls >> u >> v)) return std::nullopt;
-    if (u >= num_nodes || v >= num_nodes) return std::nullopt;
-    if (!g.add_link(u, v)) return std::nullopt;  // keeps LinkIds in order
+    if (!(ls >> u >> v))
+      return parse_error("unreadable link entry " + std::to_string(i));
+    if (u >= num_nodes || v >= num_nodes)
+      return parse_error("link entry " + std::to_string(i) +
+                         " references a node out of range");
+    if (!g.add_link(u, v))
+      return parse_error("invalid link entry " + std::to_string(i));
   }
 
   auto monitors_hdr = expect(in, "monitors");
   std::size_t num_monitors = 0;
-  if (!monitors_hdr || !(*monitors_hdr >> num_monitors)) return std::nullopt;
+  if (!monitors_hdr || !(*monitors_hdr >> num_monitors))
+    return parse_error("bad or missing 'monitors' section");
+  if (num_monitors > num_nodes)
+    return Error{ErrorCode::kInvalidInput,
+                 "more monitors than nodes: " + std::to_string(num_monitors)};
   std::vector<NodeId> monitors(num_monitors);
   if (num_monitors > 0) {
-    if (!next_line(in, line)) return std::nullopt;
+    if (!next_line(in, line)) return parse_error("truncated monitor list");
     std::istringstream ls(line);
     for (NodeId& m : monitors)
-      if (!(ls >> m)) return std::nullopt;
+      if (!(ls >> m)) return parse_error("unreadable monitor id");
   }
 
   auto paths_hdr = expect(in, "paths");
   std::size_t num_paths = 0;
-  if (!paths_hdr || !(*paths_hdr >> num_paths)) return std::nullopt;
+  if (!paths_hdr || !(*paths_hdr >> num_paths))
+    return parse_error("bad or missing 'paths' section");
+  if (num_paths > kMaxPaths)
+    return Error{ErrorCode::kInvalidInput,
+                 "implausible path count " + std::to_string(num_paths)};
   std::vector<Path> paths(num_paths);
-  for (Path& p : paths) {
-    if (!next_line(in, line)) return std::nullopt;
+  for (std::size_t pi = 0; pi < num_paths; ++pi) {
+    Path& p = paths[pi];
+    if (!next_line(in, line))
+      return parse_error("truncated path list at entry " + std::to_string(pi));
     std::istringstream ls(line);
     std::size_t n = 0;
-    if (!(ls >> n) || n < 2) return std::nullopt;
+    if (!(ls >> n) || n < 2)
+      return parse_error("path " + std::to_string(pi) +
+                         " needs at least two nodes");
+    if (n > kMaxPathLen)
+      return Error{ErrorCode::kInvalidInput, "implausible path length " +
+                                                 std::to_string(n) +
+                                                 " at entry " +
+                                                 std::to_string(pi)};
     p.nodes.resize(n);
     for (NodeId& v : p.nodes)
-      if (!(ls >> v)) return std::nullopt;
+      if (!(ls >> v))
+        return parse_error("unreadable node in path " + std::to_string(pi));
     for (std::size_t i = 0; i + 1 < n; ++i) {
       const auto link = g.find_link(p.nodes[i], p.nodes[i + 1]);
-      if (!link) return std::nullopt;
+      if (!link)
+        return parse_error("path " + std::to_string(pi) +
+                           " traverses a non-existent link");
       p.links.push_back(*link);
     }
   }
 
   auto metrics_hdr = expect(in, "metrics");
   std::size_t num_metrics = 0;
-  if (!metrics_hdr || !(*metrics_hdr >> num_metrics) ||
-      num_metrics != num_links)
-    return std::nullopt;
+  if (!metrics_hdr || !(*metrics_hdr >> num_metrics))
+    return parse_error("bad or missing 'metrics' section");
+  if (num_metrics != num_links)
+    return Error{ErrorCode::kDimensionMismatch,
+                 std::to_string(num_metrics) + " metrics for " +
+                     std::to_string(num_links) + " links"};
   Vector x(num_metrics);
-  if (!next_line(in, line)) return std::nullopt;
+  if (!next_line(in, line)) return parse_error("truncated metrics line");
   {
     std::istringstream ls(line);
     for (std::size_t i = 0; i < num_metrics; ++i)
-      if (!(ls >> x[i])) return std::nullopt;
+      if (!(ls >> x[i]))
+        return parse_error("unreadable metric " + std::to_string(i));
   }
 
   auto config_hdr = expect(in, "config");
-  if (!config_hdr) return std::nullopt;
+  if (!config_hdr) return parse_error("bad or missing 'config' section");
   ScenarioConfig cfg;
   if (!(*config_hdr >> cfg.delay_min_ms >> cfg.delay_max_ms >>
         cfg.thresholds.lower >> cfg.thresholds.upper >> cfg.per_path_cap_ms >>
         cfg.margin_ms))
-    return std::nullopt;
+    return parse_error("unreadable 'config' values");
 
-  return Scenario::restore(std::move(g), std::move(monitors),
-                           std::move(paths), std::move(x), cfg);
+  std::optional<Scenario> sc = Scenario::restore(
+      std::move(g), std::move(monitors), std::move(paths), std::move(x), cfg);
+  if (!sc)
+    return Error{ErrorCode::kInvalidInput,
+                 "recorded paths do not identify the link metrics"};
+  return std::move(*sc);
+}
+
+std::optional<Scenario> load_scenario(std::istream& in) {
+  auto sc = load_scenario_checked(in);
+  if (!sc.ok()) return std::nullopt;
+  return std::move(*sc);
 }
 
 bool save_scenario_file(const std::string& path, const Scenario& scenario) {
@@ -155,10 +219,18 @@ bool save_scenario_file(const std::string& path, const Scenario& scenario) {
   return static_cast<bool>(out);
 }
 
-std::optional<Scenario> load_scenario_file(const std::string& path) {
+robust::Expected<Scenario> load_scenario_checked_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) return std::nullopt;
-  return load_scenario(in);
+  if (!in)
+    return robust::Error{robust::ErrorCode::kIoError,
+                         "cannot open " + path};
+  return load_scenario_checked(in);
+}
+
+std::optional<Scenario> load_scenario_file(const std::string& path) {
+  auto sc = load_scenario_checked_file(path);
+  if (!sc.ok()) return std::nullopt;
+  return std::move(*sc);
 }
 
 }  // namespace scapegoat

@@ -20,14 +20,22 @@
 #include <string>
 
 #include "core/scenario.hpp"
+#include "robust/expected.hpp"
 
 namespace scapegoat {
 
 void save_scenario(std::ostream& out, const Scenario& scenario);
 bool save_scenario_file(const std::string& path, const Scenario& scenario);
 
-// Parses a saved scenario; nullopt on malformed input or when the recorded
-// paths don't form an identifiable system on the recorded topology.
+// Parses a saved scenario with a typed diagnostic on failure: kParseError
+// for malformed/truncated sections (the message names the section),
+// kInvalidInput for absurd header counts (guards against corrupted files
+// demanding gigabyte allocations) or non-identifiable recorded paths, and
+// kIoError when the file can't be opened.
+robust::Expected<Scenario> load_scenario_checked(std::istream& in);
+robust::Expected<Scenario> load_scenario_checked_file(const std::string& path);
+
+// Convenience wrappers that collapse the diagnostic to nullopt.
 std::optional<Scenario> load_scenario(std::istream& in);
 std::optional<Scenario> load_scenario_file(const std::string& path);
 

@@ -11,4 +11,22 @@ DetectionOutcome detect_scapegoating(const TomographyEstimator& estimator,
   return out;
 }
 
+robust::Expected<DegradedDetectionOutcome> detect_scapegoating_degraded(
+    const TomographyEstimator& estimator,
+    const robust::DegradedMeasurement& y_observed, const DetectorOptions& opt,
+    const robust::DegradedOptions& solve_opt) {
+  auto est = robust::degraded_estimate(estimator.r(), y_observed, solve_opt);
+  if (!est.ok()) return est.error();
+  auto residual =
+      robust::degraded_residual_norm1(estimator.r(), y_observed, est->x);
+  if (!residual.ok()) return residual.error();
+
+  DegradedDetectionOutcome out;
+  out.residual_norm1 = *residual;
+  out.detected = out.residual_norm1 > opt.alpha;
+  out.paths_used = est->paths_used;
+  out.method = est->method;
+  return out;
+}
+
 }  // namespace scapegoat

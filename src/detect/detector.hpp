@@ -13,6 +13,8 @@
 #pragma once
 
 #include "linalg/matrix.hpp"
+#include "robust/degraded.hpp"
+#include "robust/expected.hpp"
 #include "tomography/estimator.hpp"
 
 namespace scapegoat {
@@ -30,5 +32,24 @@ struct DetectionOutcome {
 DetectionOutcome detect_scapegoating(const TomographyEstimator& estimator,
                                      const Vector& y_observed,
                                      const DetectorOptions& opt = {});
+
+// Eq. 23 under measurement loss: rows that never produced a measurement are
+// dropped from both the estimate and the residual. The outcome reports how
+// many paths actually backed the verdict and which solver produced x̂ —
+// with the regularized fallback the residual also carries shrinkage bias,
+// so callers should weigh `method` before trusting a detection. Errors
+// (nothing measured, shape mismatch) come back structured, never as crashes.
+struct DegradedDetectionOutcome {
+  bool detected = false;
+  double residual_norm1 = 0.0;
+  std::size_t paths_used = 0;
+  robust::SolveMethod method = robust::SolveMethod::kFullRank;
+};
+
+robust::Expected<DegradedDetectionOutcome> detect_scapegoating_degraded(
+    const TomographyEstimator& estimator,
+    const robust::DegradedMeasurement& y_observed,
+    const DetectorOptions& opt = {},
+    const robust::DegradedOptions& solve_opt = {});
 
 }  // namespace scapegoat

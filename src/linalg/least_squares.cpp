@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <string>
 
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
@@ -22,6 +23,62 @@ std::optional<Vector> least_squares(const Matrix& a, const Vector& b,
     }
   }
   return std::nullopt;
+}
+
+robust::Expected<Vector> try_least_squares(const Matrix& a, const Vector& b,
+                                           LeastSquaresMethod method) {
+  if (a.rows() != b.size()) {
+    return robust::Error{robust::ErrorCode::kDimensionMismatch,
+                         std::to_string(b.size()) + " measurements for " +
+                             std::to_string(a.rows()) + " rows"};
+  }
+  if (a.rows() == 0 || a.cols() == 0) {
+    return robust::Error{robust::ErrorCode::kEmptyInput,
+                         "empty least-squares system"};
+  }
+  if (a.rows() < a.cols()) {
+    return robust::Error{robust::ErrorCode::kRankDeficient,
+                         "under-determined: " + std::to_string(a.rows()) +
+                             " rows for " + std::to_string(a.cols()) +
+                             " unknowns"};
+  }
+  auto x = least_squares(a, b, method);
+  if (!x) {
+    return robust::Error{robust::ErrorCode::kRankDeficient,
+                         "matrix is numerically rank deficient"};
+  }
+  return *x;
+}
+
+robust::Expected<Vector> ridge_least_squares(const Matrix& a, const Vector& b,
+                                             double lambda,
+                                             const Vector* prior) {
+  if (lambda <= 0.0) {
+    return robust::Error{robust::ErrorCode::kInvalidInput,
+                         "ridge solve requires lambda > 0"};
+  }
+  if (a.rows() != b.size() ||
+      (prior != nullptr && prior->size() != a.cols())) {
+    return robust::Error{robust::ErrorCode::kDimensionMismatch,
+                         "rhs/prior sizes do not match the matrix"};
+  }
+  if (a.cols() == 0) {
+    return robust::Error{robust::ErrorCode::kEmptyInput,
+                         "ridge solve with no unknowns"};
+  }
+  Matrix normal = a.transposed() * a;
+  for (std::size_t i = 0; i < normal.rows(); ++i) normal(i, i) += lambda;
+  CholeskyDecomposition chol(normal);
+  if (!chol.ok()) {
+    return robust::Error{robust::ErrorCode::kIllConditioned,
+                         "regularized normal matrix failed to factor"};
+  }
+  Vector rhs = a.transposed() * b;
+  if (prior != nullptr) {
+    for (std::size_t i = 0; i < rhs.size(); ++i)
+      rhs[i] += lambda * (*prior)[i];
+  }
+  return chol.solve(rhs);
 }
 
 Vector residual(const Matrix& a, const Vector& x, const Vector& b) {

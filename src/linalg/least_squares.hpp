@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "robust/expected.hpp"
 
 namespace scapegoat {
 
@@ -25,6 +26,22 @@ enum class LeastSquaresMethod {
 std::optional<Vector> least_squares(
     const Matrix& a, const Vector& b,
     LeastSquaresMethod method = LeastSquaresMethod::kQr);
+
+// Checked variant: names the failure instead of nullopt/assert —
+//   kDimensionMismatch  |b| ≠ rows(a),
+//   kEmptyInput         a has no rows or no columns,
+//   kRankDeficient      under-determined or numerically rank deficient.
+robust::Expected<Vector> try_least_squares(
+    const Matrix& a, const Vector& b,
+    LeastSquaresMethod method = LeastSquaresMethod::kQr);
+
+// Tikhonov solve min ‖a x − b‖₂² + λ‖x − prior‖₂² via Cholesky on
+// aᵀa + λI. Defined for any shape of `a` when λ > 0 (the degraded-path
+// fallback); null prior means shrink toward zero. Errors: kInvalidInput for
+// λ ≤ 0, kDimensionMismatch, kIllConditioned if the factorization fails.
+robust::Expected<Vector> ridge_least_squares(const Matrix& a, const Vector& b,
+                                             double lambda,
+                                             const Vector* prior = nullptr);
 
 // Residual b − a x.
 Vector residual(const Matrix& a, const Vector& x, const Vector& b);

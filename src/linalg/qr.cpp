@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <numeric>
+#include <string>
 
 #include "util/thread_pool.hpp"
 
@@ -155,6 +156,27 @@ Matrix QrDecomposition::r() const {
 std::size_t matrix_rank(const Matrix& a, double tol) {
   if (a.rows() == 0 || a.cols() == 0) return 0;
   return QrDecomposition(a, QrDecomposition::Pivoting::kColumn).rank(tol);
+}
+
+robust::Expected<Matrix> try_pseudo_inverse(const Matrix& a) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return robust::Error{robust::ErrorCode::kEmptyInput,
+                         "pseudo-inverse of an empty matrix"};
+  }
+  if (a.rows() < a.cols()) {
+    return robust::Error{robust::ErrorCode::kRankDeficient,
+                         "fewer rows than columns (" +
+                             std::to_string(a.rows()) + "x" +
+                             std::to_string(a.cols()) + ")"};
+  }
+  QrDecomposition qr(a, QrDecomposition::Pivoting::kColumn);
+  if (!qr.full_column_rank()) {
+    return robust::Error{
+        robust::ErrorCode::kRankDeficient,
+        "numerical rank " + std::to_string(qr.rank()) + " of " +
+            std::to_string(a.cols()) + " columns"};
+  }
+  return pseudo_inverse(a);
 }
 
 Matrix pseudo_inverse(const Matrix& a) {

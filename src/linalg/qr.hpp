@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "robust/expected.hpp"
 
 namespace scapegoat {
 
@@ -60,5 +61,10 @@ std::size_t matrix_rank(const Matrix& a, double tol = 1e-10);
 // column-wise QR least-squares solves (better conditioned than forming aᵀa).
 // Asserts full column rank.
 Matrix pseudo_inverse(const Matrix& a);
+
+// Checked pseudo-inverse: reports rank deficiency (with the numerical rank
+// in the message) or an empty input as a structured error instead of
+// tripping the assert above. The crash-free entry point for degraded paths.
+robust::Expected<Matrix> try_pseudo_inverse(const Matrix& a);
 
 }  // namespace scapegoat

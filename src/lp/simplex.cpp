@@ -359,11 +359,17 @@ Solution Tableau::run() {
     sol.iterations = iterations_;
     if (s1 == SolveStatus::kIterationLimit) {
       sol.status = SolveStatus::kIterationLimit;
+      // Certificate: the basis and (not yet feasible) basic point where the
+      // pivot budget ran out, so the caller gets state, not a void.
+      sol.basis = basis_;
+      sol.x = extract_model_solution();
+      sol.objective = model_.objective_value(sol.x);
       return sol;
     }
     // Phase-1 LP is bounded below by 0, so kUnbounded cannot happen.
     if (obj_ > opt_.feas_tol) {
       sol.status = SolveStatus::kInfeasible;
+      sol.basis = basis_;
       return sol;
     }
     drive_out_artificials();
@@ -375,7 +381,15 @@ Solution Tableau::run() {
   const SolveStatus s2 = optimize();
   sol.iterations = iterations_;
   sol.status = s2;
-  if (s2 != SolveStatus::kOptimal) return sol;
+  sol.basis = basis_;
+  if (s2 != SolveStatus::kOptimal) {
+    if (s2 == SolveStatus::kIterationLimit) {
+      // Same certificate as phase 1, but the point is primal feasible here.
+      sol.x = extract_model_solution();
+      sol.objective = model_.objective_value(sol.x);
+    }
+    return sol;
+  }
 
   sol.x = extract_model_solution();
   sol.objective = model_.objective_value(sol.x);

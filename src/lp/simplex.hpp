@@ -29,6 +29,11 @@ struct Solution {
   double objective = 0.0;        // in the model's original sense
   std::vector<double> x;         // values of the model's variables
   std::size_t iterations = 0;    // total pivots over both phases
+  // Tableau basis at exit (basis[i] = column basic in row i) — on
+  // kIterationLimit this is the certificate of where the solver stopped:
+  // together with x (the basic point, feasible only if phase 1 finished) a
+  // caller can audit or warm-start instead of facing an empty result.
+  std::vector<std::size_t> basis;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };

@@ -1,0 +1,141 @@
+#include "robust/degraded.hpp"
+
+#include <cmath>
+
+#include "linalg/conditioning.hpp"
+#include "linalg/least_squares.hpp"
+#include "linalg/qr.hpp"
+
+namespace scapegoat::robust {
+
+std::size_t DegradedMeasurement::num_measured() const {
+  std::size_t n = 0;
+  for (bool m : measured)
+    if (m) ++n;
+  return n;
+}
+
+double DegradedMeasurement::measured_fraction() const {
+  return measured.empty()
+             ? 0.0
+             : static_cast<double>(num_measured()) / measured.size();
+}
+
+DegradedMeasurement DegradedMeasurement::all_measured(Vector y) {
+  DegradedMeasurement m;
+  m.measured.assign(y.size(), true);
+  m.y = std::move(y);
+  return m;
+}
+
+std::string to_string(SolveMethod method) {
+  switch (method) {
+    case SolveMethod::kFullRank:
+      return "full_rank";
+    case SolveMethod::kRegularizedFallback:
+      return "regularized_fallback";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Rows of (r, y) where the measurement actually exists.
+struct ReducedSystem {
+  Matrix r;
+  Vector y;
+};
+
+ReducedSystem drop_missing_rows(const Matrix& r, const DegradedMeasurement& m) {
+  ReducedSystem out;
+  const std::size_t kept = m.num_measured();
+  out.r = Matrix(kept, r.cols());
+  out.y = Vector(kept);
+  std::size_t row = 0;
+  for (std::size_t i = 0; i < m.measured.size(); ++i) {
+    if (!m.measured[i]) continue;
+    for (std::size_t j = 0; j < r.cols(); ++j) out.r(row, j) = r(i, j);
+    out.y[row] = m.y[i];
+    ++row;
+  }
+  return out;
+}
+
+}  // namespace
+
+Expected<DegradedEstimate> degraded_estimate(const Matrix& r,
+                                             const DegradedMeasurement& m,
+                                             const DegradedOptions& opt) {
+  if (m.measured.size() != r.rows() || m.y.size() != r.rows()) {
+    return Error{ErrorCode::kDimensionMismatch,
+                 "measurement mask/vector must have one entry per path row"};
+  }
+  if (r.cols() == 0) {
+    return Error{ErrorCode::kEmptyInput, "routing matrix has no links"};
+  }
+  const ReducedSystem sys = drop_missing_rows(r, m);
+  if (sys.r.rows() == 0) {
+    return Error{ErrorCode::kEmptyInput, "no measured paths survive"};
+  }
+
+  DegradedEstimate est;
+  est.paths_used = sys.r.rows();
+  est.rank = matrix_rank(sys.r);
+
+  // Full-rank certification via the conditioning diagnostic: it succeeds
+  // exactly when the reduced RᵀR is SPD, i.e. the drop left the link
+  // metrics identifiable, and reports κ for observability either way.
+  if (est.rank == sys.r.cols() && sys.r.rows() >= sys.r.cols()) {
+    if (auto cond = estimate_condition(sys.r)) {
+      auto x = least_squares(sys.r, sys.y, LeastSquaresMethod::kQr);
+      if (x) {
+        est.x = std::move(*x);
+        est.method = SolveMethod::kFullRank;
+        est.condition = cond->condition();
+        return est;
+      }
+    }
+  }
+
+  // Rank-deficient (or numerically untrustworthy) drop: ridge fallback,
+  // defined for any shape when λ > 0.
+  const double lambda = opt.ridge_lambda > 0.0 ? opt.ridge_lambda : 1e-3;
+  const Vector* prior =
+      (opt.prior != nullptr && opt.prior->size() == sys.r.cols())
+          ? opt.prior
+          : nullptr;
+  auto fallback = ridge_least_squares(sys.r, sys.y, lambda, prior);
+  if (!fallback.ok()) return fallback.error();
+  est.x = std::move(*fallback);
+  est.method = SolveMethod::kRegularizedFallback;
+  est.condition = 0.0;
+  return est;
+}
+
+Expected<double> degraded_residual_norm1(const Matrix& r,
+                                         const DegradedMeasurement& m,
+                                         const Vector& x) {
+  if (m.measured.size() != r.rows() || m.y.size() != r.rows()) {
+    return Error{ErrorCode::kDimensionMismatch,
+                 "measurement mask/vector must have one entry per path row"};
+  }
+  if (x.size() != r.cols()) {
+    return Error{ErrorCode::kDimensionMismatch,
+                 "estimate must have one entry per link column"};
+  }
+  double acc = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    if (!m.measured[i]) continue;
+    double predicted = 0.0;
+    for (std::size_t j = 0; j < r.cols(); ++j) predicted += r(i, j) * x[j];
+    acc += std::abs(m.y[i] - predicted);
+    ++used;
+  }
+  if (used == 0) {
+    return Error{ErrorCode::kEmptyInput, "no measured paths survive"};
+  }
+  return acc;
+}
+
+}  // namespace scapegoat::robust

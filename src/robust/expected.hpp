@@ -1,0 +1,115 @@
+// Structured error taxonomy for degraded-input paths.
+//
+// The fault-tolerance layer replaces assert/crash paths with values of
+// `Expected<T>`: either a result or an `Error{code, message}` that names
+// what failed in terms a caller can branch on (rank deficiency, missing
+// measurements, iteration limits, malformed input). The taxonomy is shared
+// across layers — linalg solvers, the tomography estimator, the detector,
+// the LP, recovery and the loaders all speak the same codes — so a chaos
+// sweep can account for every trial without string matching.
+//
+// Header-only on purpose: linalg sits below the robust library in the link
+// graph but still returns these types.
+
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace scapegoat::robust {
+
+enum class ErrorCode {
+  kInvalidInput,       // argument outside the documented domain
+  kEmptyInput,         // nothing to operate on (e.g. zero measured paths)
+  kDimensionMismatch,  // shapes disagree (|y| ≠ |paths|, ...)
+  kRankDeficient,      // reduced system does not identify the unknowns
+  kIllConditioned,     // factorization failed to working precision
+  kIterationLimit,     // iterative method hit its cap before converging
+  kMissingData,        // required measurements never arrived
+  kParseError,         // malformed persisted input
+  kIoError,            // file/stream could not be read or written
+};
+
+inline std::string to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kInvalidInput:
+      return "invalid_input";
+    case ErrorCode::kEmptyInput:
+      return "empty_input";
+    case ErrorCode::kDimensionMismatch:
+      return "dimension_mismatch";
+    case ErrorCode::kRankDeficient:
+      return "rank_deficient";
+    case ErrorCode::kIllConditioned:
+      return "ill_conditioned";
+    case ErrorCode::kIterationLimit:
+      return "iteration_limit";
+    case ErrorCode::kMissingData:
+      return "missing_data";
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kIoError:
+      return "io_error";
+  }
+  return "unknown";
+}
+
+struct Error {
+  ErrorCode code = ErrorCode::kInvalidInput;
+  std::string message;
+
+  std::string to_string() const {
+    return message.empty() ? robust::to_string(code)
+                           : robust::to_string(code) + ": " + message;
+  }
+};
+
+// Minimal expected/result type: holds either a T or an Error. `value()` and
+// `error()` assert the matching state, so misuse fails loudly in debug while
+// callers that branch on ok() never crash.
+template <typename T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : storage_(std::move(value)) {}  // NOLINT(implicit)
+  Expected(Error error) : storage_(std::move(error)) {}  // NOLINT(implicit)
+
+  bool ok() const { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  const T& value() const {
+    assert(ok());
+    return std::get<T>(storage_);
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(storage_);
+  }
+  ErrorCode code() const { return error().code; }
+
+  // The value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+// Convenience for operations with no payload (e.g. validation passes).
+struct Unit {};
+using Status = Expected<Unit>;
+
+inline Status ok_status() { return Status(Unit{}); }
+
+}  // namespace scapegoat::robust

@@ -1,0 +1,73 @@
+#include "robust/faults.hpp"
+
+#include "util/random.hpp"
+
+namespace scapegoat::robust {
+
+namespace {
+
+// Fault-kind namespaces, mirroring the experiment engine's stream salts: no
+// two fault kinds ever share a hash stream, so e.g. the loss decision for
+// probe (p, k) is independent of its duplicate decision.
+constexpr std::uint64_t kLossSalt = 0x10551ull;
+constexpr std::uint64_t kDuplicateSalt = 0xd0bb1eull;
+constexpr std::uint64_t kReorderSalt = 0x2e02de2ull;
+constexpr std::uint64_t kJitterSalt = 0xc10cc1ull;
+constexpr std::uint64_t kLinkSalt = 0x11f41ull;
+constexpr std::uint64_t kMonitorSalt = 0x303170ull;
+
+}  // namespace
+
+double FaultInjector::unit(std::uint64_t salt, std::uint64_t a,
+                           std::uint64_t b, std::uint64_t c) const {
+  // Chain the splitmix64 finalizer with the accumulated state as the mixed
+  // operand each round (derive_seed(k, s) = k ^ mix(s)), ending on a bare
+  // mix so the last key diffuses into every bit. XORing pre-mixed keys
+  // instead would be linear: two seeds differing in a low bit — or two
+  // retry rounds — would flip the same constant pattern across all draws.
+  std::uint64_t s = seed_ ^ salt;
+  s = derive_seed(a, s);
+  s = derive_seed(b, s);
+  s = derive_seed(c, s);
+  s = derive_seed(0, s);
+  // Top 53 bits give a uniform double in [0, 1).
+  return static_cast<double>(s >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::probe_lost(std::size_t path, std::size_t probe,
+                               std::uint64_t attempt) const {
+  return spec_.probe_loss_rate > 0.0 &&
+         unit(kLossSalt, path, probe, attempt) < spec_.probe_loss_rate;
+}
+
+bool FaultInjector::probe_duplicated(std::size_t path, std::size_t probe,
+                                     std::uint64_t attempt) const {
+  return spec_.duplicate_rate > 0.0 &&
+         unit(kDuplicateSalt, path, probe, attempt) < spec_.duplicate_rate;
+}
+
+bool FaultInjector::probe_reordered(std::size_t path, std::size_t probe,
+                                    std::uint64_t attempt) const {
+  return spec_.reorder_rate > 0.0 &&
+         unit(kReorderSalt, path, probe, attempt) < spec_.reorder_rate;
+}
+
+double FaultInjector::clock_jitter(std::size_t path, std::size_t probe,
+                                   std::uint64_t attempt) const {
+  if (spec_.clock_jitter_ms <= 0.0) return 0.0;
+  // Map [0,1) to (-jitter, +jitter).
+  return (2.0 * unit(kJitterSalt, path, probe, attempt) - 1.0) *
+         spec_.clock_jitter_ms;
+}
+
+bool FaultInjector::link_failed(std::size_t link) const {
+  return spec_.link_failure_rate > 0.0 &&
+         unit(kLinkSalt, link, 0, 0) < spec_.link_failure_rate;
+}
+
+bool FaultInjector::monitor_down(std::size_t node) const {
+  return spec_.monitor_outage_rate > 0.0 &&
+         unit(kMonitorSalt, node, 0, 0) < spec_.monitor_outage_rate;
+}
+
+}  // namespace scapegoat::robust

@@ -1,0 +1,75 @@
+// Deterministic, seed-split fault schedules for the measurement plane.
+//
+// A `FaultInjector` answers "does fault F hit entity E?" as a pure function
+// of (seed, fault-kind salt, entity keys) — no shared RNG stream, no
+// mutation. That makes the schedule independent of query order, retry
+// interleaving and thread count: the same (seed, trial) pair always yields
+// the same failures, which is what lets the chaos harness demand bitwise
+// identical results at 1/2/4/8 workers (the same discipline as the
+// experiment engine's per-trial derive_seed streams).
+//
+// Fault kinds cover the measurement plane end to end:
+//   * per-probe transit loss and (deadline-relative) timeouts,
+//   * duplicated and reordered delivery at the receiving monitor,
+//   * whole-run monitor outages and link failures,
+//   * measurement-clock jitter on recorded delays.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace scapegoat::robust {
+
+struct FaultSpec {
+  double probe_loss_rate = 0.0;     // P(a probe vanishes in transit)
+  double duplicate_rate = 0.0;      // P(a delivered probe arrives twice)
+  double reorder_rate = 0.0;        // P(a probe is held past its successors)
+  double reorder_extra_ms = 5.0;    // extra latency a reordered probe incurs
+  double monitor_outage_rate = 0.0; // P(a monitor is down for the whole run)
+  double link_failure_rate = 0.0;   // P(a link is down for the whole run)
+  double clock_jitter_ms = 0.0;     // recorded delay ± U[0, this) clock error
+
+  bool any() const {
+    return probe_loss_rate > 0.0 || duplicate_rate > 0.0 ||
+           reorder_rate > 0.0 || monitor_outage_rate > 0.0 ||
+           link_failure_rate > 0.0 || clock_jitter_ms > 0.0;
+  }
+};
+
+class FaultInjector {
+ public:
+  // Default-constructed injector never faults (spec all zeros).
+  FaultInjector() = default;
+  FaultInjector(FaultSpec spec, std::uint64_t seed)
+      : spec_(spec), seed_(seed) {}
+
+  const FaultSpec& spec() const { return spec_; }
+
+  // Per-probe decisions; `attempt` is the retry round, so re-sent probes
+  // draw fresh (but still deterministic) fates.
+  bool probe_lost(std::size_t path, std::size_t probe,
+                  std::uint64_t attempt) const;
+  bool probe_duplicated(std::size_t path, std::size_t probe,
+                        std::uint64_t attempt) const;
+  bool probe_reordered(std::size_t path, std::size_t probe,
+                       std::uint64_t attempt) const;
+  // Signed clock error in (-jitter, +jitter) ms applied to the recorded
+  // delay (zero when the spec disables clock jitter).
+  double clock_jitter(std::size_t path, std::size_t probe,
+                      std::uint64_t attempt) const;
+
+  // Whole-run outages (constant for a given injector).
+  bool link_failed(std::size_t link) const;
+  bool monitor_down(std::size_t node) const;
+
+ private:
+  // Uniform [0,1) that depends only on (seed, salt, keys).
+  double unit(std::uint64_t salt, std::uint64_t a, std::uint64_t b,
+              std::uint64_t c) const;
+
+  FaultSpec spec_;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace scapegoat::robust

@@ -1,0 +1,31 @@
+#include "robust/retry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace scapegoat::robust {
+
+double RetryPolicy::deadline_for(std::size_t attempt) const {
+  if (probe_deadline_ms <= 0.0) return 0.0;
+  return probe_deadline_ms * std::pow(backoff_factor,
+                                      static_cast<double>(attempt));
+}
+
+double RetryPolicy::backoff_before(std::size_t attempt) const {
+  if (attempt == 0 || backoff_base_ms <= 0.0) return 0.0;
+  return backoff_base_ms * std::pow(backoff_factor,
+                                    static_cast<double>(attempt - 1));
+}
+
+double median(std::vector<double> samples) {
+  if (samples.empty()) return 0.0;
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + mid, samples.end());
+  const double upper = samples[mid];
+  if (samples.size() % 2 == 1) return upper;
+  const double lower =
+      *std::max_element(samples.begin(), samples.begin() + mid);
+  return 0.5 * (lower + upper);
+}
+
+}  // namespace scapegoat::robust

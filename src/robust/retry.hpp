@@ -1,0 +1,38 @@
+// Probing retry policy: how hard the measurement plane tries before a path
+// degrades to *missing*.
+//
+// In a discrete-event simulation the observable effect of exponential
+// backoff is the growing patience of each round: attempt k waits
+// `deadline · factor^k` before declaring a probe timed out, and the nominal
+// wall-clock spent backing off is reported for observability. Paths that
+// never deliver a probe within the attempt budget are reported missing —
+// never silently zero — so downstream layers can drop their rows instead of
+// solving against fabricated measurements.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace scapegoat::robust {
+
+struct RetryPolicy {
+  std::size_t max_retries = 2;      // total attempts = 1 + max_retries
+  double probe_deadline_ms = 0.0;   // 0 = no deadline; else per-probe, round 0
+  double backoff_base_ms = 10.0;    // nominal wait before retry k ≥ 1
+  double backoff_factor = 2.0;      // deadline and wait multiply per round
+
+  std::size_t attempts() const { return max_retries + 1; }
+
+  // Per-probe deadline in force during `attempt` (0-based); 0 = none.
+  double deadline_for(std::size_t attempt) const;
+
+  // Nominal wait inserted before `attempt` (attempt ≥ 1; 0 for the first).
+  double backoff_before(std::size_t attempt) const;
+};
+
+// Median of the collected samples (empty → 0). Used for median-of-retries
+// aggregation: robust to one attempt measuring through a transient fault.
+double median(std::vector<double> samples);
+
+}  // namespace scapegoat::robust

@@ -1,0 +1,62 @@
+#include "simnet/resilient_probing.hpp"
+
+#include <algorithm>
+
+namespace scapegoat::simnet {
+
+robust::DegradedMeasurement probe_with_retries(
+    Simulator& sim, const std::vector<Path>& paths, const ProbeOptions& base,
+    const robust::FaultInjector& faults, const robust::RetryPolicy& policy,
+    ResilientProbeStats* stats) {
+  const std::size_t n = paths.size();
+  std::vector<std::vector<double>> samples(n);
+  ResilientProbeStats acc;
+  std::vector<bool> missing_after_first(n, false);
+
+  // Every round probes the full path set (per-round fault decisions are
+  // keyed by path index, so subsetting would re-key them): already-measured
+  // paths collect extra samples for the median, unmeasured ones get their
+  // retry. Rounds stop as soon as every path has at least one sample.
+  for (std::size_t attempt = 0; attempt < policy.attempts(); ++attempt) {
+    ProbeOptions opt = base;
+    opt.faults = &faults;
+    opt.fault_attempt = attempt;
+    opt.probe_deadline_ms = policy.deadline_for(attempt);
+    acc.backoff_wait_ms += policy.backoff_before(attempt);
+
+    const ProbeRun run = sim.run_probes(paths, opt);
+    ++acc.attempts_used;
+    for (std::size_t p = 0; p < n; ++p) {
+      const PathMeasurement& m = run.per_path[p];
+      acc.probes_sent += m.sent;
+      acc.probes_timed_out += m.timed_out;
+      acc.probes_lost += m.sent - m.delivered - m.timed_out;
+      if (m.measured()) samples[p].push_back(m.mean_delay_ms());
+    }
+    if (attempt == 0) {
+      for (std::size_t p = 0; p < n; ++p)
+        missing_after_first[p] = samples[p].empty();
+    }
+    const bool all_measured = std::none_of(
+        samples.begin(), samples.end(),
+        [](const std::vector<double>& s) { return s.empty(); });
+    if (all_measured) break;
+  }
+
+  robust::DegradedMeasurement out;
+  out.y = Vector(n);
+  out.measured.assign(n, false);
+  for (std::size_t p = 0; p < n; ++p) {
+    if (samples[p].empty()) {
+      ++acc.paths_missing;
+      continue;
+    }
+    out.measured[p] = true;
+    out.y[p] = robust::median(samples[p]);
+    if (missing_after_first[p]) ++acc.paths_recovered;
+  }
+  if (stats != nullptr) *stats = acc;
+  return out;
+}
+
+}  // namespace scapegoat::simnet

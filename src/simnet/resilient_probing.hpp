@@ -1,0 +1,43 @@
+// Retry-driven measurement on top of the packet simulator.
+//
+// `probe_with_retries` closes the loop the robustness layer needs: it runs
+// probe rounds under a deterministic fault schedule, re-probing paths that
+// have not yet produced a usable sample, with exponentially growing
+// per-probe deadlines (the DES-observable form of backoff). Each round
+// contributes one sample — that round's mean delivered delay — per path it
+// measured, and the final per-path value is the median of its samples
+// (median-of-retries: one round measured through a transient fault cannot
+// drag the reported delay). Paths that never deliver a probe within the
+// attempt budget come back *missing* in the DegradedMeasurement, never as a
+// silent zero.
+
+#pragma once
+
+#include <vector>
+
+#include "robust/degraded.hpp"
+#include "robust/faults.hpp"
+#include "robust/retry.hpp"
+#include "simnet/simulator.hpp"
+
+namespace scapegoat::simnet {
+
+struct ResilientProbeStats {
+  std::size_t attempts_used = 0;    // probe rounds actually run
+  std::size_t probes_sent = 0;      // over all rounds
+  std::size_t probes_lost = 0;      // vanished in transit (all rounds)
+  std::size_t probes_timed_out = 0; // arrived past the round's deadline
+  std::size_t paths_recovered = 0;  // missing after round 0, measured later
+  std::size_t paths_missing = 0;    // still unmeasured after all rounds
+  double backoff_wait_ms = 0.0;     // nominal wall-clock spent backing off
+};
+
+// Measures `paths` with up to `policy.attempts()` rounds. Fault decisions
+// are salted by the round index, so the schedule stays a pure function of
+// (injector seed, path, probe, round) — deterministic at any thread count.
+robust::DegradedMeasurement probe_with_retries(
+    Simulator& sim, const std::vector<Path>& paths, const ProbeOptions& base,
+    const robust::FaultInjector& faults, const robust::RetryPolicy& policy,
+    ResilientProbeStats* stats = nullptr);
+
+}  // namespace scapegoat::simnet

@@ -60,6 +60,13 @@ Vector ProbeRun::loss_metrics() const {
   return y;
 }
 
+std::size_t ProbeRun::missing_paths() const {
+  std::size_t n = 0;
+  for (const PathMeasurement& m : per_path)
+    if (!m.measured()) ++n;
+  return n;
+}
+
 Simulator::Simulator(const Graph& g, std::vector<LinkModel> links,
                      const Adversary& adversary, Rng& rng)
     : g_(g), links_(std::move(links)), adversary_(adversary), rng_(rng) {
@@ -74,6 +81,7 @@ ProbeRun Simulator::run_probes(const std::vector<Path>& paths,
   struct Packet {
     std::size_t path = 0;
     std::size_t hop = 0;  // next link index within the path
+    std::size_t seq = 0;  // probe index within the path (fault keys)
     double sent_time = 0.0;
     bool attacked = false;  // adversary already acted on this packet
   };
@@ -85,16 +93,24 @@ ProbeRun Simulator::run_probes(const std::vector<Path>& paths,
   EventQueue queue;
   events_processed_ = 0;
 
-  // Schedule all probe spawns.
+  const robust::FaultInjector* faults = opt.faults;
+
+  // Schedule all probe spawns. Paths whose endpoint monitor is down under
+  // the fault schedule send nothing at all — the path degrades to missing.
   for (std::size_t p = 0; p < paths.size(); ++p) {
     assert(is_valid_simple_path(g_, paths[p]));
+    if (faults != nullptr && (faults->monitor_down(paths[p].source()) ||
+                              faults->monitor_down(paths[p].destination()))) {
+      run.per_path[p].monitor_down = true;
+      continue;
+    }
     for (std::size_t k = 0; k < opt.probes_per_path; ++k) {
       Event e;
       e.kind = Event::Kind::kSpawn;
       e.time_ms = static_cast<double>(p) * opt.path_stagger_ms +
                   static_cast<double>(k) * opt.probe_spacing_ms;
       e.packet = packets.size();
-      packets.push_back(Packet{p, 0, 0.0, false});
+      packets.push_back(Packet{p, 0, k, 0.0, false});
       queue.push(e);
     }
   }
@@ -121,6 +137,9 @@ ProbeRun Simulator::run_probes(const std::vector<Path>& paths,
     const Path& path = paths[pkt.path];
     const LinkId link = path.links[pkt.hop];
     const LinkModel& model = links_[link];
+
+    // Injected link failure: a failed link delivers nothing all run.
+    if (faults != nullptr && faults->link_failed(link)) return;
 
     // Loss channel.
     if (!opt.link_delivery_prob.empty() &&
@@ -158,6 +177,11 @@ ProbeRun Simulator::run_probes(const std::vector<Path>& paths,
       case Event::Kind::kSpawn: {
         pkt.sent_time = e.time_ms;
         ++run.per_path[pkt.path].sent;
+        // Injected transit loss: the probe counts as sent but vanishes.
+        if (faults != nullptr &&
+            faults->probe_lost(pkt.path, pkt.seq, opt.fault_attempt)) {
+          break;
+        }
         start_transmission(e.packet, e.time_ms);
         break;
       }
@@ -165,8 +189,33 @@ ProbeRun Simulator::run_probes(const std::vector<Path>& paths,
         const NodeId node = e.place;
         if (node == path.destination()) {
           PathMeasurement& m = run.per_path[pkt.path];
+          double delay = e.time_ms - pkt.sent_time;
+          if (faults != nullptr) {
+            // Reordered delivery: the probe is held past its successors and
+            // the monitor records the late arrival.
+            if (faults->probe_reordered(pkt.path, pkt.seq,
+                                        opt.fault_attempt)) {
+              delay += faults->spec().reorder_extra_ms;
+              ++m.reordered;
+            }
+            // Measurement-clock jitter on the recorded value only.
+            delay = std::max(
+                0.0, delay + faults->clock_jitter(pkt.path, pkt.seq,
+                                                  opt.fault_attempt));
+          }
+          if (opt.probe_deadline_ms > 0.0 && delay > opt.probe_deadline_ms) {
+            ++m.timed_out;  // arrived, but past the deadline: unusable
+            break;
+          }
           ++m.delivered;
-          m.total_delay_ms += e.time_ms - pkt.sent_time;
+          m.total_delay_ms += delay;
+          // Duplicated delivery: the monitor dedups by probe sequence
+          // number, so duplicates are observable but don't skew the mean.
+          if (faults != nullptr &&
+              faults->probe_duplicated(pkt.path, pkt.seq,
+                                       opt.fault_attempt)) {
+            ++m.duplicates;
+          }
           break;
         }
         // Adversarial action at the first malicious hop.

@@ -21,10 +21,12 @@
 
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "linalg/matrix.hpp"
+#include "robust/faults.hpp"
 #include "simnet/event_queue.hpp"
 #include "util/random.hpp"
 
@@ -102,12 +104,27 @@ struct ProbeOptions {
   // one service time. Only observable when LinkModel::service_ms > 0.
   std::size_t background_packets_per_link = 0;
   double background_window_ms = 100.0;
+  // Optional deterministic fault schedule (robust/faults.hpp). Null means
+  // fault-free; the RNG draw sequence is then identical to a build without
+  // the fault layer, so pre-existing seeds reproduce bit-for-bit.
+  const robust::FaultInjector* faults = nullptr;
+  // Retry round this run belongs to: salts per-probe fault decisions so a
+  // re-sent probe draws a fresh (still deterministic) fate.
+  std::uint64_t fault_attempt = 0;
+  // Per-probe deadline: a probe whose measured delay exceeds this counts as
+  // timed out, not delivered. 0 disables the deadline.
+  double probe_deadline_ms = 0.0;
 };
 
 struct PathMeasurement {
   std::size_t sent = 0;
   std::size_t delivered = 0;
   double total_delay_ms = 0.0;  // over delivered probes
+  // Degraded-delivery accounting (all zero in fault-free runs).
+  std::size_t timed_out = 0;    // arrived past the probe deadline
+  std::size_t duplicates = 0;   // extra copies the monitor deduplicated
+  std::size_t reordered = 0;    // delivered behind a later-sent probe
+  bool monitor_down = false;    // endpoint monitor was out; nothing sent
 
   double mean_delay_ms() const {
     return delivered == 0 ? 0.0 : total_delay_ms / delivered;
@@ -115,6 +132,8 @@ struct PathMeasurement {
   double delivery_ratio() const {
     return sent == 0 ? 0.0 : static_cast<double>(delivered) / sent;
   }
+  // A path is measured only when at least one probe survived end to end.
+  bool measured() const { return delivered > 0; }
 };
 
 struct ProbeRun {
@@ -124,6 +143,8 @@ struct ProbeRun {
   Vector mean_delays() const;
   // −log(delivery ratio) per path: the additive loss metric (§II-A).
   Vector loss_metrics() const;
+  // Paths with no delivered probe (lost, timed out, or monitor down).
+  std::size_t missing_paths() const;
 };
 
 class Simulator {

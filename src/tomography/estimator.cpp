@@ -1,6 +1,7 @@
 #include "tomography/estimator.hpp"
 
 #include <cassert>
+#include <string>
 
 #include "linalg/qr.hpp"
 #include "tomography/routing_matrix.hpp"
@@ -22,6 +23,20 @@ Vector TomographyEstimator::estimate(const Vector& y) const {
   auto x = least_squares(r_, y, method_);
   assert(x.has_value());  // guaranteed by ok_
   return *x;
+}
+
+robust::Expected<Vector> TomographyEstimator::try_estimate(
+    const Vector& y) const {
+  if (y.size() != paths_.size()) {
+    return robust::Error{robust::ErrorCode::kDimensionMismatch,
+                         std::to_string(y.size()) + " measurements for " +
+                             std::to_string(paths_.size()) + " paths"};
+  }
+  if (!ok_) {
+    return robust::Error{robust::ErrorCode::kRankDeficient,
+                         "path set does not identify the link metrics"};
+  }
+  return try_least_squares(r_, y, method_);
 }
 
 const Matrix& TomographyEstimator::pseudo_inverse() const {

@@ -15,6 +15,7 @@
 #include "graph/graph.hpp"
 #include "linalg/least_squares.hpp"
 #include "linalg/matrix.hpp"
+#include "robust/expected.hpp"
 #include "tomography/link_state.hpp"
 
 namespace scapegoat {
@@ -34,6 +35,11 @@ class TomographyEstimator {
 
   // x̂ from end-to-end measurements y (requires ok()).
   Vector estimate(const Vector& y) const;
+
+  // Checked estimate: kRankDeficient when the path set is not identifiable
+  // (ok() == false), kDimensionMismatch when |y| ≠ |paths|. Never asserts —
+  // the entry point for measurements that may be degraded or hostile.
+  robust::Expected<Vector> try_estimate(const Vector& y) const;
 
   // Cached Moore-Penrose pseudo-inverse G = R⁺ (requires ok()).
   const Matrix& pseudo_inverse() const;

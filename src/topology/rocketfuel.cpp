@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <sstream>
+#include <string>
 
 namespace scapegoat {
 
@@ -26,21 +27,43 @@ class IdMapper {
   std::unordered_map<long, NodeId> map_;
 };
 
+// Diagnostics stay bounded on pathological inputs: every skip is counted,
+// but only the first few carry a line-numbered message.
+constexpr std::size_t kMaxWarnings = 20;
+
+void skip_line(LoadedTopology& topo, std::size_t line_no,
+               const std::string& why) {
+  ++topo.skipped_lines;
+  if (topo.warnings.size() < kMaxWarnings) {
+    topo.warnings.push_back("line " + std::to_string(line_no) + ": " + why);
+  }
+}
+
 }  // namespace
 
 std::optional<LoadedTopology> load_edge_list(std::istream& in) {
   LoadedTopology topo;
   IdMapper ids(topo);
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(in, line)) {
+    ++line_no;
     const auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
     std::istringstream ls(line);
     long u, v;
     if (!(ls >> u)) continue;  // blank / comment-only line
-    if (!(ls >> v)) return std::nullopt;
+    if (!(ls >> v)) {
+      // Truncated pair (common failure: a cut-off download) — skip the
+      // line, keep the rest of the file.
+      skip_line(topo, line_no, "expected 'u v' pair, got one id");
+      continue;
+    }
     long extra;
-    if (ls >> extra) return std::nullopt;  // more than two ids on a line
+    if (ls >> extra) {
+      skip_line(topo, line_no, "more than two ids on a line");
+      continue;
+    }
     // Sequence the id lookups: argument evaluation order is unspecified and
     // node numbering should follow first appearance in the file.
     const NodeId nu = ids.get(u);
@@ -55,8 +78,10 @@ std::optional<LoadedTopology> load_rocketfuel_cch(std::istream& in) {
   LoadedTopology topo;
   IdMapper ids(topo);
   std::string line;
+  std::size_t line_no = 0;
   bool found_edges = false;
   while (std::getline(in, line)) {
+    ++line_no;
     std::istringstream ls(line);
     long uid;
     if (!(ls >> uid)) continue;
@@ -80,7 +105,8 @@ std::optional<LoadedTopology> load_rocketfuel_cch(std::istream& in) {
             found_edges = true;
           }
         } catch (const std::exception&) {
-          return std::nullopt;  // "<garbage>" — malformed file
+          // "<garbage>" — drop the unreadable ref, keep the line's others.
+          skip_line(topo, line_no, "unreadable neighbor ref " + token);
         }
       }
       // "{-euid}" external refs and "=name"/"rn" trailers are skipped.

@@ -25,15 +25,21 @@ struct LoadedTopology {
   Graph graph;
   // Original router uid for each NodeId.
   std::vector<long> original_ids;
+  // Skip-with-diagnostic accounting: malformed or truncated lines do not
+  // abort the load, they are counted here with line-numbered messages (the
+  // messages are capped; `skipped_lines` is always the true total).
+  std::vector<std::string> warnings;
+  std::size_t skipped_lines = 0;
 };
 
-// Parses an edge list. Returns nullopt on malformed input.
+// Parses an edge list. Malformed lines are skipped with a diagnostic;
+// returns nullopt only when nothing usable was found in the stream.
 std::optional<LoadedTopology> load_edge_list(std::istream& in);
 
 // Parses the Rocketfuel .cch router-level format. Unknown tokens are
 // skipped; a line contributes edges only if it starts with a router uid and
-// contains "-> <id> ..." neighbor references. Returns nullopt if no edges
-// were found.
+// contains "-> <id> ..." neighbor references. Garbled neighbor refs are
+// skipped with a diagnostic. Returns nullopt if no edges were found.
 std::optional<LoadedTopology> load_rocketfuel_cch(std::istream& in);
 
 // Convenience wrappers over files. nullopt if the file can't be opened or

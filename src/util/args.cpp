@@ -1,5 +1,7 @@
 #include "util/args.hpp"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 
@@ -47,10 +49,16 @@ long ArgParser::get_int(const std::string& flag, long fallback) {
   const auto it = flags_.find(flag);
   if (it == flags_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const long v = std::strtol(it->second.c_str(), &end, 10);
   if (end == it->second.c_str() || *end != '\0') {
     errors_.push_back("--" + flag + " expects an integer, got '" +
                       it->second + "'");
+    return fallback;
+  }
+  if (errno == ERANGE) {
+    errors_.push_back("--" + flag + " value out of range: '" + it->second +
+                      "'");
     return fallback;
   }
   return v;
@@ -61,9 +69,15 @@ double ArgParser::get_double(const std::string& flag, double fallback) {
   const auto it = flags_.find(flag);
   if (it == flags_.end()) return fallback;
   char* end = nullptr;
+  errno = 0;
   const double v = std::strtod(it->second.c_str(), &end);
   if (end == it->second.c_str() || *end != '\0') {
     errors_.push_back("--" + flag + " expects a number, got '" + it->second +
+                      "'");
+    return fallback;
+  }
+  if (errno == ERANGE || !std::isfinite(v)) {
+    errors_.push_back("--" + flag + " value out of range: '" + it->second +
                       "'");
     return fallback;
   }
@@ -79,8 +93,9 @@ std::vector<long> ArgParser::get_int_list(const std::string& flag) {
   std::string piece;
   while (std::getline(stream, piece, ',')) {
     char* end = nullptr;
+    errno = 0;
     const long v = std::strtol(piece.c_str(), &end, 10);
-    if (end == piece.c_str() || *end != '\0') {
+    if (end == piece.c_str() || *end != '\0' || errno == ERANGE) {
       errors_.push_back("--" + flag + " expects integers, got '" + piece +
                         "'");
       return out;
@@ -91,9 +106,15 @@ std::vector<long> ArgParser::get_int_list(const std::string& flag) {
 }
 
 std::size_t ArgParser::get_threads(const std::string& flag) {
-  const long v = get_int(flag, 0);
-  if (v < 0) {
-    errors_.push_back("--" + flag + " expects a non-negative thread count");
+  const std::size_t errors_before = errors_.size();
+  const long v = get_int(flag, -1);
+  if (!has(flag)) return 0;  // absent = auto
+  if (errors_.size() > errors_before) return 0;  // get_int already complained
+  if (v <= 0) {
+    // An explicit 0 (or negative) worker count is a mistake, not "auto":
+    // the caller typed a value and the pool cannot run on zero workers.
+    errors_.push_back("--" + flag + " expects a positive thread count, got '" +
+                      get_string(flag) + "'");
     return 0;
   }
   return static_cast<std::size_t>(v);

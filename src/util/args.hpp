@@ -37,10 +37,10 @@ class ArgParser {
   // Comma-separated integer list, e.g. --attackers 3,17,42.
   std::vector<long> get_int_list(const std::string& flag);
 
-  // Standard `--threads N` flag shared by the benches and the CLI: 0 or
-  // absent means "auto" (hardware concurrency); negative values are
-  // recorded as errors. Feed the result to ThreadPool::set_global_threads
-  // or an experiment options struct.
+  // Standard `--threads N` flag shared by the benches and the CLI: absent
+  // means "auto" (hardware concurrency, returned as 0); an explicit zero,
+  // negative or malformed value is recorded as an error. Feed the result to
+  // ThreadPool::set_global_threads or an experiment options struct.
   std::size_t get_threads(const std::string& flag = "threads");
 
   const std::vector<std::string>& errors() const { return errors_; }

@@ -75,5 +75,55 @@ TEST(Args, NoCommand) {
   EXPECT_FALSE(a.command().has_value());
 }
 
+TEST(Args, ThreadsAbsentMeansAuto) {
+  ArgParser a = parse({"attack"});
+  EXPECT_EQ(a.get_threads(), 0u);
+  EXPECT_TRUE(a.errors().empty());
+}
+
+TEST(Args, ThreadsAcceptsPositive) {
+  ArgParser a = parse({"attack", "--threads", "4"});
+  EXPECT_EQ(a.get_threads(), 4u);
+  EXPECT_TRUE(a.errors().empty());
+}
+
+TEST(Args, ThreadsRejectsExplicitZero) {
+  ArgParser a = parse({"attack", "--threads", "0"});
+  EXPECT_EQ(a.get_threads(), 0u);  // still safe to feed downstream
+  EXPECT_FALSE(a.errors().empty());
+}
+
+TEST(Args, ThreadsRejectsNegative) {
+  ArgParser a = parse({"attack", "--threads=-2"});
+  EXPECT_EQ(a.get_threads(), 0u);
+  EXPECT_FALSE(a.errors().empty());
+}
+
+TEST(Args, ThreadsRejectsGarbage) {
+  ArgParser a = parse({"attack", "--threads", "lots"});
+  EXPECT_EQ(a.get_threads(), 0u);
+  EXPECT_FALSE(a.errors().empty());
+}
+
+TEST(Args, IntOverflowIsRangeError) {
+  ArgParser a = parse({"attack", "--seed", "999999999999999999999999"});
+  EXPECT_EQ(a.get_int("seed", 3), 3);
+  ASSERT_EQ(a.errors().size(), 1u);
+  EXPECT_NE(a.errors()[0].find("out of range"), std::string::npos);
+}
+
+TEST(Args, DoubleOverflowIsRangeError) {
+  ArgParser a = parse({"attack", "--alpha", "1e999"});
+  EXPECT_DOUBLE_EQ(a.get_double("alpha", 200.0), 200.0);
+  ASSERT_EQ(a.errors().size(), 1u);
+  EXPECT_NE(a.errors()[0].find("out of range"), std::string::npos);
+}
+
+TEST(Args, IntListOverflowIsError) {
+  ArgParser a = parse({"attack", "--attackers", "1,99999999999999999999"});
+  a.get_int_list("attackers");
+  EXPECT_FALSE(a.errors().empty());
+}
+
 }  // namespace
 }  // namespace scapegoat

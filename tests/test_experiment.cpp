@@ -6,6 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include "core/fault_experiment.hpp"
+#include "core/scenario.hpp"
+#include "core/simulate.hpp"
+#include "simnet/resilient_probing.hpp"
+
 namespace scapegoat {
 namespace {
 
@@ -86,6 +91,103 @@ TEST(ExperimentSmoke, ToStringNames) {
   EXPECT_EQ(to_string(AttackStrategy::kChosenVictim), "chosen-victim");
   EXPECT_EQ(to_string(AttackStrategy::kMaxDamage), "maximum-damage");
   EXPECT_EQ(to_string(AttackStrategy::kObfuscation), "obfuscation");
+}
+
+// Degenerate configurations must run to completion and report empty
+// results — never divide by zero, index past an empty vector or hang.
+
+TEST(DegenerateConfigs, ZeroTrialsYieldEmptySeries) {
+  PresenceRatioOptions pr;
+  pr.topologies = 1;
+  pr.trials_per_topology = 0;
+  const PresenceRatioSeries series =
+      run_presence_ratio_experiment(TopologyKind::kWireline, pr);
+  EXPECT_EQ(series.total_trials, 0u);
+  for (const PresenceRatioBin& b : series.bins) {
+    EXPECT_EQ(b.trials, 0u);
+    EXPECT_EQ(b.probability(), 0.0);  // not NaN
+  }
+
+  SingleAttackerOptions sa;
+  sa.topologies = 1;
+  sa.trials_per_topology = 0;
+  const SingleAttackerResult result =
+      run_single_attacker_experiment(TopologyKind::kWireline, sa);
+  EXPECT_EQ(result.trials, 0u);
+  EXPECT_EQ(result.max_damage_probability(), 0.0);
+}
+
+TEST(DegenerateConfigs, ZeroTopologiesYieldEmptySeries) {
+  PresenceRatioOptions pr;
+  pr.topologies = 0;
+  pr.trials_per_topology = 10;
+  const PresenceRatioSeries series =
+      run_presence_ratio_experiment(TopologyKind::kWireline, pr);
+  EXPECT_EQ(series.total_trials, 0u);
+}
+
+TEST(DegenerateConfigs, FaultSweepWithNoWorkCompletes) {
+  FaultSweepOptions no_trials;
+  no_trials.topologies = 1;
+  no_trials.trials_per_topology = 0;
+  no_trials.loss_rates = {0.0, 0.5};
+  const FaultSweepSeries a =
+      run_fault_sweep(TopologyKind::kWireline, no_trials);
+  EXPECT_EQ(a.total_trials, 0u);
+  for (const FaultSweepCell& c : a.cells) {
+    EXPECT_EQ(c.trials, 0u);
+    EXPECT_EQ(c.solve_rate(), 0.0);          // not NaN
+    EXPECT_EQ(c.measured_fraction(), 0.0);   // not NaN
+  }
+
+  FaultSweepOptions no_rates;
+  no_rates.loss_rates = {};
+  no_rates.topologies = 1;
+  no_rates.trials_per_topology = 4;
+  const FaultSweepSeries b = run_fault_sweep(TopologyKind::kWireline, no_rates);
+  EXPECT_TRUE(b.cells.empty());
+  EXPECT_EQ(b.total_trials, 0u);
+}
+
+TEST(DegenerateConfigs, ProbingEmptyPathSetIsANoOp) {
+  Rng rng(401);
+  Scenario sc = Scenario::fig1(rng);
+  simnet::NullAdversary honest;
+  Rng sim_rng(402);
+  simnet::Simulator sim(sc.graph(), link_models(sc), honest, sim_rng);
+  robust::FaultInjector faults;
+  simnet::ResilientProbeStats stats;
+  const robust::DegradedMeasurement m = simnet::probe_with_retries(
+      sim, {}, {}, faults, {}, &stats);
+  EXPECT_EQ(m.y.size(), 0u);
+  EXPECT_TRUE(m.complete());  // vacuously
+  EXPECT_EQ(stats.probes_sent, 0u);
+  EXPECT_EQ(stats.paths_missing, 0u);
+}
+
+TEST(DegenerateConfigs, SinglePathMeasurementFlowsThroughPipeline) {
+  Rng rng(403);
+  Scenario sc = Scenario::fig1(rng);
+  const auto& paths = sc.estimator().paths();
+  const std::vector<Path> one_path(paths.begin(), paths.begin() + 1);
+
+  simnet::NullAdversary honest;
+  Rng sim_rng(404);
+  simnet::Simulator sim(sc.graph(), link_models(sc), honest, sim_rng);
+  robust::FaultInjector faults;
+  const robust::DegradedMeasurement m =
+      simnet::probe_with_retries(sim, one_path, {}, faults, {});
+  ASSERT_EQ(m.y.size(), 1u);
+  ASSERT_TRUE(m.complete());
+
+  // One path cannot identify Fig. 1's links: the degraded solver must land
+  // on the regularized fallback, not crash.
+  Matrix r1(1, sc.estimator().r().cols());
+  for (std::size_t c = 0; c < r1.cols(); ++c) r1(0, c) = sc.estimator().r()(0, c);
+  const auto est = robust::degraded_estimate(r1, m);
+  ASSERT_TRUE(est.ok()) << est.error().to_string();
+  EXPECT_EQ(est->method, robust::SolveMethod::kRegularizedFallback);
+  EXPECT_EQ(est->paths_used, 1u);
 }
 
 }  // namespace

@@ -188,5 +188,48 @@ TEST_P(RandomLpSweep, OptimalAndFeasible) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpSweep, ::testing::Range(0, 25));
 
+TEST(Simplex, IterationLimitReturnsBasisCertificate) {
+  // A healthy LP starved of pivots: the solver must stop at the cap and
+  // hand back the basis + basic point it reached, never an empty result.
+  Rng rng(13);
+  const std::size_t n = 12;
+  Model m(Sense::kMaximize);
+  for (std::size_t j = 0; j < n; ++j)
+    m.add_variable(0.0, rng.uniform(1.0, 4.0), rng.uniform(0.5, 2.0));
+  for (std::size_t c = 0; c < 10; ++c) {
+    std::vector<Term> terms;
+    for (std::size_t j = 0; j < n; ++j)
+      terms.push_back({j, rng.uniform(0.0, 1.0)});
+    m.add_constraint(std::move(terms), RowType::kLessEqual,
+                     rng.uniform(1.0, 6.0));
+  }
+
+  SimplexOptions tight;
+  tight.max_iterations = 1;
+  const Solution starved = solve(m, tight);
+  ASSERT_EQ(starved.status, SolveStatus::kIterationLimit);
+  EXPECT_LE(starved.iterations, tight.max_iterations + 1);
+  EXPECT_FALSE(starved.basis.empty());     // the certificate
+  EXPECT_EQ(starved.x.size(), n);          // the point it stopped at
+
+  // The certificate is real state: with the budget restored the same model
+  // solves, and its exit basis has the same shape (one column per row).
+  const Solution full = solve(m);
+  ASSERT_EQ(full.status, SolveStatus::kOptimal);
+  EXPECT_EQ(full.basis.size(), starved.basis.size());
+  EXPECT_LE(m.max_violation(full.x), 1e-6);
+}
+
+TEST(Simplex, OptimalSolutionCarriesExitBasis) {
+  Model m(Sense::kMaximize);
+  auto x = m.add_variable(0, kInfinity, 3.0, "x");
+  auto y = m.add_variable(0, kInfinity, 2.0, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, RowType::kLessEqual, 4.0);
+  m.add_constraint({{x, 1.0}, {y, 3.0}}, RowType::kLessEqual, 6.0);
+  const Solution s = solve(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  ASSERT_EQ(s.basis.size(), 2u);  // one basic column per constraint row
+}
+
 }  // namespace
 }  // namespace scapegoat::lp

@@ -76,6 +76,55 @@ TEST(RocketfuelCch, TokensBeforeArrowIgnored) {
   EXPECT_EQ(topo->graph.num_links(), 1u);
 }
 
+TEST(EdgeList, MalformedLinesSkippedWithDiagnostics) {
+  // A truncated download: one cut-off pair and one line of debris in the
+  // middle of good data. The good edges must survive, the bad lines must be
+  // counted and named.
+  std::istringstream in(
+      "10 20\n"
+      "30\n"          // truncated pair
+      "20 30\n"
+      "1 2 3\n"       // debris: three ids
+      "10 30\n");
+  auto topo = load_edge_list(in);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->graph.num_nodes(), 3u);
+  EXPECT_EQ(topo->graph.num_links(), 3u);
+  EXPECT_EQ(topo->skipped_lines, 2u);
+  ASSERT_EQ(topo->warnings.size(), 2u);
+  EXPECT_NE(topo->warnings[0].find("line 2"), std::string::npos);
+  EXPECT_NE(topo->warnings[1].find("line 4"), std::string::npos);
+}
+
+TEST(EdgeList, WarningMessagesAreCappedButCountsAreNot) {
+  std::ostringstream gen;
+  gen << "1 2\n";
+  for (int i = 0; i < 50; ++i) gen << "7 8 9\n";  // 50 malformed lines
+  std::istringstream in(gen.str());
+  auto topo = load_edge_list(in);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->skipped_lines, 50u);
+  EXPECT_LE(topo->warnings.size(), 20u);
+}
+
+TEST(EdgeList, CleanFileHasNoWarnings) {
+  std::istringstream in("1 2\n2 3\n");
+  auto topo = load_edge_list(in);
+  ASSERT_TRUE(topo.has_value());
+  EXPECT_EQ(topo->skipped_lines, 0u);
+  EXPECT_TRUE(topo->warnings.empty());
+}
+
+TEST(RocketfuelCch, GarbageNeighborRefSkippedNotFatal) {
+  std::istringstream in("1 (2) -> <garbage> <2>\n");
+  auto topo = load_rocketfuel_cch(in);
+  ASSERT_TRUE(topo.has_value());  // the readable ref still contributes
+  EXPECT_EQ(topo->graph.num_links(), 1u);
+  EXPECT_EQ(topo->skipped_lines, 1u);
+  ASSERT_FALSE(topo->warnings.empty());
+  EXPECT_NE(topo->warnings[0].find("garbage"), std::string::npos);
+}
+
 TEST(LoaderFiles, MissingFileYieldsNullopt) {
   EXPECT_FALSE(load_edge_list_file("/nonexistent/file.txt").has_value());
   EXPECT_FALSE(load_rocketfuel_cch_file("/nonexistent/file.cch").has_value());

@@ -127,6 +127,75 @@ TEST(ScenarioIo, RejectsUnidentifiableSavedSystem) {
   EXPECT_FALSE(load_scenario(bad).has_value());
 }
 
+TEST(ScenarioIoChecked, DiagnosticsNameTheFailure) {
+  std::istringstream empty("");
+  auto e = load_scenario_checked(empty);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), robust::ErrorCode::kParseError);
+
+  std::istringstream truncated(
+      "scapegoat-scenario 1\nnodes 3\nlinks 2\n0 1\n");
+  auto t = load_scenario_checked(truncated);
+  ASSERT_FALSE(t.ok());
+  EXPECT_EQ(t.code(), robust::ErrorCode::kParseError);
+  EXPECT_NE(t.error().message.find("link"), std::string::npos);
+}
+
+TEST(ScenarioIoChecked, ImplausibleCountsDoNotAllocate) {
+  // A corrupted header demanding ~10^18 nodes must come back as a typed
+  // error, not an allocation attempt.
+  std::istringstream huge_nodes(
+      "scapegoat-scenario 1\nnodes 999999999999999999\n");
+  auto n = load_scenario_checked(huge_nodes);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.code(), robust::ErrorCode::kInvalidInput);
+
+  std::istringstream huge_paths(
+      "scapegoat-scenario 1\n"
+      "nodes 2\nlinks 1\n0 1\nmonitors 2\n0 1\n"
+      "paths 888888888888\n");
+  auto p = load_scenario_checked(huge_paths);
+  ASSERT_FALSE(p.ok());
+  EXPECT_EQ(p.code(), robust::ErrorCode::kInvalidInput);
+
+  std::istringstream huge_path_len(
+      "scapegoat-scenario 1\n"
+      "nodes 2\nlinks 1\n0 1\nmonitors 2\n0 1\n"
+      "paths 1\n777777777 0 1\n");
+  auto l = load_scenario_checked(huge_path_len);
+  ASSERT_FALSE(l.ok());
+  EXPECT_EQ(l.code(), robust::ErrorCode::kInvalidInput);
+}
+
+TEST(ScenarioIoChecked, MetricCountMismatchIsTyped) {
+  std::istringstream bad(
+      "scapegoat-scenario 1\n"
+      "nodes 3\nlinks 2\n0 1\n1 2\nmonitors 2\n0 2\n"
+      "paths 1\n3 0 1 2\n"
+      "metrics 5\n"  // five metrics for two links
+      "1 2 3 4 5\n"
+      "config 1 20 100 800 2000 1\n");
+  auto e = load_scenario_checked(bad);
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), robust::ErrorCode::kDimensionMismatch);
+}
+
+TEST(ScenarioIoChecked, MissingFileIsIoError) {
+  auto e = load_scenario_checked_file("/nonexistent/scenario.txt");
+  ASSERT_FALSE(e.ok());
+  EXPECT_EQ(e.code(), robust::ErrorCode::kIoError);
+}
+
+TEST(ScenarioIoChecked, RoundTripStillSucceeds) {
+  Rng rng(306);
+  Scenario original = Scenario::fig1(rng);
+  std::stringstream buffer;
+  save_scenario(buffer, original);
+  auto loaded = load_scenario_checked(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  expect_equivalent(original, *loaded);
+}
+
 TEST(ScenarioIo, FileHelpers) {
   EXPECT_FALSE(load_scenario_file("/nonexistent/scenario.txt").has_value());
   Rng rng(305);

@@ -31,12 +31,15 @@ int usage(const char* reason) {
       "  attack  — run a scapegoating strategy and print the link table\n"
       "  detect  — attack + Eq. 23 detection + localization\n"
       "  fig     — reproduce a paper figure (--n 2|4|5|6)\n"
+      "  faults  — probe-loss sweep through the degraded pipeline\n"
+      "            (--rates permille list, --trials N, --retries N)\n"
       "flags: --topology fig1|wireline|wireless|file:PATH  --seed N\n"
       "       --strategy chosen|max|obfuscation  --victim L(1-based)\n"
       "       --attackers a,b,c  --redundant N  --alpha MS  --csv\n"
       "       --stealthy (Theorem-1 consistent manipulation)\n"
       "       --save PATH / --load PATH (scenario persistence)\n"
-      "       --threads N (worker threads for linalg/experiments; 0 = auto)\n";
+      "       --threads N (worker threads for linalg/experiments; "
+      "absent = auto)\n";
   return 2;
 }
 
@@ -254,6 +257,48 @@ int cmd_fig(ArgParser& args) {
   }
 }
 
+// Measurement-plane fault sweep: honest network, faulty probes, degraded
+// estimation/detection. Structured per-cell statuses, never a crash —
+// the CLI face of core/fault_experiment (bench_fault_tolerance is the
+// full harness with checksums).
+int cmd_faults(ArgParser& args) {
+  FaultSweepOptions opt;
+  opt.topologies = static_cast<std::size_t>(args.get_int("topologies", 1));
+  opt.trials_per_topology =
+      static_cast<std::size_t>(args.get_int("trials", 20));
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  opt.alpha = args.get_double("alpha", 200.0);
+  opt.retry.max_retries = static_cast<std::size_t>(args.get_int("retries", 2));
+  if (const std::vector<long> permille = args.get_int_list("rates");
+      !permille.empty()) {
+    opt.loss_rates.clear();
+    for (long r : permille) opt.loss_rates.push_back(r / 1000.0);
+  }
+  const std::string topo = args.get_string("topology", "wireline");
+  const TopologyKind kind =
+      topo == "wireless" ? TopologyKind::kWireless : TopologyKind::kWireline;
+
+  const FaultSweepSeries series = run_fault_sweep(kind, opt);
+  Table table({"loss_rate", "trials", "full_rank", "fallback", "unsolvable",
+               "measured_frac", "mean_err_ms", "alarms"});
+  for (const FaultSweepCell& c : series.cells) {
+    table.add_row({Table::num(c.loss_rate, 3), std::to_string(c.trials),
+                   std::to_string(c.full_rank), std::to_string(c.fallback),
+                   std::to_string(c.unsolvable),
+                   Table::num(c.measured_fraction(), 3),
+                   Table::num(c.mean_abs_error_ms, 3),
+                   std::to_string(c.alarms)});
+  }
+  std::cout << "fault sweep (" << to_string(kind) << ", honest network, "
+            << opt.retry.attempts() << " probe attempts)\n";
+  if (args.get_bool("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -271,6 +316,8 @@ int main(int argc, char** argv) {
     rc = cmd_detect(args);
   } else if (cmd == "fig") {
     rc = cmd_fig(args);
+  } else if (cmd == "faults") {
+    rc = cmd_faults(args);
   } else {
     return usage(("unknown command '" + cmd + "'").c_str());
   }
