@@ -66,8 +66,7 @@ int main(int argc, char** argv) {
   opt.topologies = static_cast<std::size_t>(args.get_int("topologies", 2));
   opt.trials_per_topology =
       static_cast<std::size_t>(args.get_int("trials", 40));
-  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
-  opt.threads = args.get_threads();
+  args.apply_execution(opt);
   opt.retry.max_retries =
       static_cast<std::size_t>(args.get_int("retries", 2));
   opt.faults.duplicate_rate = 0.02;

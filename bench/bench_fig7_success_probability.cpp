@@ -8,7 +8,6 @@
 
 #include "core/figures.hpp"
 #include "util/args.hpp"
-#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   scapegoat::ArgParser args(argc, argv);
@@ -17,7 +16,7 @@ int main(int argc, char** argv) {
     opt.topologies = 1;
     opt.trials_per_topology = 80;
   }
-  scapegoat::ThreadPool::set_global_threads(args.get_threads());
+  args.apply_execution(opt);
   for (const std::string& err : args.errors())
     std::cerr << "warning: " << err << '\n';
   const auto wireline = scapegoat::run_presence_ratio_experiment(

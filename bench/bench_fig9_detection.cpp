@@ -8,7 +8,6 @@
 
 #include "core/figures.hpp"
 #include "util/args.hpp"
-#include "util/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   scapegoat::ArgParser args(argc, argv);
@@ -18,7 +17,7 @@ int main(int argc, char** argv) {
     opt.successful_attacks_per_cell = 10;
     opt.max_trials_per_cell = 400;
   }
-  scapegoat::ThreadPool::set_global_threads(args.get_threads());
+  args.apply_execution(opt);
   for (const std::string& err : args.errors())
     std::cerr << "warning: " << err << '\n';
   for (auto kind : {scapegoat::TopologyKind::kWireline,

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Observability bench report.
+#
+# Builds the default tree, runs bench_observability (disabled vs metrics vs
+# tracing wall times on the Fig. 7 workload) and writes the machine-readable
+# report to BENCH_pr3.json at the repo root — the checked-in numbers quoted
+# in EXPERIMENTS.md "Observability". Re-run after touching the obs layer or
+# any instrumented hot path.
+#
+#   scripts/bench_report.sh [--quick] [-j N] [--out PATH]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+jobs=$(nproc 2>/dev/null || echo 4)
+out=BENCH_pr3.json
+quick=""
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --quick) quick="--quick" ;;
+    --out) out=$2; shift ;;
+    -j) jobs=$2; shift ;;
+    *) echo "usage: $0 [--quick] [-j N] [--out PATH]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs" --target bench_observability
+
+build/bench/bench_observability $quick --out "$out"
+echo "report: $out"

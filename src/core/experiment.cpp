@@ -9,6 +9,7 @@
 #include "attack/max_damage.hpp"
 #include "attack/obfuscation.hpp"
 #include "detect/detector.hpp"
+#include "obs/obs.hpp"
 #include "tomography/routing_matrix.hpp"
 #include "topology/geometric.hpp"
 #include "topology/isp.hpp"
@@ -54,15 +55,6 @@ constexpr std::uint64_t kTrialSalt = 0x7121a15a175ull;
 constexpr std::uint64_t kCleanSalt = 0xc1ea9ba5e11ull;
 constexpr std::uint64_t kPerfectSalt = 0x9e2fec7c07ull;
 constexpr std::uint64_t kImperfectSalt = 0x19e2fec7c07ull;
-
-// Experiments with threads == 0 share the process-global pool; a nonzero
-// count gets a dedicated pool for just this call (used by the scaling bench
-// and the determinism tests to pin exact worker counts).
-ThreadPool& pick_pool(std::size_t threads, std::unique_ptr<ThreadPool>& owned) {
-  if (threads == 0) return ThreadPool::global();
-  owned = std::make_unique<ThreadPool>(threads);
-  return *owned;
-}
 
 // Draws topology t of the run on its own seed stream and pre-computes the
 // estimator's lazily-cached pseudo-inverse, so the per-chunk Scenario copies
@@ -176,7 +168,10 @@ PresenceRatioSeries run_presence_ratio_experiment(
   const std::uint64_t base =
       opt.seed + (kind == TopologyKind::kWireline ? 0 : 0x9e3779b9u);
   std::unique_ptr<ThreadPool> owned;
-  ThreadPool& pool = pick_pool(opt.threads, owned);
+  ThreadPool& pool = acquire_pool(opt, owned);
+
+  obs::ScopedSpan run_span("core.fig7.run");
+  run_span.attr("kind", to_string(kind));
 
   for (std::size_t t = 0; t < opt.topologies; ++t) {
     std::optional<Scenario> sc = draw_topology(kind, base, t);
@@ -187,9 +182,13 @@ PresenceRatioSeries run_presence_ratio_experiment(
         [&](std::size_t lo, std::size_t hi) {
           Scenario local = *sc;  // private copy: resample_metrics mutates
           for (std::size_t i = lo; i < hi; ++i) {
+            obs::ScopedSpan trial_span("core.fig7.trial");
             Rng rng(derive_seed(base ^ kTrialSalt,
                                 t * opt.trials_per_topology + i));
             outs[i] = presence_trial(local, opt, rng);
+            trial_span.attr(
+                "trial",
+                static_cast<std::uint64_t>(t * opt.trials_per_topology + i));
           }
         });
     // Serial fold in trial order — identical at every thread count.
@@ -198,8 +197,11 @@ PresenceRatioSeries run_presence_ratio_experiment(
       ++series.bins[o.bin].trials;
       if (o.success) ++series.bins[o.bin].successes;
       ++series.total_trials;
+      obs::count("core.fig7.trials");
+      if (o.success) obs::count("core.fig7.successes");
     }
   }
+  run_span.attr("trials", static_cast<std::uint64_t>(series.total_trials));
   return series;
 }
 
@@ -210,7 +212,7 @@ SingleAttackerResult run_single_attacker_experiment(
   const std::uint64_t base =
       opt.seed + (kind == TopologyKind::kWireline ? 0 : 0x51f15ee5u);
   std::unique_ptr<ThreadPool> owned;
-  ThreadPool& pool = pick_pool(opt.threads, owned);
+  ThreadPool& pool = acquire_pool(opt, owned);
 
   struct TrialOut {
     bool max_damage = false;
@@ -247,6 +249,9 @@ SingleAttackerResult run_single_attacker_experiment(
       if (o.max_damage) ++out.max_damage_successes;
       if (o.obfuscation) ++out.obfuscation_successes;
       ++out.trials;
+      obs::count("core.fig8.trials");
+      if (o.max_damage) obs::count("core.fig8.max_damage_successes");
+      if (o.obfuscation) obs::count("core.fig8.obfuscation_successes");
     }
   }
   return out;
@@ -414,7 +419,7 @@ DetectionSeries run_detection_experiment(
   const std::uint64_t base =
       opt.seed + (kind == TopologyKind::kWireline ? 0 : 0xdec0deu);
   std::unique_ptr<ThreadPool> owned;
-  ThreadPool& pool = pick_pool(opt.threads, owned);
+  ThreadPool& pool = acquire_pool(opt, owned);
 
   // Trials are computed in fixed-size waves (worker threads fill a wave in
   // parallel) and folded serially in trial order with the per-cell budget.
@@ -430,6 +435,8 @@ DetectionSeries run_detection_experiment(
     if (cell.attacks >= opt.successful_attacks_per_cell) return;
     ++cell.attacks;
     if (o.detected) ++cell.detected;
+    obs::count("core.fig9.attacks");
+    if (o.detected) obs::count("core.fig9.detected");
   };
 
   for (std::size_t t = 0; t < opt.topologies; ++t) {
@@ -453,6 +460,8 @@ DetectionSeries run_detection_experiment(
     for (char a : alarms) {
       ++series.clean_trials;
       if (a) ++series.false_alarms;
+      obs::count("core.fig9.clean_trials");
+      if (a) obs::count("core.fig9.false_alarms");
     }
 
     for (bool perfect_phase : {true, false}) {

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "util/execution.hpp"
 
 namespace scapegoat {
 
@@ -36,14 +37,15 @@ std::optional<Scenario> make_scenario(TopologyKind kind, Rng& rng,
 
 // ---------------------------------------------------------------- Fig. 7 --
 
-struct PresenceRatioOptions {
+// threads/grain/seed come from the shared ExecutionPolicy base
+// (util/execution.hpp); the old field names keep working via inheritance.
+struct PresenceRatioOptions : ExecutionPolicy {
+  PresenceRatioOptions() : ExecutionPolicy(0, /*grain=*/8, /*seed=*/7) {}
+
   std::size_t topologies = 2;          // independent topology draws
   std::size_t trials_per_topology = 400;
   std::size_t max_attackers = 6;       // attacker count drawn U[1, max]
   std::size_t bins = 10;               // histogram bins over ratio (0, 1)
-  std::uint64_t seed = 7;
-  std::size_t threads = 0;             // 0 = global pool; n = dedicated pool
-  std::size_t grain = 8;               // trials per worker chunk
 };
 
 struct PresenceRatioBin {
@@ -70,13 +72,12 @@ PresenceRatioSeries run_presence_ratio_experiment(
 
 // ---------------------------------------------------------------- Fig. 8 --
 
-struct SingleAttackerOptions {
+struct SingleAttackerOptions : ExecutionPolicy {
+  SingleAttackerOptions() : ExecutionPolicy(0, /*grain=*/4, /*seed=*/8) {}
+
   std::size_t topologies = 2;
   std::size_t trials_per_topology = 60;
   std::size_t min_obfuscation_victims = 5;  // §V-C2 success bar
-  std::uint64_t seed = 8;
-  std::size_t threads = 0;             // 0 = global pool; n = dedicated pool
-  std::size_t grain = 4;               // trials per worker chunk
 };
 
 struct SingleAttackerResult {
@@ -104,14 +105,13 @@ enum class AttackStrategy { kChosenVictim, kMaxDamage, kObfuscation };
 
 std::string to_string(AttackStrategy s);
 
-struct DetectionOptionsExperiment {
+struct DetectionOptionsExperiment : ExecutionPolicy {
+  DetectionOptionsExperiment() : ExecutionPolicy(0, /*grain=*/4, /*seed=*/9) {}
+
   std::size_t topologies = 2;
   std::size_t successful_attacks_per_cell = 30;  // per (strategy, cut) bucket
   std::size_t max_trials_per_cell = 4000;        // sampling budget
   double alpha = 200.0;                          // detector threshold (§V-D)
-  std::uint64_t seed = 9;
-  std::size_t threads = 0;             // 0 = global pool; n = dedicated pool
-  std::size_t grain = 4;               // trials per worker chunk
 };
 
 struct DetectionCell {

@@ -6,6 +6,7 @@
 
 #include "core/simulate.hpp"
 #include "detect/detector.hpp"
+#include "obs/obs.hpp"
 #include "robust/degraded.hpp"
 #include "simnet/resilient_probing.hpp"
 #include "util/thread_pool.hpp"
@@ -20,12 +21,6 @@ constexpr std::uint64_t kSweepTopologySalt = 0xfa010907090ull;
 constexpr std::uint64_t kSweepTrialSalt = 0xfa0107121a1ull;
 constexpr std::uint64_t kSweepFaultSalt = 0xfa01f5c4edull;
 
-ThreadPool& pick_pool(std::size_t threads, std::unique_ptr<ThreadPool>& owned) {
-  if (threads == 0) return ThreadPool::global();
-  owned = std::make_unique<ThreadPool>(threads);
-  return *owned;
-}
-
 struct FaultTrialOut {
   enum class Status { kFullRank, kFallback, kUnsolvable } status =
       Status::kUnsolvable;
@@ -35,6 +30,7 @@ struct FaultTrialOut {
   double abs_error_max = 0.0;
   std::size_t links = 0;
   bool alarm = false;
+  simnet::ResilientProbeStats probe_stats;  // folded into obs counters
 };
 
 // One honest-network trial under the cell's fault schedule. The scenario
@@ -51,8 +47,8 @@ FaultTrialOut fault_trial(Scenario& sc, const FaultSweepOptions& opt,
   simnet::ProbeOptions probe;
   probe.probes_per_path = opt.probes_per_path;
 
-  const robust::DegradedMeasurement m =
-      simnet::probe_with_retries(sim, paths, probe, faults, opt.retry);
+  const robust::DegradedMeasurement m = simnet::probe_with_retries(
+      sim, paths, probe, faults, opt.retry, &out.probe_stats);
   out.paths_measured = m.num_measured();
 
   const auto est = robust::degraded_estimate(sc.estimator().r(), m);
@@ -87,7 +83,7 @@ FaultSweepSeries run_fault_sweep(TopologyKind kind,
   const std::uint64_t base =
       opt.seed + (kind == TopologyKind::kWireline ? 0 : 0xfa017ab1eull);
   std::unique_ptr<ThreadPool> owned;
-  ThreadPool& pool = pick_pool(opt.threads, owned);
+  ThreadPool& pool = acquire_pool(opt, owned);
 
   // Topologies are shared across cells: the same deployments face every
   // loss rate, so cell-to-cell differences are pure fault effects.
@@ -133,15 +129,27 @@ FaultSweepSeries run_fault_sweep(TopologyKind kind,
         ++series.total_trials;
         cell.paths_total += o.paths_total;
         cell.paths_measured += o.paths_measured;
+        obs::count("core.faults.trials");
+        obs::count("core.faults.probe_rounds", o.probe_stats.attempts_used);
+        obs::count("core.faults.probes_sent", o.probe_stats.probes_sent);
+        obs::count("core.faults.probes_lost", o.probe_stats.probes_lost);
+        obs::count("core.faults.probes_timed_out",
+                   o.probe_stats.probes_timed_out);
+        obs::count("core.faults.paths_recovered",
+                   o.probe_stats.paths_recovered);
+        obs::count("core.faults.paths_missing", o.probe_stats.paths_missing);
         switch (o.status) {
           case FaultTrialOut::Status::kFullRank:
             ++cell.full_rank;
+            obs::count("core.faults.full_rank");
             break;
           case FaultTrialOut::Status::kFallback:
             ++cell.fallback;
+            obs::count("core.faults.fallback");
             break;
           case FaultTrialOut::Status::kUnsolvable:
             ++cell.unsolvable;
+            obs::count("core.faults.unsolvable");
             break;
         }
         if (o.links > 0) {

@@ -24,7 +24,11 @@
 
 namespace scapegoat {
 
-struct FaultSweepOptions {
+// threads/grain/seed come from the shared ExecutionPolicy base
+// (util/execution.hpp); the old field names keep working via inheritance.
+struct FaultSweepOptions : ExecutionPolicy {
+  FaultSweepOptions() : ExecutionPolicy(0, /*grain=*/4, /*seed=*/11) {}
+
   // Probe-loss rates to sweep; each gets its own cell. The remaining fault
   // dimensions come from `faults` and are held constant across cells.
   std::vector<double> loss_rates{0.0, 0.01, 0.05, 0.2};
@@ -34,9 +38,6 @@ struct FaultSweepOptions {
   std::size_t trials_per_topology = 40;
   std::size_t probes_per_path = 3;
   double alpha = 200.0;           // degraded-detector threshold (§V-D)
-  std::uint64_t seed = 11;
-  std::size_t threads = 0;        // 0 = global pool; n = dedicated pool
-  std::size_t grain = 4;          // trials per worker chunk
 };
 
 // Aggregates for one loss rate.

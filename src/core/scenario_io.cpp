@@ -66,7 +66,7 @@ void save_scenario(std::ostream& out, const Scenario& scenario) {
       << c.per_path_cap_ms << ' ' << c.margin_ms << '\n';
 }
 
-robust::Expected<Scenario> load_scenario_checked(std::istream& in) {
+robust::Expected<Scenario> try_load_scenario(std::istream& in) {
   using robust::Error;
   using robust::ErrorCode;
   const auto parse_error = [](const std::string& what) {
@@ -207,7 +207,7 @@ robust::Expected<Scenario> load_scenario_checked(std::istream& in) {
 }
 
 std::optional<Scenario> load_scenario(std::istream& in) {
-  auto sc = load_scenario_checked(in);
+  auto sc = try_load_scenario(in);
   if (!sc.ok()) return std::nullopt;
   return std::move(*sc);
 }
@@ -219,16 +219,16 @@ bool save_scenario_file(const std::string& path, const Scenario& scenario) {
   return static_cast<bool>(out);
 }
 
-robust::Expected<Scenario> load_scenario_checked_file(const std::string& path) {
+robust::Expected<Scenario> try_load_scenario_file(const std::string& path) {
   std::ifstream in(path);
   if (!in)
     return robust::Error{robust::ErrorCode::kIoError,
                          "cannot open " + path};
-  return load_scenario_checked(in);
+  return try_load_scenario(in);
 }
 
 std::optional<Scenario> load_scenario_file(const std::string& path) {
-  auto sc = load_scenario_checked_file(path);
+  auto sc = try_load_scenario_file(path);
   if (!sc.ok()) return std::nullopt;
   return std::move(*sc);
 }

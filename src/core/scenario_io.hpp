@@ -31,9 +31,20 @@ bool save_scenario_file(const std::string& path, const Scenario& scenario);
 // for malformed/truncated sections (the message names the section),
 // kInvalidInput for absurd header counts (guards against corrupted files
 // demanding gigabyte allocations) or non-identifiable recorded paths, and
-// kIoError when the file can't be opened.
-robust::Expected<Scenario> load_scenario_checked(std::istream& in);
-robust::Expected<Scenario> load_scenario_checked_file(const std::string& path);
+// kIoError when the file can't be opened. `try_` is the repo-wide prefix
+// for Expected-returning variants (DESIGN.md §9).
+robust::Expected<Scenario> try_load_scenario(std::istream& in);
+robust::Expected<Scenario> try_load_scenario_file(const std::string& path);
+
+// Deprecated spellings from before the checked-call surface was unified;
+// forward to the try_ names.
+inline robust::Expected<Scenario> load_scenario_checked(std::istream& in) {
+  return try_load_scenario(in);
+}
+inline robust::Expected<Scenario> load_scenario_checked_file(
+    const std::string& path) {
+  return try_load_scenario_file(path);
+}
 
 // Convenience wrappers that collapse the diagnostic to nullopt.
 std::optional<Scenario> load_scenario(std::istream& in);

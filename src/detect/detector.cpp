@@ -1,5 +1,7 @@
 #include "detect/detector.hpp"
 
+#include "obs/obs.hpp"
+
 namespace scapegoat {
 
 DetectionOutcome detect_scapegoating(const TomographyEstimator& estimator,
@@ -8,6 +10,9 @@ DetectionOutcome detect_scapegoating(const TomographyEstimator& estimator,
   DetectionOutcome out;
   out.residual_norm1 = estimator.residual(y_observed).norm1();
   out.detected = out.residual_norm1 > opt.alpha;
+  obs::count("detect.checks");
+  if (out.detected) obs::count("detect.alarms");
+  obs::observe("detect.residual_norm1", out.residual_norm1);
   return out;
 }
 
@@ -26,6 +31,9 @@ robust::Expected<DegradedDetectionOutcome> detect_scapegoating_degraded(
   out.detected = out.residual_norm1 > opt.alpha;
   out.paths_used = est->paths_used;
   out.method = est->method;
+  obs::count("detect.degraded.checks");
+  if (out.detected) obs::count("detect.degraded.alarms");
+  obs::observe("detect.degraded.residual_norm1", out.residual_norm1);
   return out;
 }
 

@@ -6,13 +6,35 @@
 
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
+#include "obs/obs.hpp"
 
 namespace scapegoat {
+
+std::string to_string(LeastSquaresMethod method) {
+  switch (method) {
+    case LeastSquaresMethod::kQr:
+      return "qr";
+    case LeastSquaresMethod::kNormalEquations:
+      return "normal_equations";
+  }
+  return "unknown";
+}
+
+std::optional<LeastSquaresMethod> least_squares_method_from_string(
+    std::string_view s) {
+  for (LeastSquaresMethod m :
+       {LeastSquaresMethod::kQr, LeastSquaresMethod::kNormalEquations}) {
+    if (to_string(m) == s) return m;
+  }
+  return std::nullopt;
+}
 
 std::optional<Vector> least_squares(const Matrix& a, const Vector& b,
                                     LeastSquaresMethod method) {
   assert(a.rows() == b.size());
   if (a.cols() == 0 || a.rows() < a.cols()) return std::nullopt;
+  obs::ScopedTimer timer("linalg.lstsq.solve_us");
+  obs::count("linalg.lstsq.solves");
   switch (method) {
     case LeastSquaresMethod::kNormalEquations:
       return solve_normal_equations(a, b);
@@ -66,6 +88,8 @@ robust::Expected<Vector> ridge_least_squares(const Matrix& a, const Vector& b,
     return robust::Error{robust::ErrorCode::kEmptyInput,
                          "ridge solve with no unknowns"};
   }
+  obs::ScopedTimer timer("linalg.lstsq.ridge_us");
+  obs::count("linalg.lstsq.ridge_solves");
   Matrix normal = a.transposed() * a;
   for (std::size_t i = 0; i < normal.rows(); ++i) normal(i, i) += lambda;
   CholeskyDecomposition chol(normal);

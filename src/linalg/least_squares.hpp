@@ -9,6 +9,9 @@
 #pragma once
 
 #include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -20,6 +23,14 @@ enum class LeastSquaresMethod {
   kQr,               // Householder QR (default; better conditioned)
   kNormalEquations,  // (AᵀA)⁻¹Aᵀb via Cholesky — the paper's Eq. 2 verbatim
 };
+
+std::string to_string(LeastSquaresMethod method);
+std::optional<LeastSquaresMethod> least_squares_method_from_string(
+    std::string_view s);
+
+inline std::ostream& operator<<(std::ostream& os, LeastSquaresMethod method) {
+  return os << to_string(method);
+}
 
 // Solves min ‖a x − b‖₂. Returns nullopt if `a` lacks full column rank
 // (the system is not identifiable).

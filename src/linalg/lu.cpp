@@ -4,11 +4,17 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/obs.hpp"
+
 namespace scapegoat {
 
 LuDecomposition::LuDecomposition(const Matrix& a, double pivot_tol) : lu_(a) {
   assert(a.rows() == a.cols());
   const std::size_t n = a.rows();
+  obs::ScopedTimer timer("linalg.lu.factorize_us");
+  obs::count("linalg.lu.factorizations");
+  // Gaussian elimination with partial pivoting: ~2n³/3 flops.
+  obs::count("linalg.lu.flops", 2 * n * n * n / 3);
   piv_.resize(n);
   std::iota(piv_.begin(), piv_.end(), std::size_t{0});
   ok_ = true;

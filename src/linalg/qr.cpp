@@ -6,6 +6,7 @@
 #include <numeric>
 #include <string>
 
+#include "obs/obs.hpp"
 #include "util/thread_pool.hpp"
 
 namespace scapegoat {
@@ -25,6 +26,12 @@ constexpr std::size_t kPinvParallelFlops = 1u << 15;
 
 QrDecomposition::QrDecomposition(const Matrix& a, Pivoting pivoting)
     : m_(a.rows()), n_(a.cols()), qr_(a) {
+  obs::ScopedTimer timer("linalg.qr.factorize_us");
+  obs::count("linalg.qr.factorizations");
+  // Householder QR flop count ≈ 2n²(m − n/3) for m ≥ n (Golub & Van Loan).
+  const std::size_t mn = std::min(m_, n_);
+  obs::count("linalg.qr.flops",
+             2 * mn * mn * (std::max(m_, n_) - mn / 3));
   const std::size_t steps = std::min(m_, n_);
   betas_.assign(steps, 0.0);
   perm_.resize(n_);
@@ -180,9 +187,13 @@ robust::Expected<Matrix> try_pseudo_inverse(const Matrix& a) {
 }
 
 Matrix pseudo_inverse(const Matrix& a) {
+  obs::ScopedTimer timer("linalg.pinv.compute_us");
+  obs::count("linalg.pinv.computes");
   QrDecomposition qr(a, QrDecomposition::Pivoting::kColumn);
   assert(qr.full_column_rank() && "pseudo_inverse requires full column rank");
   const std::size_t m = a.rows(), n = a.cols();
+  // m back-solves against the shared factor: ~(2mn + n²) flops each.
+  obs::count("linalg.pinv.flops", m * (2 * m * n + n * n));
   Matrix pinv(n, m);
   // Column j of the pseudo-inverse is argmin ‖a x − e_j‖₂. The m solves
   // share the read-only factorization and write disjoint columns, so they

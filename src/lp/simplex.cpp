@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/obs.hpp"
+
 namespace scapegoat::lp {
 namespace {
 
@@ -304,6 +306,7 @@ SolveStatus Tableau::optimize() {
       last_obj = obj_;
       stall = 0;
     } else if (++stall > 200) {
+      if (!bland) obs::count("lp.simplex.bland_switches");
       bland = true;
     }
   }
@@ -373,12 +376,16 @@ Solution Tableau::run() {
       return sol;
     }
     drive_out_artificials();
+    obs::count("lp.simplex.phase_transitions");
   }
+  obs::count("lp.simplex.phase1_iterations", iterations_);
+  const std::size_t phase1_iters = iterations_;
 
   // Phase 2.
   allow_artificial_entering_ = false;
   install_costs(phase2_costs_);
   const SolveStatus s2 = optimize();
+  obs::count("lp.simplex.phase2_iterations", iterations_ - phase1_iters);
   sol.iterations = iterations_;
   sol.status = s2;
   sol.basis = basis_;
@@ -413,8 +420,30 @@ std::string to_string(SolveStatus status) {
 }
 
 Solution solve(const Model& model, const SimplexOptions& options) {
+  obs::ScopedTimer timer("lp.simplex.solve_us");
+  obs::ScopedSpan span("lp.simplex.solve");
   Tableau tableau(model, options);
-  return tableau.run();
+  Solution sol = tableau.run();
+  obs::count("lp.simplex.solves");
+  obs::count("lp.simplex.pivots", sol.iterations);
+  obs::count("lp.simplex.iterations", sol.iterations);
+  switch (sol.status) {
+    case SolveStatus::kOptimal:
+      obs::count("lp.simplex.status.optimal");
+      break;
+    case SolveStatus::kInfeasible:
+      obs::count("lp.simplex.status.infeasible");
+      break;
+    case SolveStatus::kUnbounded:
+      obs::count("lp.simplex.status.unbounded");
+      break;
+    case SolveStatus::kIterationLimit:
+      obs::count("lp.simplex.status.iteration_limit");
+      break;
+  }
+  span.attr("status", to_string(sol.status));
+  span.attr("iterations", static_cast<std::uint64_t>(sol.iterations));
+  return sol;
 }
 
 }  // namespace scapegoat::lp

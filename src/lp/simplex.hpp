@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,10 @@ namespace scapegoat::lp {
 enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
 
 std::string to_string(SolveStatus status);
+
+inline std::ostream& operator<<(std::ostream& os, SolveStatus status) {
+  return os << to_string(status);
+}
 
 struct Solution {
   SolveStatus status = SolveStatus::kIterationLimit;

@@ -1,0 +1,120 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace.hpp"  // json_escape
+
+namespace scapegoat::obs {
+
+namespace {
+
+std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+void pad_to(std::string& line, std::size_t column) {
+  if (line.size() < column) line.append(column - line.size(), ' ');
+}
+
+}  // namespace
+
+std::string to_table(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::size_t name_width = 4;
+  for (const auto& c : snapshot.counters)
+    name_width = std::max(name_width, c.name.size());
+  for (const auto& g : snapshot.gauges)
+    name_width = std::max(name_width, g.name.size());
+  for (const auto& h : snapshot.histograms)
+    name_width = std::max(name_width, h.name.size());
+  const std::size_t col = name_width + 2;
+
+  if (!snapshot.counters.empty()) {
+    out += "counters\n";
+    for (const auto& c : snapshot.counters) {
+      std::string line = "  " + c.name;
+      pad_to(line, col + 2);
+      line += std::to_string(c.value);
+      out += line + "\n";
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "gauges (value / max)\n";
+    for (const auto& g : snapshot.gauges) {
+      std::string line = "  " + g.name;
+      pad_to(line, col + 2);
+      line += std::to_string(g.value) + " / " + std::to_string(g.max);
+      out += line + "\n";
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out += "histograms (count  mean  p50  p90  p99  max)\n";
+    for (const auto& h : snapshot.histograms) {
+      std::string line = "  " + h.name;
+      pad_to(line, col + 2);
+      line += std::to_string(h.count) + "  " + fmt(h.mean()) + "  " +
+              fmt(h.quantile(0.5)) + "  " + fmt(h.quantile(0.9)) + "  " +
+              fmt(h.quantile(0.99)) + "  " + fmt(h.max);
+      out += line + "\n";
+    }
+  }
+  if (out.empty()) out = "(no metrics recorded)\n";
+  return out;
+}
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(c.name) + "\":" + std::to_string(c.value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(g.name) + "\":{\"value\":" +
+           std::to_string(g.value) + ",\"max\":" + std::to_string(g.max) +
+           '}';
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(h.name) +
+           "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + fmt(h.sum, 3) + ",\"mean\":" + fmt(h.mean(), 3) +
+           ",\"p50\":" + fmt(h.quantile(0.5), 3) +
+           ",\"p90\":" + fmt(h.quantile(0.9), 3) +
+           ",\"p99\":" + fmt(h.quantile(0.99), 3) +
+           ",\"max\":" + fmt(h.max, 3) + '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string to_csv(const MetricsSnapshot& snapshot) {
+  std::string out = "type,name,count,value,mean,p50,p90,p99,max\n";
+  for (const auto& c : snapshot.counters) {
+    out += "counter," + c.name + ",," + std::to_string(c.value) + ",,,,,\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += "gauge," + g.name + ",," + std::to_string(g.value) + ",,,,," +
+           std::to_string(g.max) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += "histogram," + h.name + ',' + std::to_string(h.count) + ",," +
+           fmt(h.mean(), 3) + ',' + fmt(h.quantile(0.5), 3) + ',' +
+           fmt(h.quantile(0.9), 3) + ',' + fmt(h.quantile(0.99), 3) + ',' +
+           fmt(h.max, 3) + "\n";
+  }
+  return out;
+}
+
+}  // namespace scapegoat::obs

@@ -1,0 +1,25 @@
+// Snapshot exporters: pretty table for terminals, JSON for tooling, CSV for
+// spreadsheets. All three render the same MetricsSnapshot, so `scapegoat_cli
+// metrics --json` and the bench_observability report stay consistent with
+// the human-readable table.
+
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace scapegoat::obs {
+
+// Column-aligned text: a counters block, a gauges block and a histograms
+// block (count / mean / p50 / p90 / p99 / max per row).
+std::string to_table(const MetricsSnapshot& snapshot);
+
+// {"counters":{name:value,...},"gauges":{name:{"value":..,"max":..}},
+//  "histograms":{name:{"count":..,"sum":..,"mean":..,"p50":..,...}}}
+std::string to_json(const MetricsSnapshot& snapshot);
+
+// One row per metric: type,name,count,value,mean,p50,p90,p99,max.
+std::string to_csv(const MetricsSnapshot& snapshot);
+
+}  // namespace scapegoat::obs

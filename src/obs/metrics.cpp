@@ -1,0 +1,106 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace scapegoat::obs {
+
+int this_thread_id() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::size_t Histogram::bucket_of(double value) {
+  if (value < 1.0) return 0;
+  const int e = std::ilogb(value);  // floor(log2(value)) for finite v ≥ 1
+  const std::size_t b = static_cast<std::size_t>(e) + 1;
+  return std::min(b, kBuckets - 1);
+}
+
+double Histogram::bucket_upper_edge(std::size_t b) {
+  if (b + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(b));  // 2^b
+}
+
+double HistogramSample::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const std::uint64_t target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count)));
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen >= target && buckets[b] > 0) {
+      return std::min(Histogram::bucket_upper_edge(b), max);
+    }
+  }
+  return max;
+}
+
+std::uint64_t MetricsSnapshot::counter_value(std::string_view name) const {
+  for (const CounterSample& c : counters)
+    if (c.name == name) return c.value;
+  return 0;
+}
+
+const HistogramSample* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const HistogramSample& h : histograms)
+    if (h.name == name) return &h;
+  return nullptr;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    out.counters.push_back({name, c->value()});
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    out.gauges.push_back({name, g->value(), g->max_value()});
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.count = h->count();
+    s.sum = h->sum();
+    s.max = h->max();
+    s.buckets = h->buckets();
+    out.histograms.push_back(std::move(s));
+  }
+  return out;  // std::map iteration order is already sorted by name
+}
+
+}  // namespace scapegoat::obs

@@ -1,0 +1,211 @@
+// Metrics primitives: monotonic counters, gauges and fixed-bucket latency
+// histograms behind the observability layer (see DESIGN.md §9).
+//
+// Write paths are lock-free. Counters shard their value across
+// cache-line-padded atomic cells indexed by a dense per-thread id, so
+// concurrent `add` calls from pool workers never contend on one line;
+// histograms keep one relaxed atomic per power-of-two bucket. Reads fold the
+// shards in fixed shard order — and every stored quantity is an integer
+// (histogram sums are kept in 1/256-unit fixed point) — so a snapshot of
+// counts accumulated by a deterministic computation is bitwise identical at
+// every thread count (integer addition commutes; see the 1/2/4/8-thread
+// test in tests/test_obs_determinism.cpp).
+//
+// The registry maps names to metric objects under a mutex; the intended hot
+// path is "accumulate locally, flush once per solve/trial", so the lookup
+// cost is paid per flush, not per event. This library sits at the very
+// bottom of the link graph (below util) and depends only on the standard
+// library.
+
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scapegoat::obs {
+
+// Dense process-lifetime thread id (0, 1, 2, ... in first-use order). Used
+// for counter shard selection and trace-event attribution.
+int this_thread_id();
+
+inline constexpr std::size_t kCounterShards = 16;
+
+// Monotonic counter, sharded to keep concurrent writers off each other's
+// cache lines. value() folds the shards in index order.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    cells_[static_cast<std::size_t>(this_thread_id()) % kCounterShards]
+        .v.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kCounterShards> cells_;
+};
+
+// Point-in-time level (queue depth, wave size, ...) with a running maximum.
+class Gauge {
+ public:
+  void set(std::int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    raise_max(v);
+  }
+  // Raises the running maximum without touching the last-set value.
+  void record_max(std::int64_t v) { raise_max(v); }
+
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  std::int64_t max_value() const {
+    return max_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void raise_max(std::int64_t v) {
+    std::int64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::atomic<std::int64_t> value_{0};
+  std::atomic<std::int64_t> max_{0};
+};
+
+// Fixed-bucket histogram over non-negative values (latencies in µs, residual
+// norms in ms, iteration counts, ...). Bucket 0 covers [0, 1); bucket b ≥ 1
+// covers [2^(b-1), 2^b); the last bucket absorbs everything above. The sum
+// is kept in 1/256-unit fixed point so folds stay integer-exact.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void observe(double value) {
+    if (!(value >= 0.0)) value = 0.0;  // negatives and NaN clamp to zero
+    buckets_[bucket_of(value)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_fp_.fetch_add(to_fixed_point(value), std::memory_order_relaxed);
+    raise(max_fp_, to_fixed_point(value));
+  }
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const {
+    return static_cast<double>(sum_fp_.load(std::memory_order_relaxed)) /
+           256.0;
+  }
+  double max() const {
+    return static_cast<double>(max_fp_.load(std::memory_order_relaxed)) /
+           256.0;
+  }
+  std::array<std::uint64_t, kBuckets> buckets() const {
+    std::array<std::uint64_t, kBuckets> out{};
+    for (std::size_t b = 0; b < kBuckets; ++b)
+      out[b] = buckets_[b].load(std::memory_order_relaxed);
+    return out;
+  }
+
+  static std::size_t bucket_of(double value);
+  // Exclusive upper edge of bucket `b` (1, 2, 4, ...; +inf for the last).
+  static double bucket_upper_edge(std::size_t b);
+
+ private:
+  static std::uint64_t to_fixed_point(double v) {
+    return static_cast<std::uint64_t>(v * 256.0 + 0.5);
+  }
+  static void raise(std::atomic<std::uint64_t>& slot, std::uint64_t v) {
+    std::uint64_t cur = slot.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_fp_{0};
+  std::atomic<std::uint64_t> max_fp_{0};
+};
+
+// ----------------------------------------------------------- snapshots --
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::int64_t value = 0;
+  std::int64_t max = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+  double mean() const {
+    return count == 0 ? 0.0 : sum / static_cast<double>(count);
+  }
+  // Bucket-resolution quantile (q in [0, 1]): upper edge of the bucket
+  // holding the q-th observation, clamped by the observed maximum.
+  double quantile(double q) const;
+};
+
+// Metrics sorted by name — the deterministic read face of a registry.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  // Counter value by exact name; 0 when absent.
+  std::uint64_t counter_value(std::string_view name) const;
+  const HistogramSample* histogram(std::string_view name) const;
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+// ------------------------------------------------------------ registry --
+
+// Named metrics with stable addresses: once created, a Counter/Gauge/
+// Histogram pointer stays valid for the registry's lifetime, so callers may
+// cache references across calls. Creation and lookup take a mutex; the
+// metric write paths do not.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Folds every metric; entries come back sorted by name.
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace scapegoat::obs

@@ -1,0 +1,203 @@
+#include "obs/trace.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <ostream>
+
+namespace scapegoat::obs {
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out)
+    : out_(out), epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t JsonlTraceSink::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+void JsonlTraceSink::write(const TraceEvent& event) {
+  std::string line;
+  line.reserve(96 + 32 * event.attrs.size());
+  line += "{\"name\":\"";
+  line += json_escape(event.name);
+  line += "\",\"tid\":";
+  line += std::to_string(event.thread_id);
+  line += ",\"ts_us\":";
+  line += std::to_string(event.start_us);
+  line += ",\"dur_us\":";
+  line += std::to_string(event.duration_us);
+  line += ",\"attrs\":{";
+  bool first = true;
+  for (const auto& [key, value] : event.attrs) {
+    if (!first) line += ',';
+    first = false;
+    line += '"';
+    line += json_escape(key);
+    line += "\":\"";
+    line += json_escape(value);
+    line += '"';
+  }
+  line += "}}\n";
+  std::lock_guard<std::mutex> lock(mutex_);
+  out_ << line;
+}
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Minimal cursor-based scanner over the sink's own output format.
+struct Scanner {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  bool eat(char c) {
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool eat(std::string_view lit) {
+    if (s.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  // Parses a JSON string literal (opening quote already consumed by caller
+  // convention: call with cursor ON the opening quote).
+  bool string_literal(std::string& out) {
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos < s.size()) {
+      const char c = s[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= s.size()) return false;
+      const char esc = s[pos++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos + 4 > s.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (code > 0xff) return false;  // sink only emits control bytes
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool integer(std::uint64_t& out) {
+    if (pos >= s.size() || !std::isdigit(static_cast<unsigned char>(s[pos])))
+      return false;
+    out = 0;
+    while (pos < s.size() &&
+           std::isdigit(static_cast<unsigned char>(s[pos]))) {
+      out = out * 10 + static_cast<std::uint64_t>(s[pos++] - '0');
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<TraceEvent> parse_trace_line(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r'))
+    line.remove_suffix(1);
+  Scanner sc{line};
+  TraceEvent ev;
+  std::uint64_t tid = 0;
+  if (!sc.eat("{\"name\":")) return std::nullopt;
+  if (!sc.string_literal(ev.name)) return std::nullopt;
+  if (!sc.eat(",\"tid\":") || !sc.integer(tid)) return std::nullopt;
+  ev.thread_id = static_cast<int>(tid);
+  if (!sc.eat(",\"ts_us\":") || !sc.integer(ev.start_us)) return std::nullopt;
+  if (!sc.eat(",\"dur_us\":") || !sc.integer(ev.duration_us))
+    return std::nullopt;
+  if (!sc.eat(",\"attrs\":{")) return std::nullopt;
+  if (!sc.eat('}')) {
+    for (;;) {
+      std::string key, value;
+      if (!sc.string_literal(key) || !sc.eat(':') ||
+          !sc.string_literal(value)) {
+        return std::nullopt;
+      }
+      ev.attrs.emplace_back(std::move(key), std::move(value));
+      if (sc.eat('}')) break;
+      if (!sc.eat(',')) return std::nullopt;
+    }
+  }
+  if (!sc.eat('}')) return std::nullopt;
+  return ev;
+}
+
+}  // namespace scapegoat::obs

@@ -1,0 +1,74 @@
+// Structured trace events: JSONL spans with a thread id, a label and
+// key/value attributes.
+//
+// A `TraceSink` receives finished spans; `JsonlTraceSink` renders each one
+// as a single JSON object per line —
+//   {"name":"lp.simplex.solve","tid":3,"ts_us":1042,"dur_us":180,
+//    "attrs":{"rows":"120","status":"optimal"}}
+// — timestamps in microseconds since the sink's construction. Attribute
+// values are stringified at record time and emitted as JSON strings, which
+// keeps the writer allocation-light and makes the write → parse round trip
+// exact (`parse_trace_line` below inverts the escaping; tested in
+// tests/test_obs.cpp). `NullTraceSink` swallows everything — the "compiled
+// out" configuration for code that holds a sink unconditionally.
+
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace scapegoat::obs {
+
+struct TraceEvent {
+  std::string name;
+  int thread_id = 0;
+  std::uint64_t start_us = 0;     // relative to the sink's epoch
+  std::uint64_t duration_us = 0;
+  std::vector<std::pair<std::string, std::string>> attrs;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  // Called from arbitrary threads; implementations must synchronize.
+  virtual void write(const TraceEvent& event) = 0;
+};
+
+class NullTraceSink final : public TraceSink {
+ public:
+  void write(const TraceEvent&) override {}
+};
+
+// One JSON object per line on the wrapped stream. The stream must outlive
+// the sink; writes are serialized by an internal mutex.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& out);
+  void write(const TraceEvent& event) override;
+
+  // Microseconds elapsed since this sink was constructed.
+  std::uint64_t now_us() const;
+
+ private:
+  std::ostream& out_;
+  std::mutex mutex_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+// Escapes `s` for use inside a JSON string literal (quotes, backslashes,
+// control characters).
+std::string json_escape(std::string_view s);
+
+// Parses one line produced by JsonlTraceSink back into a TraceEvent;
+// nullopt on malformed input. Understands exactly the subset the sink
+// emits (string/integer fields plus a flat string-valued "attrs" object).
+std::optional<TraceEvent> parse_trace_line(std::string_view line);
+
+}  // namespace scapegoat::obs

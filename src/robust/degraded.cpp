@@ -38,6 +38,14 @@ std::string to_string(SolveMethod method) {
   return "unknown";
 }
 
+std::optional<SolveMethod> solve_method_from_string(std::string_view s) {
+  for (SolveMethod m :
+       {SolveMethod::kFullRank, SolveMethod::kRegularizedFallback}) {
+    if (to_string(m) == s) return m;
+  }
+  return std::nullopt;
+}
+
 namespace {
 
 // Rows of (r, y) where the measurement actually exists.

@@ -15,7 +15,10 @@
 
 #pragma once
 
+#include <optional>
+#include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "linalg/matrix.hpp"
@@ -43,6 +46,11 @@ enum class SolveMethod {
 };
 
 std::string to_string(SolveMethod method);
+std::optional<SolveMethod> solve_method_from_string(std::string_view s);
+
+inline std::ostream& operator<<(std::ostream& os, SolveMethod method) {
+  return os << to_string(method);
+}
 
 struct DegradedOptions {
   double ridge_lambda = 1e-3;   // fallback regularization strength

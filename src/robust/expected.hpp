@@ -14,7 +14,10 @@
 #pragma once
 
 #include <cassert>
+#include <optional>
+#include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 
@@ -54,6 +57,24 @@ inline std::string to_string(ErrorCode code) {
       return "io_error";
   }
   return "unknown";
+}
+
+inline std::ostream& operator<<(std::ostream& os, ErrorCode code) {
+  return os << to_string(code);
+}
+
+// Inverse of to_string(ErrorCode); nullopt for unrecognized text. Keeps
+// persisted sweep reports round-trippable without string matching at the
+// call sites.
+inline std::optional<ErrorCode> error_code_from_string(std::string_view s) {
+  for (ErrorCode code :
+       {ErrorCode::kInvalidInput, ErrorCode::kEmptyInput,
+        ErrorCode::kDimensionMismatch, ErrorCode::kRankDeficient,
+        ErrorCode::kIllConditioned, ErrorCode::kIterationLimit,
+        ErrorCode::kMissingData, ErrorCode::kParseError, ErrorCode::kIoError}) {
+    if (to_string(code) == s) return code;
+  }
+  return std::nullopt;
 }
 
 struct Error {
@@ -100,6 +121,27 @@ class [[nodiscard]] Expected {
   // The value, or `fallback` when this holds an error.
   T value_or(T fallback) const {
     return ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+  // Uniform human-readable failure text: empty on success, otherwise
+  // "code: message". Callers logging a failed Expected should use this
+  // instead of reaching into error() (DESIGN.md §9, checked-call surface).
+  std::string error_message() const {
+    return ok() ? std::string{} : error().to_string();
+  }
+
+  // Monadic composition (mirrors C++23 std::expected). `map` transforms the
+  // value and forwards the error; `and_then` chains another checked call.
+  template <typename F>
+  auto map(F&& f) const -> Expected<decltype(f(std::declval<const T&>()))> {
+    if (!ok()) return error();
+    return f(std::get<T>(storage_));
+  }
+
+  template <typename F>
+  auto and_then(F&& f) const -> decltype(f(std::declval<const T&>())) {
+    if (!ok()) return error();
+    return f(std::get<T>(storage_));
   }
 
  private:

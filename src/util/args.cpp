@@ -120,6 +120,14 @@ std::size_t ArgParser::get_threads(const std::string& flag) {
   return static_cast<std::size_t>(v);
 }
 
+void ArgParser::apply_execution(ExecutionPolicy& exec) {
+  ThreadPool::set_global_threads(get_threads());
+  exec.grain = static_cast<std::size_t>(
+      get_int("grain", static_cast<long>(exec.grain)));
+  exec.seed = static_cast<std::uint64_t>(
+      get_int("seed", static_cast<long>(exec.seed)));
+}
+
 std::vector<std::string> ArgParser::unused() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : flags_)

@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "util/execution.hpp"
+
 namespace scapegoat {
 
 class ArgParser {
@@ -42,6 +44,14 @@ class ArgParser {
   // negative or malformed value is recorded as an error. Feed the result to
   // ThreadPool::set_global_threads or an experiment options struct.
   std::size_t get_threads(const std::string& flag = "threads");
+
+  // The one call a bench/CLI main makes to honour the shared execution
+  // flags: sizes the process-global pool from `--threads` (absent = auto)
+  // and overrides `exec.grain` / `exec.seed` when `--grain` / `--seed` are
+  // given. `exec.threads` is left at 0 so the runner uses the global pool —
+  // exactly the pre-PR-3 behaviour of the per-bench flag handling this
+  // replaces. Works on any options struct deriving ExecutionPolicy.
+  void apply_execution(ExecutionPolicy& exec);
 
   const std::vector<std::string>& errors() const { return errors_; }
 

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <exception>
 
+#include "obs/obs.hpp"
+
 namespace scapegoat {
 
 namespace {
@@ -40,7 +42,12 @@ void ThreadPool::enqueue(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mutex_);
     assert(!stopping_ && "submit on a stopping pool");
     queue_.push_back(std::move(task));
+    // "pool." metrics are scheduling-dependent — outside the determinism
+    // contract (see obs/obs.hpp).
+    obs::gauge_max("pool.queue_depth_max",
+                   static_cast<std::int64_t>(queue_.size()));
   }
+  obs::count("pool.tasks_enqueued");
   cv_.notify_one();
 }
 
@@ -56,7 +63,11 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    {
+      obs::ScopedTimer timer("pool.task.run_us");
+      task();
+    }
+    obs::count("pool.tasks_run");
   }
 }
 
@@ -68,9 +79,12 @@ void ThreadPool::parallel_for(
   const std::size_t n = end - begin;
   const std::size_t chunks = (n + grain - 1) / grain;
   if (size() <= 1 || chunks <= 1 || on_worker_thread()) {
+    obs::count("pool.parallel_for.inline_runs");
     body(begin, end);
     return;
   }
+  obs::count("pool.parallel_for.calls");
+  obs::count("pool.parallel_for.chunks", chunks);
 
   // Shared chunk cursor: workers and the caller race to claim chunk indices.
   // Which thread runs a chunk is nondeterministic; the chunk boundaries —

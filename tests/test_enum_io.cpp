@@ -1,0 +1,109 @@
+// Round-trip and stream-output tests for the enum string conversions
+// unified in the PR-3 API pass: robust::ErrorCode, robust::SolveMethod,
+// LeastSquaresMethod and lp::SolveStatus.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "linalg/least_squares.hpp"
+#include "lp/simplex.hpp"
+#include "robust/degraded.hpp"
+#include "robust/expected.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(EnumIo, ErrorCodeRoundTrips) {
+  for (robust::ErrorCode code :
+       {robust::ErrorCode::kInvalidInput, robust::ErrorCode::kEmptyInput,
+        robust::ErrorCode::kDimensionMismatch,
+        robust::ErrorCode::kRankDeficient, robust::ErrorCode::kIllConditioned,
+        robust::ErrorCode::kIterationLimit, robust::ErrorCode::kMissingData,
+        robust::ErrorCode::kParseError, robust::ErrorCode::kIoError}) {
+    const std::string s = robust::to_string(code);
+    EXPECT_NE(s, "unknown");
+    const auto back = robust::error_code_from_string(s);
+    ASSERT_TRUE(back.has_value()) << s;
+    EXPECT_EQ(*back, code);
+  }
+  EXPECT_FALSE(robust::error_code_from_string("bogus").has_value());
+  EXPECT_FALSE(robust::error_code_from_string("").has_value());
+}
+
+TEST(EnumIo, ErrorCodeStreams) {
+  std::ostringstream os;
+  os << robust::ErrorCode::kRankDeficient;
+  EXPECT_EQ(os.str(), "rank_deficient");
+}
+
+TEST(EnumIo, SolveMethodRoundTrips) {
+  for (robust::SolveMethod m : {robust::SolveMethod::kFullRank,
+                                robust::SolveMethod::kRegularizedFallback}) {
+    const auto back = robust::solve_method_from_string(robust::to_string(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+  EXPECT_FALSE(robust::solve_method_from_string("qr").has_value());
+  std::ostringstream os;
+  os << robust::SolveMethod::kRegularizedFallback;
+  EXPECT_EQ(os.str(), "regularized_fallback");
+}
+
+TEST(EnumIo, LeastSquaresMethodRoundTrips) {
+  for (LeastSquaresMethod m :
+       {LeastSquaresMethod::kQr, LeastSquaresMethod::kNormalEquations}) {
+    const auto back = least_squares_method_from_string(to_string(m));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, m);
+  }
+  EXPECT_EQ(to_string(LeastSquaresMethod::kQr), "qr");
+  EXPECT_EQ(to_string(LeastSquaresMethod::kNormalEquations),
+            "normal_equations");
+  EXPECT_FALSE(least_squares_method_from_string("cholesky").has_value());
+  std::ostringstream os;
+  os << LeastSquaresMethod::kQr;
+  EXPECT_EQ(os.str(), "qr");
+}
+
+TEST(EnumIo, LpSolveStatusStreams) {
+  std::ostringstream os;
+  os << lp::SolveStatus::kOptimal << ' ' << lp::SolveStatus::kIterationLimit;
+  EXPECT_EQ(os.str(), "optimal iteration_limit");
+}
+
+TEST(EnumIo, ExpectedErrorMessage) {
+  const robust::Expected<int> good(7);
+  EXPECT_TRUE(good.error_message().empty());
+  const robust::Expected<int> bad(
+      robust::Error{robust::ErrorCode::kMissingData, "no probes arrived"});
+  EXPECT_EQ(bad.error_message(), "missing_data: no probes arrived");
+}
+
+TEST(EnumIo, ExpectedMonadicOps) {
+  const robust::Expected<int> good(21);
+  const auto doubled = good.map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, 42);
+
+  const auto chained = good.and_then([](int v) -> robust::Expected<int> {
+    if (v > 100) return robust::Error{robust::ErrorCode::kInvalidInput, "big"};
+    return v + 1;
+  });
+  ASSERT_TRUE(chained.ok());
+  EXPECT_EQ(*chained, 22);
+
+  const robust::Expected<int> bad(
+      robust::Error{robust::ErrorCode::kRankDeficient, "r < n"});
+  const auto still_bad = bad.map([](int v) { return v * 2; });
+  ASSERT_FALSE(still_bad.ok());
+  EXPECT_EQ(still_bad.code(), robust::ErrorCode::kRankDeficient);
+  const auto also_bad =
+      bad.and_then([](int v) -> robust::Expected<double> { return v * 1.0; });
+  ASSERT_FALSE(also_bad.ok());
+  EXPECT_EQ(also_bad.error().message, "r < n");
+  EXPECT_EQ(bad.value_or(-1), -1);
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -1,0 +1,104 @@
+// The shared ExecutionPolicy base behind every experiment options struct:
+// per-experiment defaults survive the refactor, the old field names keep
+// working, generic code can slice any options struct to ExecutionPolicy&,
+// and acquire_pool resolves global vs dedicated pools.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "core/fault_experiment.hpp"
+#include "util/args.hpp"
+#include "util/execution.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(ExecutionPolicy, PerExperimentDefaultsPreserved) {
+  // These are the pre-refactor per-struct defaults; they must not drift,
+  // or every seeded experiment series silently changes.
+  const PresenceRatioOptions fig7;
+  EXPECT_EQ(fig7.threads, 0u);
+  EXPECT_EQ(fig7.grain, 8u);
+  EXPECT_EQ(fig7.seed, 7u);
+
+  const SingleAttackerOptions fig8;
+  EXPECT_EQ(fig8.threads, 0u);
+  EXPECT_EQ(fig8.grain, 4u);
+  EXPECT_EQ(fig8.seed, 8u);
+
+  const DetectionOptionsExperiment fig9;
+  EXPECT_EQ(fig9.threads, 0u);
+  EXPECT_EQ(fig9.grain, 4u);
+  EXPECT_EQ(fig9.seed, 9u);
+
+  const FaultSweepOptions faults;
+  EXPECT_EQ(faults.threads, 0u);
+  EXPECT_EQ(faults.grain, 4u);
+  EXPECT_EQ(faults.seed, 11u);
+}
+
+TEST(ExecutionPolicy, OldFieldNamesStillAssignable) {
+  PresenceRatioOptions opt;
+  opt.threads = 3;
+  opt.grain = 16;
+  opt.seed = 123;
+  EXPECT_EQ(opt.threads, 3u);
+  EXPECT_EQ(opt.grain, 16u);
+  EXPECT_EQ(opt.seed, 123u);
+}
+
+TEST(ExecutionPolicy, SlicesToBaseReference) {
+  FaultSweepOptions opt;
+  ExecutionPolicy& exec = opt.execution();
+  exec.seed = 99;
+  exec.grain = 2;
+  EXPECT_EQ(opt.seed, 99u);  // same sub-object, not a copy
+  EXPECT_EQ(opt.grain, 2u);
+
+  // Copying the trio between different experiments' options.
+  PresenceRatioOptions other;
+  other.execution() = opt.execution();
+  EXPECT_EQ(other.seed, 99u);
+  EXPECT_EQ(other.threads, opt.threads);
+}
+
+TEST(ExecutionPolicy, AcquirePoolGlobalVsDedicated) {
+  ExecutionPolicy global_exec;  // threads == 0
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = acquire_pool(global_exec, owned);
+  EXPECT_EQ(&pool, &ThreadPool::global());
+  EXPECT_EQ(owned, nullptr);
+
+  ExecutionPolicy dedicated{2, 4, 0};
+  std::unique_ptr<ThreadPool> owned2;
+  ThreadPool& pool2 = acquire_pool(dedicated, owned2);
+  ASSERT_NE(owned2, nullptr);
+  EXPECT_EQ(&pool2, owned2.get());
+  EXPECT_EQ(pool2.size(), 2u);
+}
+
+TEST(ExecutionPolicy, ArgParserAppliesExecutionFlags) {
+  const char* argv[] = {"prog", "--grain", "32", "--seed", "1234"};
+  ArgParser args(5, argv);
+  PresenceRatioOptions opt;
+  args.apply_execution(opt);
+  EXPECT_EQ(opt.grain, 32u);
+  EXPECT_EQ(opt.seed, 1234u);
+  EXPECT_EQ(opt.threads, 0u);  // stays on the (resized) global pool
+  EXPECT_TRUE(args.errors().empty());
+}
+
+TEST(ExecutionPolicy, ArgParserLeavesDefaultsWhenFlagsAbsent) {
+  const char* argv[] = {"prog"};
+  ArgParser args(1, argv);
+  FaultSweepOptions opt;
+  args.apply_execution(opt);
+  EXPECT_EQ(opt.grain, 4u);
+  EXPECT_EQ(opt.seed, 11u);
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -1,0 +1,272 @@
+// Unit tests for the observability layer: metric primitives, the registry,
+// ScopedInstrumentation install/restore semantics, trace JSONL round-trips
+// and the snapshot exporters.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(Counter, FoldsConcurrentAddsExactly) {
+  obs::Counter c;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kAddsPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kAddsPerThread; ++i) c.add();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kAddsPerThread);
+}
+
+TEST(Counter, AddWithDelta) {
+  obs::Counter c;
+  c.add(5);
+  c.add(37);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetTracksValueAndMax) {
+  obs::Gauge g;
+  g.set(3);
+  g.set(17);
+  g.set(5);
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.max_value(), 17);
+  g.record_max(100);
+  EXPECT_EQ(g.value(), 5);  // record_max leaves the level alone
+  EXPECT_EQ(g.max_value(), 100);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0 = [0,1), bucket b = [2^(b-1), 2^b).
+  EXPECT_EQ(obs::Histogram::bucket_of(0.0), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(0.99), 0u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1.0), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1.5), 1u);
+  EXPECT_EQ(obs::Histogram::bucket_of(2.0), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(3.99), 2u);
+  EXPECT_EQ(obs::Histogram::bucket_of(4.0), 3u);
+  EXPECT_EQ(obs::Histogram::bucket_of(1024.0), 11u);
+  // Far beyond the last edge still lands in the final bucket.
+  EXPECT_EQ(obs::Histogram::bucket_of(1e300), obs::Histogram::kBuckets - 1);
+}
+
+TEST(Histogram, ObserveAccumulatesAndClampsBadInput) {
+  obs::Histogram h;
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(-7.0);                                  // clamps to 0
+  h.observe(std::numeric_limits<double>::quiet_NaN());  // clamps to 0
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 3.5);  // 0.5 + 3.0 + 0 + 0, exact in 1/256 fp
+  EXPECT_DOUBLE_EQ(h.max(), 3.0);
+  const auto buckets = h.buckets();
+  EXPECT_EQ(buckets[0], 3u);  // 0.5 and the two clamped observations
+  EXPECT_EQ(buckets[2], 1u);  // 3.0 in [2, 4)
+}
+
+TEST(Histogram, QuantileUsesBucketEdgesClampedByMax) {
+  obs::Histogram h;
+  for (int i = 0; i < 99; ++i) h.observe(10.0);  // bucket [8, 16)
+  h.observe(100.0);                               // bucket [64, 128)
+  obs::HistogramSample s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.max = h.max();
+  s.buckets = h.buckets();
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 16.0);   // p50 = upper edge of [8,16)
+  EXPECT_DOUBLE_EQ(s.quantile(1.0), 100.0);  // clamped by observed max
+}
+
+TEST(MetricsRegistry, SnapshotSortedAndStableAddresses) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("zzz.last");
+  obs::Counter& b = reg.counter("aaa.first");
+  a.add(1);
+  b.add(2);
+  EXPECT_EQ(&reg.counter("zzz.last"), &a);  // create-once, stable address
+  const obs::MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].name, "aaa.first");
+  EXPECT_EQ(snap.counters[1].name, "zzz.last");
+  EXPECT_EQ(snap.counter_value("aaa.first"), 2u);
+  EXPECT_EQ(snap.counter_value("missing"), 0u);
+}
+
+TEST(MetricsRegistry, ConcurrentCreateAndAdd) {
+  obs::MetricsRegistry reg;
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kAdds = 5000;
+  std::vector<std::thread> workers;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      for (std::uint64_t i = 0; i < kAdds; ++i) {
+        reg.counter("shared.counter").add();
+        reg.histogram("shared.hist").observe(1.0);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counter_value("shared.counter"), kThreads * kAdds);
+  ASSERT_NE(snap.histogram("shared.hist"), nullptr);
+  EXPECT_EQ(snap.histogram("shared.hist")->count, kThreads * kAdds);
+}
+
+TEST(ScopedInstrumentation, InstallsAndRestores) {
+  EXPECT_FALSE(obs::metrics_enabled());
+  obs::count("outside", 1);  // no-op: nothing installed
+  {
+    obs::MetricsRegistry outer;
+    obs::ScopedInstrumentation inst(outer);
+    EXPECT_TRUE(obs::metrics_enabled());
+    obs::count("depth", 1);
+    {
+      obs::MetricsRegistry inner;
+      obs::ScopedInstrumentation nested(inner);
+      obs::count("depth", 10);
+      EXPECT_EQ(inner.snapshot().counter_value("depth"), 10u);
+    }
+    obs::count("depth", 1);  // back to outer after nested scope ends
+    EXPECT_EQ(outer.snapshot().counter_value("depth"), 2u);
+  }
+  EXPECT_FALSE(obs::metrics_enabled());
+}
+
+TEST(ScopedTimer, RecordsIntoHistogram) {
+  obs::MetricsRegistry reg;
+  obs::ScopedInstrumentation inst(reg);
+  {
+    obs::ScopedTimer t("timer.test_us");
+  }
+  const auto snap = reg.snapshot();
+  ASSERT_NE(snap.histogram("timer.test_us"), nullptr);
+  EXPECT_EQ(snap.histogram("timer.test_us")->count, 1u);
+}
+
+TEST(ScopedTimer, NoOpWhenDisabled) {
+  obs::ScopedTimer t("never.recorded_us");
+  EXPECT_DOUBLE_EQ(t.stop(), 0.0);
+}
+
+TEST(Trace, JsonlRoundTrip) {
+  std::ostringstream out;
+  {
+    obs::JsonlTraceSink sink(out);
+    obs::TraceEvent e;
+    e.name = "span \"quoted\"\nwith\tnasties\\";
+    e.thread_id = 3;
+    e.start_us = 1234;
+    e.duration_us = 56;
+    e.attrs.emplace_back("key", "value with \"quotes\" and \x01 control");
+    e.attrs.emplace_back("n", "42");
+    sink.write(e);
+  }
+  const std::string line = out.str();
+  ASSERT_FALSE(line.empty());
+  EXPECT_EQ(line.back(), '\n');
+  const auto parsed =
+      obs::parse_trace_line(std::string_view(line).substr(0, line.size() - 1));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, "span \"quoted\"\nwith\tnasties\\");
+  EXPECT_EQ(parsed->thread_id, 3);
+  EXPECT_EQ(parsed->start_us, 1234u);
+  EXPECT_EQ(parsed->duration_us, 56u);
+  ASSERT_EQ(parsed->attrs.size(), 2u);
+  EXPECT_EQ(parsed->attrs[0].first, "key");
+  EXPECT_EQ(parsed->attrs[0].second, "value with \"quotes\" and \x01 control");
+  EXPECT_EQ(parsed->attrs[1].second, "42");
+}
+
+TEST(Trace, ParseRejectsGarbage) {
+  EXPECT_FALSE(obs::parse_trace_line("not json").has_value());
+  EXPECT_FALSE(obs::parse_trace_line("{}").has_value());
+  EXPECT_FALSE(obs::parse_trace_line("").has_value());
+}
+
+TEST(Trace, ScopedSpanWritesEvent) {
+  std::ostringstream out;
+  obs::MetricsRegistry reg;
+  {
+    obs::JsonlTraceSink sink(out);
+    obs::ScopedInstrumentation inst(reg, &sink);
+    obs::ScopedSpan span("unit.test.span");
+    span.attr("answer", std::uint64_t{42});
+  }
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  const auto parsed = obs::parse_trace_line(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->name, "unit.test.span");
+  ASSERT_EQ(parsed->attrs.size(), 1u);
+  EXPECT_EQ(parsed->attrs[0].first, "answer");
+  EXPECT_EQ(parsed->attrs[0].second, "42");
+}
+
+TEST(Trace, SpanInertWhenDisabled) {
+  obs::ScopedSpan span("inert");
+  EXPECT_FALSE(span.active());
+  span.attr("dropped", "yes");  // must not crash
+}
+
+TEST(Exporters, AllThreeRenderTheSameSnapshot) {
+  obs::MetricsRegistry reg;
+  reg.counter("c.one").add(7);
+  reg.gauge("g.level").set(3);
+  reg.histogram("h.lat_us").observe(100.0);
+  const auto snap = reg.snapshot();
+
+  const std::string table = obs::to_table(snap);
+  EXPECT_NE(table.find("c.one"), std::string::npos);
+  EXPECT_NE(table.find("7"), std::string::npos);
+  EXPECT_NE(table.find("g.level"), std::string::npos);
+  EXPECT_NE(table.find("h.lat_us"), std::string::npos);
+
+  const std::string json = obs::to_json(snap);
+  EXPECT_NE(json.find("\"c.one\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+
+  const std::string csv = obs::to_csv(snap);
+  EXPECT_NE(csv.find("counter,c.one"), std::string::npos);
+  EXPECT_NE(csv.find("gauge,g.level"), std::string::npos);
+  EXPECT_NE(csv.find("histogram,h.lat_us"), std::string::npos);
+}
+
+TEST(Exporters, EmptySnapshot) {
+  const obs::MetricsSnapshot empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_FALSE(obs::to_json(empty).empty());  // still valid JSON
+  EXPECT_FALSE(obs::to_csv(empty).empty());   // still has a header
+}
+
+// Pool workers writing through the installed registry — the production
+// write pattern (instrumented parallel_for bodies).
+TEST(Obs, PoolWorkersRecordThroughHelpers) {
+  obs::MetricsRegistry reg;
+  obs::ScopedInstrumentation inst(reg);
+  ThreadPool pool(4);
+  pool.parallel_for(0, 1000, 10, [](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) obs::count("work.items");
+  });
+  EXPECT_EQ(reg.snapshot().counter_value("work.items"), 1000u);
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -129,13 +129,13 @@ TEST(ScenarioIo, RejectsUnidentifiableSavedSystem) {
 
 TEST(ScenarioIoChecked, DiagnosticsNameTheFailure) {
   std::istringstream empty("");
-  auto e = load_scenario_checked(empty);
+  auto e = try_load_scenario(empty);
   ASSERT_FALSE(e.ok());
   EXPECT_EQ(e.code(), robust::ErrorCode::kParseError);
 
   std::istringstream truncated(
       "scapegoat-scenario 1\nnodes 3\nlinks 2\n0 1\n");
-  auto t = load_scenario_checked(truncated);
+  auto t = try_load_scenario(truncated);
   ASSERT_FALSE(t.ok());
   EXPECT_EQ(t.code(), robust::ErrorCode::kParseError);
   EXPECT_NE(t.error().message.find("link"), std::string::npos);
@@ -146,7 +146,7 @@ TEST(ScenarioIoChecked, ImplausibleCountsDoNotAllocate) {
   // error, not an allocation attempt.
   std::istringstream huge_nodes(
       "scapegoat-scenario 1\nnodes 999999999999999999\n");
-  auto n = load_scenario_checked(huge_nodes);
+  auto n = try_load_scenario(huge_nodes);
   ASSERT_FALSE(n.ok());
   EXPECT_EQ(n.code(), robust::ErrorCode::kInvalidInput);
 
@@ -154,7 +154,7 @@ TEST(ScenarioIoChecked, ImplausibleCountsDoNotAllocate) {
       "scapegoat-scenario 1\n"
       "nodes 2\nlinks 1\n0 1\nmonitors 2\n0 1\n"
       "paths 888888888888\n");
-  auto p = load_scenario_checked(huge_paths);
+  auto p = try_load_scenario(huge_paths);
   ASSERT_FALSE(p.ok());
   EXPECT_EQ(p.code(), robust::ErrorCode::kInvalidInput);
 
@@ -162,7 +162,7 @@ TEST(ScenarioIoChecked, ImplausibleCountsDoNotAllocate) {
       "scapegoat-scenario 1\n"
       "nodes 2\nlinks 1\n0 1\nmonitors 2\n0 1\n"
       "paths 1\n777777777 0 1\n");
-  auto l = load_scenario_checked(huge_path_len);
+  auto l = try_load_scenario(huge_path_len);
   ASSERT_FALSE(l.ok());
   EXPECT_EQ(l.code(), robust::ErrorCode::kInvalidInput);
 }
@@ -175,13 +175,13 @@ TEST(ScenarioIoChecked, MetricCountMismatchIsTyped) {
       "metrics 5\n"  // five metrics for two links
       "1 2 3 4 5\n"
       "config 1 20 100 800 2000 1\n");
-  auto e = load_scenario_checked(bad);
+  auto e = try_load_scenario(bad);
   ASSERT_FALSE(e.ok());
   EXPECT_EQ(e.code(), robust::ErrorCode::kDimensionMismatch);
 }
 
 TEST(ScenarioIoChecked, MissingFileIsIoError) {
-  auto e = load_scenario_checked_file("/nonexistent/scenario.txt");
+  auto e = try_load_scenario_file("/nonexistent/scenario.txt");
   ASSERT_FALSE(e.ok());
   EXPECT_EQ(e.code(), robust::ErrorCode::kIoError);
 }
@@ -191,7 +191,7 @@ TEST(ScenarioIoChecked, RoundTripStillSucceeds) {
   Scenario original = Scenario::fig1(rng);
   std::stringstream buffer;
   save_scenario(buffer, original);
-  auto loaded = load_scenario_checked(buffer);
+  auto loaded = try_load_scenario(buffer);
   ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
   expect_equivalent(original, *loaded);
 }

@@ -13,9 +13,12 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <optional>
 
 #include "core/scapegoat.hpp"
+#include "obs/export.hpp"
+#include "obs/obs.hpp"
 #include "util/args.hpp"
 #include "util/thread_pool.hpp"
 
@@ -33,13 +36,16 @@ int usage(const char* reason) {
       "  fig     — reproduce a paper figure (--n 2|4|5|6)\n"
       "  faults  — probe-loss sweep through the degraded pipeline\n"
       "            (--rates permille list, --trials N, --retries N)\n"
+      "  metrics — run an instrumented workload and print the metrics\n"
+      "            registry (--trials N, --format table|json|csv)\n"
       "flags: --topology fig1|wireline|wireless|file:PATH  --seed N\n"
       "       --strategy chosen|max|obfuscation  --victim L(1-based)\n"
       "       --attackers a,b,c  --redundant N  --alpha MS  --csv\n"
       "       --stealthy (Theorem-1 consistent manipulation)\n"
       "       --save PATH / --load PATH (scenario persistence)\n"
       "       --threads N (worker threads for linalg/experiments; "
-      "absent = auto)\n";
+      "absent = auto)\n"
+      "       --trace PATH (write a JSONL trace of spans for any command)\n";
   return 2;
 }
 
@@ -266,7 +272,7 @@ int cmd_faults(ArgParser& args) {
   opt.topologies = static_cast<std::size_t>(args.get_int("topologies", 1));
   opt.trials_per_topology =
       static_cast<std::size_t>(args.get_int("trials", 20));
-  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 11));
+  args.apply_execution(opt);
   opt.alpha = args.get_double("alpha", 200.0);
   opt.retry.max_retries = static_cast<std::size_t>(args.get_int("retries", 2));
   if (const std::vector<long> permille = args.get_int_list("rates");
@@ -299,15 +305,63 @@ int cmd_faults(ArgParser& args) {
   return 0;
 }
 
+// Runs a representative instrumented workload — Monte-Carlo presence-ratio
+// trials, which exercise the estimator's QR/pinv, the attack LPs and the
+// detector — then prints the folded metrics registry. The registry is the
+// one main() installed, so the printout also includes anything recorded
+// before the command ran.
+int cmd_metrics(ArgParser& args, obs::MetricsRegistry& registry) {
+  PresenceRatioOptions opt;
+  opt.topologies = 1;
+  opt.trials_per_topology =
+      static_cast<std::size_t>(args.get_int("trials", 20));
+  args.apply_execution(opt);
+  run_presence_ratio_experiment(TopologyKind::kWireline, opt);
+
+  const obs::MetricsSnapshot snapshot = registry.snapshot();
+  const std::string format = args.get_string("format", "table");
+  if (format == "json") {
+    std::cout << obs::to_json(snapshot) << '\n';
+  } else if (format == "csv") {
+    std::cout << obs::to_csv(snapshot);
+  } else if (format == "table") {
+    std::cout << obs::to_table(snapshot);
+  } else {
+    std::cerr << "error: --format expects table|json|csv\n";
+    return 2;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
   if (!args.command()) return usage("missing command");
   ThreadPool::set_global_threads(args.get_threads());
+  const std::string& cmd = *args.command();
+
+  // Observability: every command runs instrumented when asked. `--trace
+  // PATH` streams spans as JSONL; the `metrics` command prints the registry.
+  obs::MetricsRegistry registry;
+  std::ofstream trace_file;
+  std::unique_ptr<obs::JsonlTraceSink> trace_sink;
+  if (const std::string trace_path = args.get_string("trace");
+      !trace_path.empty()) {
+    trace_file.open(trace_path);
+    if (!trace_file) {
+      std::cerr << "error: cannot open trace file " << trace_path << '\n';
+      return 2;
+    }
+    trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_file);
+  }
+  std::unique_ptr<obs::ScopedInstrumentation> instrumentation;
+  if (trace_sink != nullptr || cmd == "metrics") {
+    instrumentation = std::make_unique<obs::ScopedInstrumentation>(
+        registry, trace_sink.get());
+  }
 
   int rc;
-  const std::string& cmd = *args.command();
   if (cmd == "topo") {
     rc = cmd_topo(args);
   } else if (cmd == "attack") {
@@ -318,6 +372,8 @@ int main(int argc, char** argv) {
     rc = cmd_fig(args);
   } else if (cmd == "faults") {
     rc = cmd_faults(args);
+  } else if (cmd == "metrics") {
+    rc = cmd_metrics(args, registry);
   } else {
     return usage(("unknown command '" + cmd + "'").c_str());
   }
