@@ -1,0 +1,170 @@
+// Checkpoint-journal overhead bench: the PR-4 acceptance gate.
+//
+// Runs the same Fig. 7 workload three ways —
+//   none        resilience off (the default configuration),
+//   journal     --checkpoint semantics: every trial framed, CRC'd and
+//               appended, one fsync'd flush per topology block,
+//   resume      a second pass over the journal written by `journal`: every
+//               trial replays from disk, nothing is recomputed —
+// and reports wall time per mode plus the journal overhead relative to
+// none. The acceptance bar is journal overhead < 2%: checkpointing must be
+// cheap enough to leave on for any long sweep. It also cross-checks that
+// all three modes fold to the identical series (bitwise fingerprint).
+//
+//   bench_checkpoint_overhead [--quick] [--trials N] [--repeats N]
+//                             [--out PATH]
+//
+// --out writes the machine-readable JSON consumed by scripts/bench_report.sh
+// (checked in as BENCH_pr4.json).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "util/args.hpp"
+#include "util/atomic_file.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// FNV-1a over the scientific fields of the series (bins + totals); the
+// session-local bookkeeping (trials_replayed) is deliberately excluded.
+std::uint64_t series_fingerprint(const scapegoat::PresenceRatioSeries& s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(s.total_trials);
+  mix(s.trials_quarantined);
+  for (const scapegoat::PresenceRatioBin& b : s.bins) {
+    mix(b.trials);
+    mix(b.successes);
+  }
+  return h;
+}
+
+struct TimedRun {
+  double seconds = 0.0;
+  std::uint64_t fingerprint = 0;
+};
+
+TimedRun run_once(const scapegoat::PresenceRatioOptions& opt) {
+  const auto start = std::chrono::steady_clock::now();
+  const auto series = scapegoat::run_presence_ratio_experiment(
+      scapegoat::TopologyKind::kWireline, opt);
+  TimedRun out;
+  out.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+  out.fingerprint = series_fingerprint(series);
+  return out;
+}
+
+// Best-of-N to shave scheduler noise off a single-machine comparison.
+TimedRun best_of(std::size_t repeats, const scapegoat::PresenceRatioOptions& opt) {
+  TimedRun best;
+  best.seconds = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < repeats; ++r) {
+    const TimedRun run = run_once(opt);
+    if (run.seconds < best.seconds) best.seconds = run.seconds;
+    best.fingerprint = run.fingerprint;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scapegoat::ArgParser args(argc, argv);
+  scapegoat::PresenceRatioOptions opt;
+  opt.topologies = 1;
+  opt.trials_per_topology =
+      static_cast<std::size_t>(args.get_int("trials", 120));
+  std::size_t repeats = static_cast<std::size_t>(args.get_int("repeats", 3));
+  if (args.get_bool("quick")) {
+    opt.trials_per_topology = 40;
+    repeats = 2;
+  }
+  const std::string out_path = args.get_string("out");
+  args.apply_execution(opt);
+  for (const std::string& err : args.errors())
+    std::cerr << "warning: " << err << '\n';
+
+  const std::string journal_path = "bench_checkpoint_overhead.ckpt";
+
+  run_once(opt);  // warm-up, untimed
+
+  const TimedRun none = best_of(repeats, opt);
+
+  // Fresh journal each repeat (resume off → journal truncated on open), so
+  // every timed run pays the full append + flush cost.
+  opt.resilience.checkpoint_path = journal_path;
+  opt.resilience.resume = false;
+  const TimedRun journal = best_of(repeats, opt);
+
+  // Resume over the populated journal: all trials replay from disk.
+  opt.resilience.resume = true;
+  const TimedRun resume = best_of(repeats, opt);
+
+  std::remove(journal_path.c_str());
+  std::remove((journal_path + ".manifest").c_str());
+
+  const auto overhead = [&](double secs) {
+    return none.seconds > 0.0
+               ? (secs - none.seconds) / none.seconds * 100.0
+               : 0.0;
+  };
+
+  scapegoat::Table table({"mode", "seconds", "overhead_pct"});
+  table.add_row({"none", scapegoat::Table::num(none.seconds, 4), "0.0"});
+  table.add_row({"journal", scapegoat::Table::num(journal.seconds, 4),
+                 scapegoat::Table::num(overhead(journal.seconds), 1)});
+  table.add_row({"resume", scapegoat::Table::num(resume.seconds, 4),
+                 scapegoat::Table::num(overhead(resume.seconds), 1)});
+  std::cout << "Fig. 7 workload, " << opt.trials_per_topology
+            << " trials, best of " << repeats << '\n';
+  table.print(std::cout);
+
+  const bool identical = none.fingerprint == journal.fingerprint &&
+                         none.fingerprint == resume.fingerprint;
+  char fp[32];
+  std::snprintf(fp, sizeof fp, "%016llx",
+                static_cast<unsigned long long>(none.fingerprint));
+  std::cout << "series fingerprint: " << fp << " — none/journal/resume "
+            << (identical ? "IDENTICAL" : "MISMATCH") << '\n';
+
+  if (!out_path.empty()) {
+    char buf[640];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n"
+        "  \"bench\": \"bench_checkpoint_overhead\",\n"
+        "  \"workload\": \"fig7_wireline\",\n"
+        "  \"trials\": %zu,\n"
+        "  \"repeats\": %zu,\n"
+        "  \"none_seconds\": %.6f,\n"
+        "  \"journal_seconds\": %.6f,\n"
+        "  \"resume_seconds\": %.6f,\n"
+        "  \"journal_overhead_pct\": %.2f,\n"
+        "  \"resume_overhead_pct\": %.2f,\n"
+        "  \"series_identical\": %s\n"
+        "}\n",
+        opt.trials_per_topology, repeats, none.seconds, journal.seconds,
+        resume.seconds, overhead(journal.seconds), overhead(resume.seconds),
+        identical ? "true" : "false");
+    if (!scapegoat::write_file_atomic(out_path, buf).ok()) {
+      std::cerr << "error: cannot write " << out_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << out_path << '\n';
+  }
+  return identical ? 0 : 1;
+}

@@ -24,6 +24,8 @@
 #include <vector>
 
 #include "core/fault_experiment.hpp"
+#include "core/resilience_flags.hpp"
+#include "robust/watchdog.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -61,6 +63,7 @@ std::uint64_t sweep_checksum(const scapegoat::FaultSweepSeries& s) {
 
 int main(int argc, char** argv) {
   scapegoat::ArgParser args(argc, argv);
+  scapegoat::robust::install_graceful_shutdown();
 
   scapegoat::FaultSweepOptions opt;
   opt.topologies = static_cast<std::size_t>(args.get_int("topologies", 2));
@@ -87,6 +90,7 @@ int main(int argc, char** argv) {
   const scapegoat::TopologyKind kind = args.get_bool("wireless")
                                            ? scapegoat::TopologyKind::kWireless
                                            : scapegoat::TopologyKind::kWireline;
+  scapegoat::apply_resilience_flags(args, opt.resilience);
   for (const std::string& err : args.errors())
     std::cerr << "warning: " << err << '\n';
 
@@ -111,10 +115,23 @@ int main(int argc, char** argv) {
             << " probe attempts\n";
   table.print(std::cout);
 
+  if (series.trials_quarantined > 0) {
+    std::cout << "quarantined trials (excluded from all cells): "
+              << series.trials_quarantined << '\n';
+  }
+  if (series.trials_replayed > 0) {
+    std::cout << "trials replayed from checkpoint: " << series.trials_replayed
+              << '\n';
+  }
+
   char hex[32];
   std::snprintf(hex, sizeof hex, "%016llx",
                 static_cast<unsigned long long>(sweep_checksum(series)));
   std::cout << "checksum: " << hex
             << " (bitwise reproducible at any --threads)\n";
+  if (series.interrupted) {
+    std::cerr << "interrupted — journal flushed, rerun with --resume\n";
+    return 130;
+  }
   return 0;
 }

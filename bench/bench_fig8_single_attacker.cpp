@@ -1,27 +1,40 @@
 // Reproduces Fig. 8: success probabilities of maximum-damage and obfuscation
 // attacks launched by a single attacker. Pass --quick for fewer trials and
 // --threads N to run trials on N workers (0/absent = hardware concurrency);
-// results are bitwise identical at every thread count.
+// results are bitwise identical at every thread count. Crash safety:
+// --checkpoint PATH / --resume / --trial-budget-ms / --stop-after (each
+// topology kind journals to PATH.wireline / PATH.wireless).
 
 #include <iostream>
 
 #include "core/figures.hpp"
+#include "core/resilience_flags.hpp"
+#include "robust/watchdog.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
   scapegoat::ArgParser args(argc, argv);
+  scapegoat::robust::install_graceful_shutdown();
   scapegoat::SingleAttackerOptions opt;
   if (args.get_bool("quick")) {
     opt.topologies = 1;
     opt.trials_per_topology = 20;
   }
   args.apply_execution(opt);
+  scapegoat::apply_resilience_flags(args, opt.resilience);
+  const std::string ckpt = opt.resilience.checkpoint_path;
   for (const std::string& err : args.errors())
     std::cerr << "warning: " << err << '\n';
+  if (!ckpt.empty()) opt.resilience.checkpoint_path = ckpt + ".wireline";
   const auto wireline = scapegoat::run_single_attacker_experiment(
       scapegoat::TopologyKind::kWireline, opt);
+  if (!ckpt.empty()) opt.resilience.checkpoint_path = ckpt + ".wireless";
   const auto wireless = scapegoat::run_single_attacker_experiment(
       scapegoat::TopologyKind::kWireless, opt);
   scapegoat::print_fig8(wireline, wireless, std::cout);
+  if (wireline.interrupted || wireless.interrupted) {
+    std::cerr << "interrupted — journal flushed, rerun with --resume\n";
+    return 130;
+  }
   return 0;
 }

@@ -2,15 +2,20 @@
 // all three strategies under perfect and imperfect cuts, plus the no-attack
 // false-alarm baseline. Pass --quick for fewer successful attacks per cell
 // and --threads N to run trials on N workers (0/absent = hardware
-// concurrency); results are bitwise identical at every thread count.
+// concurrency); results are bitwise identical at every thread count. Crash
+// safety: --checkpoint PATH / --resume / --trial-budget-ms / --stop-after
+// (each topology kind journals to PATH.wireline / PATH.wireless).
 
 #include <iostream>
 
 #include "core/figures.hpp"
+#include "core/resilience_flags.hpp"
+#include "robust/watchdog.hpp"
 #include "util/args.hpp"
 
 int main(int argc, char** argv) {
   scapegoat::ArgParser args(argc, argv);
+  scapegoat::robust::install_graceful_shutdown();
   scapegoat::DetectionOptionsExperiment opt;
   if (args.get_bool("quick")) {
     opt.topologies = 1;
@@ -18,12 +23,22 @@ int main(int argc, char** argv) {
     opt.max_trials_per_cell = 400;
   }
   args.apply_execution(opt);
+  scapegoat::apply_resilience_flags(args, opt.resilience);
+  const std::string ckpt = opt.resilience.checkpoint_path;
   for (const std::string& err : args.errors())
     std::cerr << "warning: " << err << '\n';
+  bool interrupted = false;
   for (auto kind : {scapegoat::TopologyKind::kWireline,
                     scapegoat::TopologyKind::kWireless}) {
-    scapegoat::print_fig9(scapegoat::run_detection_experiment(kind, opt),
-                          std::cout);
+    if (!ckpt.empty())
+      opt.resilience.checkpoint_path = ckpt + "." + scapegoat::to_string(kind);
+    const auto series = scapegoat::run_detection_experiment(kind, opt);
+    scapegoat::print_fig9(series, std::cout);
+    interrupted = interrupted || series.interrupted;
+  }
+  if (interrupted) {
+    std::cerr << "interrupted — journal flushed, rerun with --resume\n";
+    return 130;
   }
   return 0;
 }

@@ -21,7 +21,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
-#include <fstream>
 #include <iostream>
 #include <limits>
 #include <sstream>
@@ -32,6 +31,7 @@
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "util/args.hpp"
+#include "util/atomic_file.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -116,11 +116,6 @@ int main(int argc, char** argv) {
   std::cout << "tracing mode emitted " << trace_lines << " span(s)\n";
 
   if (!out_path.empty()) {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::cerr << "error: cannot open " << out_path << '\n';
-      return 1;
-    }
     char buf[640];
     std::snprintf(
         buf, sizeof buf,
@@ -138,7 +133,12 @@ int main(int argc, char** argv) {
         "}\n",
         opt.trials_per_topology, repeats, disabled_s, metrics_s, tracing_s,
         overhead(metrics_s), overhead(tracing_s), trace_lines);
-    out << buf;
+    // Atomic publish: report consumers (scripts/bench_report.sh) never see a
+    // half-written JSON file.
+    if (!scapegoat::write_file_atomic(out_path, buf).ok()) {
+      std::cerr << "error: cannot write " << out_path << '\n';
+      return 1;
+    }
     std::cout << "wrote " << out_path << '\n';
   }
   return 0;

@@ -1,32 +1,44 @@
 #!/usr/bin/env bash
-# Observability bench report.
+# Acceptance bench reports.
 #
-# Builds the default tree, runs bench_observability (disabled vs metrics vs
-# tracing wall times on the Fig. 7 workload) and writes the machine-readable
-# report to BENCH_pr3.json at the repo root — the checked-in numbers quoted
-# in EXPERIMENTS.md "Observability". Re-run after touching the obs layer or
-# any instrumented hot path.
+# Builds the default tree and runs the overhead gates, writing the
+# machine-readable reports to the repo root:
+#   BENCH_pr3.json  bench_observability — disabled vs metrics vs tracing
+#                   wall times on the Fig. 7 workload (EXPERIMENTS.md
+#                   "Observability")
+#   BENCH_pr4.json  bench_checkpoint_overhead — resilience off vs journaling
+#                   vs full replay, with the <2% journal-overhead bar and the
+#                   cross-mode series fingerprint (EXPERIMENTS.md
+#                   "Crash-safe runs")
+# Re-run after touching the obs layer, the checkpoint journal, or any
+# instrumented hot path.
 #
-#   scripts/bench_report.sh [--quick] [-j N] [--out PATH]
+#   scripts/bench_report.sh [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 jobs=$(nproc 2>/dev/null || echo 4)
-out=BENCH_pr3.json
+obs_out=BENCH_pr3.json
+ckpt_out=BENCH_pr4.json
 quick=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) quick="--quick" ;;
-    --out) out=$2; shift ;;
+    --obs-out) obs_out=$2; shift ;;
+    --ckpt-out) ckpt_out=$2; shift ;;
     -j) jobs=$2; shift ;;
-    *) echo "usage: $0 [--quick] [-j N] [--out PATH]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH]" >&2; exit 2 ;;
   esac
   shift
 done
 
 cmake -B build -S . >/dev/null
-cmake --build build -j "$jobs" --target bench_observability
+cmake --build build -j "$jobs" --target bench_observability \
+      bench_checkpoint_overhead
 
-build/bench/bench_observability $quick --out "$out"
-echo "report: $out"
+build/bench/bench_observability $quick --out "$obs_out"
+echo "report: $obs_out"
+
+build/bench/bench_checkpoint_overhead $quick --out "$ckpt_out"
+echo "report: $ckpt_out"

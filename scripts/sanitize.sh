@@ -12,7 +12,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=asan-ubsan
-suites='test_robust test_fault_injection test_rocketfuel test_scenario_io test_args test_lp test_simnet'
+suites='test_robust test_fault_injection test_checkpoint test_rocketfuel test_scenario_io test_args test_lp test_simnet'
 jobs=$(nproc 2>/dev/null || echo 4)
 run_all=0
 while [ $# -gt 0 ]; do

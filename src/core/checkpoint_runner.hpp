@@ -1,0 +1,148 @@
+// Internal glue between the experiment runners and robust/checkpoint:
+// journal session lifecycle, replay bookkeeping, guarded trial execution
+// with retry-then-quarantine, and the stop conditions (SIGINT/SIGTERM,
+// new-trial quota) that make a sweep resumable instead of lost.
+//
+// Only core/experiment.cpp and core/fault_experiment.cpp include this; it
+// is not part of the public surface.
+
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "obs/obs.hpp"
+#include "robust/checkpoint.hpp"
+#include "robust/watchdog.hpp"
+#include "util/random.hpp"
+
+namespace scapegoat::internal {
+
+// Per-trial slot state shared by the runners' replay prepass and fold.
+enum class TrialSlot : char { kCompute = 0, kReplayed, kQuarantined };
+
+// Outcome of guarded execution for one computed trial.
+struct GuardOutcome {
+  bool quarantined = false;
+  std::size_t attempts = 1;
+};
+
+// Runs one trial attempt function under the per-trial watchdog budget,
+// retrying with an identical derived RNG stream when the budget expires,
+// then quarantining. `attempt_fn(rng)` must fully overwrite its outputs on
+// every attempt (the runners' trials re-derive all randomized state from
+// the rng, so a retry is bitwise-equivalent to a fresh first attempt).
+template <typename Fn>
+GuardOutcome run_trial_guarded(const robust::Budget& budget,
+                               std::size_t retries, std::uint64_t seed,
+                               Fn&& attempt_fn) {
+  GuardOutcome out;
+  for (std::size_t attempt = 0;; ++attempt) {
+    robust::Watchdog dog(budget);
+    robust::ScopedTrialDeadline scope(&dog);
+    Rng rng(seed);
+    attempt_fn(rng);
+    out.attempts = attempt + 1;
+    if (!dog.expired()) return out;
+    if (attempt >= retries) {
+      out.quarantined = true;
+      return out;
+    }
+    obs::count("ckpt.trial_retries");
+  }
+}
+
+// One checkpointed run: wraps the journal (absent when checkpointing is
+// off) and owns the stop conditions. All methods are serial-fold-only.
+class CheckpointedRun {
+ public:
+  CheckpointedRun(const robust::ResilienceOptions& opt,
+                  const std::string& experiment, std::uint64_t config_hash)
+      : opt_(opt) {
+    if (opt.checkpoint_path.empty()) return;
+    auto opened = robust::CheckpointJournal::open(
+        opt.checkpoint_path, experiment, config_hash, opt.resume);
+    if (!opened.ok()) {
+      // A sweep that cannot journal is still a correct sweep; warn the
+      // operator that resumability is gone and carry on.
+      std::cerr << "warning: checkpointing disabled: "
+                << opened.error_message() << '\n';
+      obs::count("ckpt.open_errors");
+      return;
+    }
+    journal_ = std::move(*opened);
+    if (!journal_->info().note.empty())
+      std::cerr << "note: checkpoint: " << journal_->info().note << '\n';
+  }
+
+  bool enabled() const { return journal_ != nullptr; }
+
+  // Payload for a replayable trial, nullptr when it must be computed. The
+  // recorded derived seed must match the one this run would use — a journal
+  // whose seeding scheme drifted is recomputed, never trusted.
+  const std::string* replay(std::string_view family, std::uint64_t index,
+                            std::uint64_t seed) const {
+    if (journal_ == nullptr) return nullptr;
+    const robust::TrialRecord* rec = journal_->find(family, index);
+    if (rec == nullptr || rec->seed != seed) return nullptr;
+    return &rec->payload;
+  }
+
+  bool is_quarantined(std::string_view family, std::uint64_t index) const {
+    return journal_ != nullptr &&
+           journal_->find_quarantined(family, index) != nullptr;
+  }
+
+  void record(std::string_view family, std::uint64_t index,
+              std::uint64_t seed, std::string payload) {
+    ++new_trials_;
+    if (journal_ == nullptr) return;
+    robust::TrialRecord rec;
+    rec.family = std::string(family);
+    rec.index = index;
+    rec.seed = seed;
+    rec.payload = std::move(payload);
+    journal_->append(rec);
+  }
+
+  void record_quarantine(std::string_view family, std::uint64_t index,
+                         std::uint64_t seed, std::size_t attempts) {
+    ++new_trials_;
+    if (journal_ == nullptr) return;
+    robust::QuarantineRecord rec;
+    rec.family = std::string(family);
+    rec.index = index;
+    rec.seed = seed;
+    rec.code = robust::ErrorCode::kIterationLimit;
+    rec.message = "trial watchdog budget expired";
+    rec.attempts = attempts;
+    journal_->append(rec);
+  }
+
+  // Durability point: call at every block boundary (per topology, per
+  // wave). A crash after flush() recomputes nothing from that block.
+  void flush() {
+    if (journal_ != nullptr) journal_->flush();
+  }
+
+  // True when the sweep should stop *resumably*: operator signal, or the
+  // new-trial quota is spent. Poll at block boundaries, after flush().
+  bool should_stop() const {
+    if (robust::shutdown_requested()) return true;
+    return opt_.stop_after_new_trials != 0 &&
+           new_trials_ >= opt_.stop_after_new_trials;
+  }
+
+  const robust::Budget& trial_budget() const { return opt_.trial_budget; }
+  std::size_t trial_retries() const { return opt_.trial_retries; }
+
+ private:
+  robust::ResilienceOptions opt_;
+  std::unique_ptr<robust::CheckpointJournal> journal_;
+  std::size_t new_trials_ = 0;  // computed (not replayed) this session
+};
+
+}  // namespace scapegoat::internal

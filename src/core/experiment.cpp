@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cassert>
+#include <charconv>
 #include <memory>
+#include <string_view>
 
 #include "attack/chosen_victim.hpp"
 #include "attack/cut.hpp"
 #include "attack/max_damage.hpp"
 #include "attack/obfuscation.hpp"
+#include "core/checkpoint_runner.hpp"
 #include "detect/detector.hpp"
 #include "obs/obs.hpp"
 #include "tomography/routing_matrix.hpp"
@@ -88,6 +91,36 @@ std::optional<LinkId> sample_victim(const Graph& g,
   return pool[rng.index(pool.size())];
 }
 
+// --- checkpoint payload codecs ------------------------------------------
+//
+// Trial outputs here are small tuples of flags and indices, serialized as
+// ':'-separated decimal fields. Doubles never appear in the figure trials
+// (they would use robust::encode_double_bits, as fault_experiment does).
+
+bool split_u64_fields(std::string_view payload, std::uint64_t* out,
+                      std::size_t count) {
+  std::size_t field = 0;
+  const char* p = payload.data();
+  const char* end = p + payload.size();
+  while (field < count) {
+    std::uint64_t value = 0;
+    auto [next, ec] = std::from_chars(p, end, value);
+    if (ec != std::errc() || next == p) return false;
+    out[field++] = value;
+    p = next;
+    if (field < count) {
+      if (p == end || *p != ':') return false;
+      ++p;
+    }
+  }
+  return field == count && p == end;
+}
+
+void append_u64_field(std::string& s, std::uint64_t v) {
+  if (!s.empty()) s += ':';
+  s += std::to_string(v);
+}
+
 }  // namespace
 
 namespace {
@@ -152,6 +185,38 @@ PresenceTrialOut presence_trial(Scenario& sc, const PresenceRatioOptions& opt,
   return out;
 }
 
+std::string encode_presence(const PresenceTrialOut& o) {
+  std::string s;
+  append_u64_field(s, o.counted ? 1 : 0);
+  append_u64_field(s, o.bin);
+  append_u64_field(s, o.success ? 1 : 0);
+  return s;
+}
+
+bool decode_presence(std::string_view payload, PresenceTrialOut& o) {
+  std::uint64_t f[3];
+  if (!split_u64_fields(payload, f, 3)) return false;
+  o.counted = f[0] != 0;
+  o.bin = static_cast<std::size_t>(f[1]);
+  o.success = f[2] != 0;
+  return true;
+}
+
+// Result-affecting configuration only: threads/grain/resilience are absent
+// by design so a journal resumes correctly at any thread count.
+std::uint64_t presence_config_hash(TopologyKind kind,
+                                   const PresenceRatioOptions& opt) {
+  robust::ConfigHasher h;
+  h.mix("fig7.presence_ratio");
+  h.mix(to_string(kind));
+  h.mix(static_cast<std::uint64_t>(opt.seed));
+  h.mix(opt.topologies);
+  h.mix(opt.trials_per_topology);
+  h.mix(opt.max_attackers);
+  h.mix(opt.bins);
+  return h.hash();
+}
+
 }  // namespace
 
 PresenceRatioSeries run_presence_ratio_experiment(
@@ -173,26 +238,60 @@ PresenceRatioSeries run_presence_ratio_experiment(
   obs::ScopedSpan run_span("core.fig7.run");
   run_span.attr("kind", to_string(kind));
 
+  internal::CheckpointedRun run(opt.resilience, "fig7.presence_ratio",
+                                presence_config_hash(kind, opt));
+
   for (std::size_t t = 0; t < opt.topologies; ++t) {
     std::optional<Scenario> sc = draw_topology(kind, base, t);
     if (!sc) continue;
-    std::vector<PresenceTrialOut> outs(opt.trials_per_topology);
+    const std::size_t n = opt.trials_per_topology;
+    std::vector<PresenceTrialOut> outs(n);
+    std::vector<internal::TrialSlot> slots(n, internal::TrialSlot::kCompute);
+    std::vector<internal::GuardOutcome> guards(n);
+    std::vector<std::uint64_t> seeds(n);
+    // Serial prepass: finished trials replay from the journal, quarantined
+    // trials stay quarantined; only the rest are computed.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t idx = t * n + i;
+      seeds[i] = derive_seed(base ^ kTrialSalt, idx);
+      if (const std::string* p = run.replay("trial", idx, seeds[i]);
+          p != nullptr && decode_presence(*p, outs[i])) {
+        slots[i] = internal::TrialSlot::kReplayed;
+      } else if (run.is_quarantined("trial", idx)) {
+        slots[i] = internal::TrialSlot::kQuarantined;
+      }
+    }
     pool.parallel_for(
-        0, opt.trials_per_topology, opt.grain,
-        [&](std::size_t lo, std::size_t hi) {
+        0, n, opt.grain, [&](std::size_t lo, std::size_t hi) {
           Scenario local = *sc;  // private copy: resample_metrics mutates
           for (std::size_t i = lo; i < hi; ++i) {
+            if (slots[i] != internal::TrialSlot::kCompute) continue;
             obs::ScopedSpan trial_span("core.fig7.trial");
-            Rng rng(derive_seed(base ^ kTrialSalt,
-                                t * opt.trials_per_topology + i));
-            outs[i] = presence_trial(local, opt, rng);
-            trial_span.attr(
-                "trial",
-                static_cast<std::uint64_t>(t * opt.trials_per_topology + i));
+            guards[i] = internal::run_trial_guarded(
+                run.trial_budget(), run.trial_retries(), seeds[i],
+                [&](Rng& rng) { outs[i] = presence_trial(local, opt, rng); });
+            trial_span.attr("trial", static_cast<std::uint64_t>(t * n + i));
           }
         });
     // Serial fold in trial order — identical at every thread count.
-    for (const PresenceTrialOut& o : outs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t idx = t * n + i;
+      if (slots[i] == internal::TrialSlot::kQuarantined ||
+          (slots[i] == internal::TrialSlot::kCompute &&
+           guards[i].quarantined)) {
+        if (slots[i] == internal::TrialSlot::kCompute)
+          run.record_quarantine("trial", idx, seeds[i], guards[i].attempts);
+        ++series.trials_quarantined;
+        obs::count("ckpt.trials_quarantined");
+        continue;
+      }
+      if (slots[i] == internal::TrialSlot::kReplayed) {
+        ++series.trials_replayed;
+        obs::count("ckpt.trials_replayed");
+      } else {
+        run.record("trial", idx, seeds[i], encode_presence(outs[i]));
+      }
+      const PresenceTrialOut& o = outs[i];
       if (!o.counted) continue;
       ++series.bins[o.bin].trials;
       if (o.success) ++series.bins[o.bin].successes;
@@ -200,10 +299,72 @@ PresenceRatioSeries run_presence_ratio_experiment(
       obs::count("core.fig7.trials");
       if (o.success) obs::count("core.fig7.successes");
     }
+    run.flush();  // durability point: this topology's block is on disk
+    if (run.should_stop()) {
+      series.interrupted = true;
+      break;
+    }
   }
   run_span.attr("trials", static_cast<std::uint64_t>(series.total_trials));
   return series;
 }
+
+namespace {
+
+struct SingleTrialOut {
+  bool max_damage = false;
+  bool obfuscation = false;
+};
+
+// One Fig. 8 trial: a lone attacker runs both §V-C constructions.
+SingleTrialOut single_attacker_trial(Scenario& sc,
+                                     const SingleAttackerOptions& opt,
+                                     Rng& rng) {
+  SingleTrialOut out;
+  sc.resample_metrics(rng);
+  const NodeId attacker = rng.index(sc.graph().num_nodes());
+  AttackContext ctx = sc.context({attacker});
+
+  MaxDamageOptions md;
+  md.max_candidates = 32;
+  md.max_victims = 4;
+  out.max_damage = max_damage_attack(ctx, md).best.success;
+
+  ObfuscationOptions ob;
+  ob.min_victims = opt.min_obfuscation_victims;
+  ob.max_victims = 24;
+  out.obfuscation = obfuscation_attack(ctx, ob).success;
+  return out;
+}
+
+std::string encode_single(const SingleTrialOut& o) {
+  std::string s;
+  append_u64_field(s, o.max_damage ? 1 : 0);
+  append_u64_field(s, o.obfuscation ? 1 : 0);
+  return s;
+}
+
+bool decode_single(std::string_view payload, SingleTrialOut& o) {
+  std::uint64_t f[2];
+  if (!split_u64_fields(payload, f, 2)) return false;
+  o.max_damage = f[0] != 0;
+  o.obfuscation = f[1] != 0;
+  return true;
+}
+
+std::uint64_t single_config_hash(TopologyKind kind,
+                                 const SingleAttackerOptions& opt) {
+  robust::ConfigHasher h;
+  h.mix("fig8.single_attacker");
+  h.mix(to_string(kind));
+  h.mix(static_cast<std::uint64_t>(opt.seed));
+  h.mix(opt.topologies);
+  h.mix(opt.trials_per_topology);
+  h.mix(opt.min_obfuscation_victims);
+  return h.hash();
+}
+
+}  // namespace
 
 SingleAttackerResult run_single_attacker_experiment(
     TopologyKind kind, const SingleAttackerOptions& opt) {
@@ -214,44 +375,68 @@ SingleAttackerResult run_single_attacker_experiment(
   std::unique_ptr<ThreadPool> owned;
   ThreadPool& pool = acquire_pool(opt, owned);
 
-  struct TrialOut {
-    bool max_damage = false;
-    bool obfuscation = false;
-  };
+  internal::CheckpointedRun run(opt.resilience, "fig8.single_attacker",
+                                single_config_hash(kind, opt));
 
   for (std::size_t t = 0; t < opt.topologies; ++t) {
     std::optional<Scenario> sc = draw_topology(kind, base, t);
     if (!sc) continue;
-    std::vector<TrialOut> outs(opt.trials_per_topology);
+    const std::size_t n = opt.trials_per_topology;
+    std::vector<SingleTrialOut> outs(n);
+    std::vector<internal::TrialSlot> slots(n, internal::TrialSlot::kCompute);
+    std::vector<internal::GuardOutcome> guards(n);
+    std::vector<std::uint64_t> seeds(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t idx = t * n + i;
+      seeds[i] = derive_seed(base ^ kTrialSalt, idx);
+      if (const std::string* p = run.replay("trial", idx, seeds[i]);
+          p != nullptr && decode_single(*p, outs[i])) {
+        slots[i] = internal::TrialSlot::kReplayed;
+      } else if (run.is_quarantined("trial", idx)) {
+        slots[i] = internal::TrialSlot::kQuarantined;
+      }
+    }
     pool.parallel_for(
-        0, opt.trials_per_topology, opt.grain,
-        [&](std::size_t lo, std::size_t hi) {
+        0, n, opt.grain, [&](std::size_t lo, std::size_t hi) {
           Scenario local = *sc;
           for (std::size_t i = lo; i < hi; ++i) {
-            Rng rng(derive_seed(base ^ kTrialSalt,
-                                t * opt.trials_per_topology + i));
-            local.resample_metrics(rng);
-            const NodeId attacker = rng.index(local.graph().num_nodes());
-            AttackContext ctx = local.context({attacker});
-
-            MaxDamageOptions md;
-            md.max_candidates = 32;
-            md.max_victims = 4;
-            outs[i].max_damage = max_damage_attack(ctx, md).best.success;
-
-            ObfuscationOptions ob;
-            ob.min_victims = opt.min_obfuscation_victims;
-            ob.max_victims = 24;
-            outs[i].obfuscation = obfuscation_attack(ctx, ob).success;
+            if (slots[i] != internal::TrialSlot::kCompute) continue;
+            guards[i] = internal::run_trial_guarded(
+                run.trial_budget(), run.trial_retries(), seeds[i],
+                [&](Rng& rng) {
+                  outs[i] = single_attacker_trial(local, opt, rng);
+                });
           }
         });
-    for (const TrialOut& o : outs) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t idx = t * n + i;
+      if (slots[i] == internal::TrialSlot::kQuarantined ||
+          (slots[i] == internal::TrialSlot::kCompute &&
+           guards[i].quarantined)) {
+        if (slots[i] == internal::TrialSlot::kCompute)
+          run.record_quarantine("trial", idx, seeds[i], guards[i].attempts);
+        ++out.trials_quarantined;
+        obs::count("ckpt.trials_quarantined");
+        continue;
+      }
+      if (slots[i] == internal::TrialSlot::kReplayed) {
+        ++out.trials_replayed;
+        obs::count("ckpt.trials_replayed");
+      } else {
+        run.record("trial", idx, seeds[i], encode_single(outs[i]));
+      }
+      const SingleTrialOut& o = outs[i];
       if (o.max_damage) ++out.max_damage_successes;
       if (o.obfuscation) ++out.obfuscation_successes;
       ++out.trials;
       obs::count("core.fig8.trials");
       if (o.max_damage) obs::count("core.fig8.max_damage_successes");
       if (o.obfuscation) obs::count("core.fig8.obfuscation_successes");
+    }
+    run.flush();
+    if (run.should_stop()) {
+      out.interrupted = true;
+      break;
     }
   }
   return out;
@@ -330,6 +515,50 @@ struct StrategyOut {
 struct DetectionTrialOut {
   StrategyOut chosen, max_damage, obfuscation;
 };
+
+// Nine flags, one field per strategy encoded as success·4 + perfect·2 +
+// detected.
+std::uint64_t pack_strategy(const StrategyOut& o) {
+  return (o.success ? 4u : 0u) | (o.perfect ? 2u : 0u) | (o.detected ? 1u : 0u);
+}
+
+StrategyOut unpack_strategy(std::uint64_t v) {
+  StrategyOut o;
+  o.success = (v & 4u) != 0;
+  o.perfect = (v & 2u) != 0;
+  o.detected = (v & 1u) != 0;
+  return o;
+}
+
+std::string encode_detection(const DetectionTrialOut& o) {
+  std::string s;
+  append_u64_field(s, pack_strategy(o.chosen));
+  append_u64_field(s, pack_strategy(o.max_damage));
+  append_u64_field(s, pack_strategy(o.obfuscation));
+  return s;
+}
+
+bool decode_detection(std::string_view payload, DetectionTrialOut& o) {
+  std::uint64_t f[3];
+  if (!split_u64_fields(payload, f, 3)) return false;
+  o.chosen = unpack_strategy(f[0]);
+  o.max_damage = unpack_strategy(f[1]);
+  o.obfuscation = unpack_strategy(f[2]);
+  return true;
+}
+
+std::uint64_t detection_config_hash(TopologyKind kind,
+                                    const DetectionOptionsExperiment& opt) {
+  robust::ConfigHasher h;
+  h.mix("fig9.detection");
+  h.mix(to_string(kind));
+  h.mix(static_cast<std::uint64_t>(opt.seed));
+  h.mix(opt.topologies);
+  h.mix(opt.successful_attacks_per_cell);
+  h.mix(opt.max_trials_per_cell);
+  h.mix(opt.alpha);
+  return h.hash();
+}
 
 StrategyOut eval_attack(const Scenario& sc,
                         const std::vector<NodeId>& attackers,
@@ -439,33 +668,83 @@ DetectionSeries run_detection_experiment(
     if (o.detected) obs::count("core.fig9.detected");
   };
 
-  for (std::size_t t = 0; t < opt.topologies; ++t) {
+  internal::CheckpointedRun run(opt.resilience, "fig9.detection",
+                                detection_config_hash(kind, opt));
+
+  for (std::size_t t = 0; t < opt.topologies && !series.interrupted; ++t) {
     std::optional<Scenario> sc = draw_topology(kind, base, t);
     if (!sc) continue;
 
-    // False-alarm baseline: honest measurements through the detector.
+    // False-alarm baseline: honest measurements through the detector. Its
+    // trials journal under the "clean" family — a separate index space from
+    // the attack waves below.
     std::vector<char> alarms(kCleanTrials, 0);
+    std::vector<internal::TrialSlot> slots(kCleanTrials,
+                                           internal::TrialSlot::kCompute);
+    std::vector<internal::GuardOutcome> guards(kCleanTrials);
+    std::vector<std::uint64_t> seeds(kCleanTrials);
+    for (std::size_t i = 0; i < kCleanTrials; ++i) {
+      const std::uint64_t idx = t * kCleanTrials + i;
+      seeds[i] = derive_seed(base ^ kCleanSalt, idx);
+      std::uint64_t alarm = 0;
+      if (const std::string* p = run.replay("clean", idx, seeds[i]);
+          p != nullptr && split_u64_fields(*p, &alarm, 1)) {
+        alarms[i] = alarm != 0;
+        slots[i] = internal::TrialSlot::kReplayed;
+      } else if (run.is_quarantined("clean", idx)) {
+        slots[i] = internal::TrialSlot::kQuarantined;
+      }
+    }
     pool.parallel_for(
         0, kCleanTrials, opt.grain, [&](std::size_t lo, std::size_t hi) {
           Scenario local = *sc;
           for (std::size_t i = lo; i < hi; ++i) {
-            Rng rng(derive_seed(base ^ kCleanSalt, t * kCleanTrials + i));
-            local.resample_metrics(rng);
-            alarms[i] = detect_scapegoating(local.estimator(),
-                                            local.clean_measurements(),
-                                            detector)
-                            .detected;
+            if (slots[i] != internal::TrialSlot::kCompute) continue;
+            guards[i] = internal::run_trial_guarded(
+                run.trial_budget(), run.trial_retries(), seeds[i],
+                [&](Rng& rng) {
+                  local.resample_metrics(rng);
+                  alarms[i] = detect_scapegoating(local.estimator(),
+                                                  local.clean_measurements(),
+                                                  detector)
+                                  .detected;
+                });
           }
         });
-    for (char a : alarms) {
+    for (std::size_t i = 0; i < kCleanTrials; ++i) {
+      const std::uint64_t idx = t * kCleanTrials + i;
+      if (slots[i] == internal::TrialSlot::kQuarantined ||
+          (slots[i] == internal::TrialSlot::kCompute &&
+           guards[i].quarantined)) {
+        if (slots[i] == internal::TrialSlot::kCompute)
+          run.record_quarantine("clean", idx, seeds[i], guards[i].attempts);
+        ++series.trials_quarantined;
+        obs::count("ckpt.trials_quarantined");
+        continue;
+      }
+      if (slots[i] == internal::TrialSlot::kReplayed) {
+        ++series.trials_replayed;
+        obs::count("ckpt.trials_replayed");
+      } else {
+        std::string payload;
+        append_u64_field(payload, alarms[i] ? 1 : 0);
+        run.record("clean", idx, seeds[i], std::move(payload));
+      }
       ++series.clean_trials;
-      if (a) ++series.false_alarms;
+      if (alarms[i]) ++series.false_alarms;
       obs::count("core.fig9.clean_trials");
-      if (a) obs::count("core.fig9.false_alarms");
+      if (alarms[i]) obs::count("core.fig9.false_alarms");
+    }
+    run.flush();
+    if (run.should_stop()) {
+      series.interrupted = true;
+      break;
     }
 
     for (bool perfect_phase : {true, false}) {
+      if (series.interrupted) break;
       const std::uint64_t salt = perfect_phase ? kPerfectSalt : kImperfectSalt;
+      const std::string_view family = perfect_phase ? "perfect" : "imperfect";
       auto phase_full = [&] {
         return cell_for(series, AttackStrategy::kChosenVictim, perfect_phase)
                        .attacks >= opt.successful_attacks_per_cell &&
@@ -478,25 +757,70 @@ DetectionSeries run_detection_experiment(
       while (!phase_full() && next < opt.max_trials_per_cell) {
         const std::size_t wave_end =
             std::min(next + kWave, opt.max_trials_per_cell);
-        std::vector<DetectionTrialOut> outs(wave_end - next);
+        const std::size_t wave = wave_end - next;
+        std::vector<DetectionTrialOut> outs(wave);
+        std::vector<internal::TrialSlot> wslots(wave,
+                                                internal::TrialSlot::kCompute);
+        std::vector<internal::GuardOutcome> wguards(wave);
+        std::vector<std::uint64_t> wseeds(wave);
+        for (std::size_t i = 0; i < wave; ++i) {
+          const std::uint64_t idx = t * opt.max_trials_per_cell + next + i;
+          wseeds[i] = derive_seed(base ^ salt, idx);
+          if (const std::string* p = run.replay(family, idx, wseeds[i]);
+              p != nullptr && decode_detection(*p, outs[i])) {
+            wslots[i] = internal::TrialSlot::kReplayed;
+          } else if (run.is_quarantined(family, idx)) {
+            wslots[i] = internal::TrialSlot::kQuarantined;
+          }
+        }
         pool.parallel_for(
-            0, outs.size(), opt.grain, [&](std::size_t lo, std::size_t hi) {
+            0, wave, opt.grain, [&](std::size_t lo, std::size_t hi) {
               Scenario local = *sc;
               for (std::size_t i = lo; i < hi; ++i) {
-                Rng rng(derive_seed(base ^ salt,
-                                    t * opt.max_trials_per_cell + next + i));
-                outs[i] = perfect_phase
-                              ? perfect_cut_trial(local, detector, rng)
-                              : imperfect_cut_trial(local, detector, rng);
+                if (wslots[i] != internal::TrialSlot::kCompute) continue;
+                wguards[i] = internal::run_trial_guarded(
+                    run.trial_budget(), run.trial_retries(), wseeds[i],
+                    [&](Rng& rng) {
+                      outs[i] = perfect_phase
+                                    ? perfect_cut_trial(local, detector, rng)
+                                    : imperfect_cut_trial(local, detector, rng);
+                    });
               }
             });
-        for (const DetectionTrialOut& o : outs) {
-          if (phase_full()) break;
+        // Bookkeeping runs for every wave trial (surplus included, so a
+        // resume never recomputes them); the per-cell budget fold keeps the
+        // original semantics — no folds once the phase is full. phase_full
+        // is monotone, so gating per trial equals the old break.
+        for (std::size_t i = 0; i < wave; ++i) {
+          const std::uint64_t idx = t * opt.max_trials_per_cell + next + i;
+          if (wslots[i] == internal::TrialSlot::kQuarantined ||
+              (wslots[i] == internal::TrialSlot::kCompute &&
+               wguards[i].quarantined)) {
+            if (wslots[i] == internal::TrialSlot::kCompute)
+              run.record_quarantine(family, idx, wseeds[i],
+                                    wguards[i].attempts);
+            ++series.trials_quarantined;
+            obs::count("ckpt.trials_quarantined");
+            continue;
+          }
+          if (wslots[i] == internal::TrialSlot::kReplayed) {
+            ++series.trials_replayed;
+            obs::count("ckpt.trials_replayed");
+          } else {
+            run.record(family, idx, wseeds[i], encode_detection(outs[i]));
+          }
+          if (phase_full()) continue;
+          const DetectionTrialOut& o = outs[i];
           fold(AttackStrategy::kChosenVictim, o.chosen);
           fold(AttackStrategy::kMaxDamage, o.max_damage);
           fold(AttackStrategy::kObfuscation, o.obfuscation);
         }
         next = wave_end;
+        run.flush();  // durability point: one wave per journal block
+        if (run.should_stop()) {
+          series.interrupted = true;
+          break;
+        }
       }
     }
   }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "robust/checkpoint.hpp"
 #include "util/execution.hpp"
 
 namespace scapegoat {
@@ -46,6 +47,11 @@ struct PresenceRatioOptions : ExecutionPolicy {
   std::size_t trials_per_topology = 400;
   std::size_t max_attackers = 6;       // attacker count drawn U[1, max]
   std::size_t bins = 10;               // histogram bins over ratio (0, 1)
+
+  // Crash-safety: checkpoint journal, per-trial watchdog budget, quarantine
+  // retries (robust/checkpoint.hpp). Not part of the config hash — a journal
+  // is resumable at any thread count or budget setting.
+  robust::ResilienceOptions resilience;
 };
 
 struct PresenceRatioBin {
@@ -64,6 +70,14 @@ struct PresenceRatioSeries {
   TopologyKind kind;
   std::vector<PresenceRatioBin> bins;  // last bin is the exact-1.0 perfect cut
   std::size_t total_trials = 0;
+  // Resilience bookkeeping. `trials_quarantined` is stable across resumes
+  // (a quarantined trial stays quarantined); `trials_replayed` counts this
+  // session's journal hits and is therefore session-local. `interrupted`
+  // means the run stopped resumably (signal or new-trial quota) and the
+  // series is a prefix of the full experiment.
+  std::size_t trials_replayed = 0;
+  std::size_t trials_quarantined = 0;
+  bool interrupted = false;
 };
 
 // Chosen-victim success probability vs attack presence ratio (Fig. 7).
@@ -78,6 +92,8 @@ struct SingleAttackerOptions : ExecutionPolicy {
   std::size_t topologies = 2;
   std::size_t trials_per_topology = 60;
   std::size_t min_obfuscation_victims = 5;  // §V-C2 success bar
+
+  robust::ResilienceOptions resilience;  // see PresenceRatioOptions
 };
 
 struct SingleAttackerResult {
@@ -93,6 +109,9 @@ struct SingleAttackerResult {
     return trials == 0 ? 0.0
                        : static_cast<double>(obfuscation_successes) / trials;
   }
+  std::size_t trials_replayed = 0;     // see PresenceRatioSeries
+  std::size_t trials_quarantined = 0;
+  bool interrupted = false;
 };
 
 // Single-attacker maximum-damage and obfuscation success rates (Fig. 8).
@@ -112,6 +131,8 @@ struct DetectionOptionsExperiment : ExecutionPolicy {
   std::size_t successful_attacks_per_cell = 30;  // per (strategy, cut) bucket
   std::size_t max_trials_per_cell = 4000;        // sampling budget
   double alpha = 200.0;                          // detector threshold (§V-D)
+
+  robust::ResilienceOptions resilience;  // see PresenceRatioOptions
 };
 
 struct DetectionCell {
@@ -129,6 +150,9 @@ struct DetectionSeries {
   std::vector<DetectionCell> cells;  // 3 strategies × {perfect, imperfect}
   std::size_t clean_trials = 0;      // no-attack runs fed to the detector
   std::size_t false_alarms = 0;
+  std::size_t trials_replayed = 0;   // see PresenceRatioSeries
+  std::size_t trials_quarantined = 0;
+  bool interrupted = false;
 };
 
 // Detection ratios for all strategies under perfect/imperfect cuts (Fig. 9),

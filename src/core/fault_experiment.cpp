@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <string_view>
+#include <vector>
 
+#include "core/checkpoint_runner.hpp"
 #include "core/simulate.hpp"
 #include "detect/detector.hpp"
 #include "obs/obs.hpp"
@@ -72,6 +75,114 @@ FaultTrialOut fault_trial(Scenario& sc, const FaultSweepOptions& opt,
   return out;
 }
 
+// --- checkpoint payload codec -------------------------------------------
+//
+// All fields hex-encoded and ':'-separated; doubles travel as IEEE bit
+// patterns (robust::encode_double_bits) so a replayed trial folds into the
+// error aggregates bitwise identically to a recomputed one.
+
+std::string encode_fault_trial(const FaultTrialOut& o) {
+  std::string s;
+  auto put = [&s](const std::string& field) {
+    if (!s.empty()) s += ':';
+    s += field;
+  };
+  put(robust::encode_u64_hex(static_cast<std::uint64_t>(o.status)));
+  put(robust::encode_u64_hex(o.paths_total));
+  put(robust::encode_u64_hex(o.paths_measured));
+  put(robust::encode_u64_hex(o.links));
+  put(robust::encode_u64_hex(o.alarm ? 1 : 0));
+  put(robust::encode_double_bits(o.abs_error_sum));
+  put(robust::encode_double_bits(o.abs_error_max));
+  put(robust::encode_u64_hex(o.probe_stats.attempts_used));
+  put(robust::encode_u64_hex(o.probe_stats.probes_sent));
+  put(robust::encode_u64_hex(o.probe_stats.probes_lost));
+  put(robust::encode_u64_hex(o.probe_stats.probes_timed_out));
+  put(robust::encode_u64_hex(o.probe_stats.paths_recovered));
+  put(robust::encode_u64_hex(o.probe_stats.paths_missing));
+  put(robust::encode_double_bits(o.probe_stats.backoff_wait_ms));
+  return s;
+}
+
+bool decode_fault_trial(std::string_view payload, FaultTrialOut& o) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (start <= payload.size()) {
+    const std::size_t sep = payload.find(':', start);
+    if (sep == std::string_view::npos) {
+      fields.push_back(payload.substr(start));
+      break;
+    }
+    fields.push_back(payload.substr(start, sep - start));
+    start = sep + 1;
+  }
+  if (fields.size() != 14) return false;
+  auto u64 = [&](std::size_t i, std::uint64_t& out) {
+    const auto v = robust::decode_u64_hex(fields[i]);
+    if (!v) return false;
+    out = *v;
+    return true;
+  };
+  auto f64 = [&](std::size_t i, double& out) {
+    const auto v = robust::decode_double_bits(fields[i]);
+    if (!v) return false;
+    out = *v;
+    return true;
+  };
+  std::uint64_t status = 0, alarm = 0, tmp = 0;
+  if (!u64(0, status) || status > 2) return false;
+  o.status = static_cast<FaultTrialOut::Status>(status);
+  if (!u64(1, tmp)) return false;
+  o.paths_total = tmp;
+  if (!u64(2, tmp)) return false;
+  o.paths_measured = tmp;
+  if (!u64(3, tmp)) return false;
+  o.links = tmp;
+  if (!u64(4, alarm)) return false;
+  o.alarm = alarm != 0;
+  if (!f64(5, o.abs_error_sum) || !f64(6, o.abs_error_max)) return false;
+  if (!u64(7, tmp)) return false;
+  o.probe_stats.attempts_used = tmp;
+  if (!u64(8, tmp)) return false;
+  o.probe_stats.probes_sent = tmp;
+  if (!u64(9, tmp)) return false;
+  o.probe_stats.probes_lost = tmp;
+  if (!u64(10, tmp)) return false;
+  o.probe_stats.probes_timed_out = tmp;
+  if (!u64(11, tmp)) return false;
+  o.probe_stats.paths_recovered = tmp;
+  if (!u64(12, tmp)) return false;
+  o.probe_stats.paths_missing = tmp;
+  return f64(13, o.probe_stats.backoff_wait_ms);
+}
+
+std::uint64_t sweep_config_hash(TopologyKind kind,
+                                const FaultSweepOptions& opt) {
+  robust::ConfigHasher h;
+  h.mix("fault_sweep");
+  h.mix(to_string(kind));
+  h.mix(static_cast<std::uint64_t>(opt.seed));
+  h.mix(opt.loss_rates.size());
+  for (double r : opt.loss_rates) h.mix(r);
+  h.mix(opt.faults.probe_loss_rate);
+  h.mix(opt.faults.duplicate_rate);
+  h.mix(opt.faults.reorder_rate);
+  h.mix(opt.faults.reorder_extra_ms);
+  h.mix(opt.faults.monitor_outage_rate);
+  h.mix(opt.faults.link_failure_rate);
+  h.mix(opt.faults.clock_jitter_ms);
+  h.mix(opt.retry.max_retries);
+  h.mix(opt.retry.probe_deadline_ms);
+  h.mix(opt.retry.backoff_base_ms);
+  h.mix(opt.retry.backoff_factor);
+  h.mix(opt.retry.max_backoff_ms);
+  h.mix(opt.topologies);
+  h.mix(opt.trials_per_topology);
+  h.mix(opt.probes_per_path);
+  h.mix(opt.alpha);
+  return h.hash();
+}
+
 }  // namespace
 
 FaultSweepSeries run_fault_sweep(TopologyKind kind,
@@ -97,7 +208,11 @@ FaultSweepSeries run_fault_sweep(TopologyKind kind,
     }
   }
 
-  for (std::size_t c = 0; c < opt.loss_rates.size(); ++c) {
+  internal::CheckpointedRun run(opt.resilience, "fault_sweep",
+                                sweep_config_hash(kind, opt));
+
+  for (std::size_t c = 0; c < opt.loss_rates.size() && !series.interrupted;
+       ++c) {
     FaultSweepCell& cell = series.cells[c];
     cell.loss_rate = opt.loss_rates[c];
     robust::FaultSpec spec = opt.faults;
@@ -107,24 +222,57 @@ FaultSweepSeries run_fault_sweep(TopologyKind kind,
     std::size_t err_links = 0;
     for (std::size_t t = 0; t < topologies.size(); ++t) {
       const Scenario& sc = topologies[t];
-      std::vector<FaultTrialOut> outs(opt.trials_per_topology);
+      const std::size_t n = opt.trials_per_topology;
+      std::vector<FaultTrialOut> outs(n);
+      std::vector<internal::TrialSlot> slots(n, internal::TrialSlot::kCompute);
+      std::vector<internal::GuardOutcome> guards(n);
+      std::vector<std::uint64_t> seeds(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        // Global trial index: unique across (cell, topology, trial) so no
+        // two trials anywhere share an RNG or fault stream.
+        const std::uint64_t g = (c * topologies.size() + t) * n + i;
+        seeds[i] = derive_seed(base ^ kSweepTrialSalt, g);
+        if (const std::string* p = run.replay("trial", g, seeds[i]);
+            p != nullptr && decode_fault_trial(*p, outs[i])) {
+          slots[i] = internal::TrialSlot::kReplayed;
+        } else if (run.is_quarantined("trial", g)) {
+          slots[i] = internal::TrialSlot::kQuarantined;
+        }
+      }
       pool.parallel_for(
-          0, opt.trials_per_topology, opt.grain,
-          [&](std::size_t lo, std::size_t hi) {
+          0, n, opt.grain, [&](std::size_t lo, std::size_t hi) {
             Scenario local = sc;  // private copy: resample_metrics mutates
             for (std::size_t i = lo; i < hi; ++i) {
-              // Global trial index: unique across (cell, topology, trial)
-              // so no two trials anywhere share an RNG or fault stream.
-              const std::size_t g =
-                  (c * topologies.size() + t) * opt.trials_per_topology + i;
-              Rng rng(derive_seed(base ^ kSweepTrialSalt, g));
+              if (slots[i] != internal::TrialSlot::kCompute) continue;
+              const std::uint64_t g = (c * topologies.size() + t) * n + i;
               robust::FaultInjector faults(
                   spec, derive_seed(base ^ kSweepFaultSalt, g));
-              outs[i] = fault_trial(local, opt, faults, rng);
+              guards[i] = internal::run_trial_guarded(
+                  run.trial_budget(), run.trial_retries(), seeds[i],
+                  [&](Rng& rng) {
+                    outs[i] = fault_trial(local, opt, faults, rng);
+                  });
             }
           });
       // Serial fold in trial order — identical at every thread count.
-      for (const FaultTrialOut& o : outs) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t g = (c * topologies.size() + t) * n + i;
+        if (slots[i] == internal::TrialSlot::kQuarantined ||
+            (slots[i] == internal::TrialSlot::kCompute &&
+             guards[i].quarantined)) {
+          if (slots[i] == internal::TrialSlot::kCompute)
+            run.record_quarantine("trial", g, seeds[i], guards[i].attempts);
+          ++series.trials_quarantined;
+          obs::count("ckpt.trials_quarantined");
+          continue;
+        }
+        if (slots[i] == internal::TrialSlot::kReplayed) {
+          ++series.trials_replayed;
+          obs::count("ckpt.trials_replayed");
+        } else {
+          run.record("trial", g, seeds[i], encode_fault_trial(outs[i]));
+        }
+        const FaultTrialOut& o = outs[i];
         ++cell.trials;
         ++series.total_trials;
         cell.paths_total += o.paths_total;
@@ -159,6 +307,11 @@ FaultSweepSeries run_fault_sweep(TopologyKind kind,
               std::max(cell.max_abs_error_ms, o.abs_error_max);
         }
         if (o.alarm) ++cell.alarms;
+      }
+      run.flush();  // durability point: one (cell, topology) block
+      if (run.should_stop()) {
+        series.interrupted = true;
+        break;
       }
     }
     if (err_links > 0) cell.mean_abs_error_ms = err_sum / err_links;

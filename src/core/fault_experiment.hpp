@@ -38,6 +38,8 @@ struct FaultSweepOptions : ExecutionPolicy {
   std::size_t trials_per_topology = 40;
   std::size_t probes_per_path = 3;
   double alpha = 200.0;           // degraded-detector threshold (§V-D)
+
+  robust::ResilienceOptions resilience;  // see PresenceRatioOptions
 };
 
 // Aggregates for one loss rate.
@@ -73,6 +75,9 @@ struct FaultSweepSeries {
   TopologyKind kind;
   std::vector<FaultSweepCell> cells;  // one per loss rate, sweep order
   std::size_t total_trials = 0;
+  std::size_t trials_replayed = 0;    // see PresenceRatioSeries
+  std::size_t trials_quarantined = 0;
+  bool interrupted = false;
 };
 
 // Runs the sweep. Never throws for degraded measurements; every trial lands

@@ -17,6 +17,20 @@ namespace {
 // Paper link index (1-based) for printing.
 std::string link_label(LinkId l) { return std::to_string(l + 1); }
 
+// Resilience annotations shared by the Monte-Carlo figure printers:
+// quarantined trials are excluded from every aggregate but never silent,
+// and an interrupted series is labelled as a resumable prefix.
+void print_resilience_notes(std::size_t quarantined, bool interrupted,
+                            std::ostream& os) {
+  if (quarantined > 0)
+    os << "quarantined trials (excluded from all aggregates): " << quarantined
+       << '\n';
+  if (interrupted)
+    os << "series INCOMPLETE — run interrupted; checkpoint journal flushed, "
+          "rerun with --resume to continue\n";
+  if (quarantined > 0 || interrupted) os << '\n';
+}
+
 void print_link_table(const Vector& x_true, const AttackResult& attack,
                       const StateThresholds& t, std::ostream& os) {
   Table table({"link", "true_delay_ms", "estimated_ms", "state"});
@@ -212,6 +226,7 @@ void print_fig7(const PresenceRatioSeries& wireline,
     }
     t.print(os);
     os << '\n';
+    print_resilience_notes(s.trials_quarantined, s.interrupted, os);
   };
   emit(wireline);
   emit(wireless);
@@ -228,6 +243,8 @@ void print_fig8(const SingleAttackerResult& wireline,
   }
   t.print(os);
   os << '\n';
+  for (const SingleAttackerResult* r : {&wireline, &wireless})
+    print_resilience_notes(r->trials_quarantined, r->interrupted, os);
 }
 
 void print_fig9(const DetectionSeries& series, std::ostream& os) {
@@ -242,6 +259,7 @@ void print_fig9(const DetectionSeries& series, std::ostream& os) {
   t.print(os);
   os << "\nfalse alarms on honest measurements: " << series.false_alarms
      << " / " << series.clean_trials << " (paper: none)\n\n";
+  print_resilience_notes(series.trials_quarantined, series.interrupted, os);
 }
 
 }  // namespace scapegoat

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <string>
 
+#include "util/atomic_file.hpp"
+
 namespace scapegoat {
 
 namespace {
@@ -213,10 +215,13 @@ std::optional<Scenario> load_scenario(std::istream& in) {
 }
 
 bool save_scenario_file(const std::string& path, const Scenario& scenario) {
-  std::ofstream out(path);
-  if (!out) return false;
+  // Serialize fully in memory, then publish atomically (temp + fsync +
+  // rename): a crash mid-save leaves either the old file or the new one,
+  // never a torn scenario that load would half-parse.
+  std::ostringstream out;
   save_scenario(out, scenario);
-  return static_cast<bool>(out);
+  if (!out) return false;
+  return write_file_atomic(path, out.str()).ok();
 }
 
 robust::Expected<Scenario> try_load_scenario_file(const std::string& path) {

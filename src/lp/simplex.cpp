@@ -5,9 +5,15 @@
 #include <limits>
 
 #include "obs/obs.hpp"
+#include "robust/watchdog.hpp"
 
 namespace scapegoat::lp {
 namespace {
+
+// Pivots between watchdog polls: frequent enough that an expired budget is
+// noticed within microseconds of work, rare enough that the steady_clock
+// read never shows up in profiles.
+constexpr std::size_t kWatchdogStride = 64;
 
 // How a model variable maps into standard-form columns.
 struct VarMap {
@@ -57,10 +63,23 @@ class Tableau {
   double obj_ = 0.0;        // current objective (minimization form)
   std::size_t iterations_ = 0;
   bool allow_artificial_entering_ = true;
+
+  // Cooperative budgets: the solve's own wall watchdog plus the calling
+  // trial's ambient deadline, polled every kWatchdogStride pivots.
+  robust::Watchdog own_watchdog_;
+  const robust::Watchdog* ambient_watchdog_ = nullptr;
+
+  bool out_of_time() const {
+    return own_watchdog_.expired() ||
+           (ambient_watchdog_ != nullptr && ambient_watchdog_->expired());
+  }
 };
 
 Tableau::Tableau(const Model& model, const SimplexOptions& opt)
-    : model_(model), opt_(opt) {
+    : model_(model),
+      opt_(opt),
+      own_watchdog_(robust::Budget{opt.max_wall_ms, 0}),
+      ambient_watchdog_(robust::ScopedTrialDeadline::current()) {
   const std::size_t n = model.num_variables();
 
   // 1. Assign structural columns (with shifts / splits for bounds) and
@@ -294,6 +313,8 @@ SolveStatus Tableau::optimize() {
   double last_obj = obj_;
   bool bland = false;
   while (iterations_ < opt_.max_iterations) {
+    if (iterations_ % kWatchdogStride == 0 && out_of_time())
+      return SolveStatus::kTimeLimit;
     switch (step(bland)) {
       case StepResult::kOptimal:
         return SolveStatus::kOptimal;
@@ -360,10 +381,10 @@ Solution Tableau::run() {
     install_costs(phase1);
     const SolveStatus s1 = optimize();
     sol.iterations = iterations_;
-    if (s1 == SolveStatus::kIterationLimit) {
-      sol.status = SolveStatus::kIterationLimit;
+    if (s1 == SolveStatus::kIterationLimit || s1 == SolveStatus::kTimeLimit) {
+      sol.status = s1;
       // Certificate: the basis and (not yet feasible) basic point where the
-      // pivot budget ran out, so the caller gets state, not a void.
+      // pivot or wall budget ran out, so the caller gets state, not a void.
       sol.basis = basis_;
       sol.x = extract_model_solution();
       sol.objective = model_.objective_value(sol.x);
@@ -390,7 +411,7 @@ Solution Tableau::run() {
   sol.status = s2;
   sol.basis = basis_;
   if (s2 != SolveStatus::kOptimal) {
-    if (s2 == SolveStatus::kIterationLimit) {
+    if (s2 == SolveStatus::kIterationLimit || s2 == SolveStatus::kTimeLimit) {
       // Same certificate as phase 1, but the point is primal feasible here.
       sol.x = extract_model_solution();
       sol.objective = model_.objective_value(sol.x);
@@ -415,6 +436,8 @@ std::string to_string(SolveStatus status) {
       return "unbounded";
     case SolveStatus::kIterationLimit:
       return "iteration_limit";
+    case SolveStatus::kTimeLimit:
+      return "time_limit";
   }
   return "unknown";
 }
@@ -439,6 +462,9 @@ Solution solve(const Model& model, const SimplexOptions& options) {
       break;
     case SolveStatus::kIterationLimit:
       obs::count("lp.simplex.status.iteration_limit");
+      break;
+    case SolveStatus::kTimeLimit:
+      obs::count("lp.simplex.status.time_limit");
       break;
   }
   span.attr("status", to_string(sol.status));

@@ -21,7 +21,16 @@
 
 namespace scapegoat::lp {
 
-enum class SolveStatus { kOptimal, kInfeasible, kUnbounded, kIterationLimit };
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  // Cooperative wall-clock budget expired (options.max_wall_ms or the
+  // ambient robust::ScopedTrialDeadline). Like kIterationLimit, the
+  // Solution carries the exit basis and basic point as a certificate.
+  kTimeLimit,
+};
 
 std::string to_string(SolveStatus status);
 
@@ -48,6 +57,13 @@ struct SimplexOptions {
   double pivot_tol = 1e-9;     // entries below this can't be pivots
   double cost_tol = 1e-7;      // reduced-cost optimality tolerance
   double feas_tol = 1e-6;      // phase-1 objective below this ⇒ feasible
+  // Per-solve wall-clock budget in ms; 0 = unlimited. Checked every
+  // kWatchdogStride pivots alongside any ambient trial deadline
+  // (robust::ScopedTrialDeadline), so a hung solve returns kTimeLimit with
+  // its basis certificate instead of stalling a whole sweep. Wall budgets
+  // are load-dependent: a solve that *hits* one is outside the bitwise
+  // determinism contract (DESIGN.md §10).
+  double max_wall_ms = 0.0;
 };
 
 Solution solve(const Model& model, const SimplexOptions& options = {});

@@ -1,0 +1,528 @@
+#include "robust/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "obs/obs.hpp"
+#include "util/atomic_file.hpp"
+
+namespace scapegoat::robust {
+
+namespace {
+
+constexpr const char* kManifestMagic = "scapegoat-checkpoint";
+constexpr int kManifestVersion = 1;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    table[n] = c;
+  }
+  return table;
+}
+
+// JSON string escaping for the record fields we own. Mirrors the obs trace
+// sink's subset (quotes, backslash, \n, \r, \t, \u00xx control bytes) so
+// the two JSONL formats in the repo stay mutually readable.
+std::string jesc(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// Cursor-based scanner over exactly the lines encode_journal_line emits.
+struct Scanner {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  bool eat(std::string_view lit) {
+    if (s.substr(pos, lit.size()) == lit) {
+      pos += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool string_literal(std::string& out) {
+    if (pos >= s.size() || s[pos] != '"') return false;
+    ++pos;
+    out.clear();
+    while (pos < s.size()) {
+      const char c = s[pos++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos >= s.size()) return false;
+      const char esc = s[pos++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos + 4 > s.size()) return false;
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s[pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else {
+              return false;
+            }
+          }
+          if (code > 0xff) return false;
+          out += static_cast<char>(code);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool hex_field(std::uint64_t& out) {
+    std::string text;
+    if (!string_literal(text)) return false;
+    const auto v = decode_u64_hex(text);
+    if (!v) return false;
+    out = *v;
+    return true;
+  }
+};
+
+// Parses the `<record>` part of a journal line (CRC already validated).
+// Returns false on any structural mismatch.
+bool parse_record(std::string_view rec, JournalContents& into) {
+  Scanner sc{rec};
+  std::string kind;
+  if (!sc.eat("{\"k\":") || !sc.string_literal(kind)) return false;
+  if (kind == "t") {
+    TrialRecord r;
+    if (!sc.eat(",\"f\":") || !sc.string_literal(r.family)) return false;
+    if (!sc.eat(",\"i\":") || !sc.hex_field(r.index)) return false;
+    if (!sc.eat(",\"s\":") || !sc.hex_field(r.seed)) return false;
+    if (!sc.eat(",\"p\":") || !sc.string_literal(r.payload)) return false;
+    if (!sc.eat("}") || sc.pos != rec.size()) return false;
+    JournalContents::Key key{r.family, r.index};
+    into.trials.insert_or_assign(std::move(key), std::move(r));
+    return true;
+  }
+  if (kind == "q") {
+    QuarantineRecord r;
+    std::string code;
+    std::uint64_t attempts = 0;
+    if (!sc.eat(",\"f\":") || !sc.string_literal(r.family)) return false;
+    if (!sc.eat(",\"i\":") || !sc.hex_field(r.index)) return false;
+    if (!sc.eat(",\"s\":") || !sc.hex_field(r.seed)) return false;
+    if (!sc.eat(",\"e\":") || !sc.string_literal(code)) return false;
+    if (!sc.eat(",\"m\":") || !sc.string_literal(r.message)) return false;
+    if (!sc.eat(",\"a\":") || !sc.hex_field(attempts)) return false;
+    if (!sc.eat("}") || sc.pos != rec.size()) return false;
+    const auto parsed = error_code_from_string(code);
+    if (!parsed) return false;
+    r.code = *parsed;
+    r.attempts = static_cast<std::size_t>(attempts);
+    JournalContents::Key key{r.family, r.index};
+    into.quarantined.insert_or_assign(std::move(key), std::move(r));
+    return true;
+  }
+  return false;
+}
+
+// Frames a serialized record into a full journal line (with trailing '\n').
+std::string frame_line(const std::string& record) {
+  char crc_hex[16];
+  std::snprintf(crc_hex, sizeof(crc_hex), "%08x", crc32(record));
+  std::string line;
+  line.reserve(record.size() + 24);
+  line += "{\"c\":\"";
+  line += crc_hex;
+  line += "\",\"r\":";
+  line += record;
+  line += "}\n";
+  return line;
+}
+
+// Validates one framed line; on success feeds the record into `into`.
+bool accept_line(std::string_view line, JournalContents& into) {
+  Scanner sc{line};
+  std::string crc_text;
+  if (!sc.eat("{\"c\":") || !sc.string_literal(crc_text)) return false;
+  if (crc_text.size() != 8) return false;
+  const auto crc = decode_u64_hex(crc_text);
+  if (!crc) return false;
+  if (!sc.eat(",\"r\":")) return false;
+  if (line.empty() || line.back() != '}') return false;
+  const std::string_view record = line.substr(sc.pos, line.size() - sc.pos - 1);
+  if (crc32(record) != static_cast<std::uint32_t>(*crc)) return false;
+  return parse_record(record, into);
+}
+
+std::string manifest_path(const std::string& journal_path) {
+  return journal_path + ".manifest";
+}
+
+std::string manifest_text(const std::string& experiment,
+                          std::uint64_t config_hash) {
+  std::string out = kManifestMagic;
+  out += ' ';
+  out += std::to_string(kManifestVersion);
+  out += "\nexperiment ";
+  out += experiment;
+  out += "\nconfig ";
+  out += encode_u64_hex(config_hash);
+  out += '\n';
+  return out;
+}
+
+// True when the manifest at `path` names exactly this (experiment, hash).
+bool manifest_matches(const std::string& path, const std::string& experiment,
+                      std::uint64_t config_hash, std::string& why_not) {
+  std::ifstream in(path);
+  if (!in) {
+    why_not = "no manifest";
+    return false;
+  }
+  std::string magic, exp_kw, exp_name, cfg_kw, cfg_hex;
+  int version = 0;
+  if (!(in >> magic >> version >> exp_kw >> exp_name >> cfg_kw >> cfg_hex) ||
+      magic != kManifestMagic || exp_kw != "experiment" || cfg_kw != "config") {
+    why_not = "malformed manifest";
+    return false;
+  }
+  if (version != kManifestVersion) {
+    why_not = "manifest version " + std::to_string(version);
+    return false;
+  }
+  if (exp_name != experiment) {
+    why_not = "manifest is for experiment '" + exp_name + "'";
+    return false;
+  }
+  const auto hash = decode_u64_hex(cfg_hex);
+  if (!hash || *hash != config_hash) {
+    why_not = "config hash mismatch (options or seed changed)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xffffffffu;
+  for (const char ch : data)
+    c = table[(c ^ static_cast<unsigned char>(ch)) & 0xffu] ^ (c >> 8);
+  return c ^ 0xffffffffu;
+}
+
+std::string encode_u64_hex(std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buf;
+}
+
+std::optional<std::uint64_t> decode_u64_hex(std::string_view hex) {
+  if (hex.empty() || hex.size() > 16) return std::nullopt;
+  std::uint64_t v = 0;
+  for (const char c : hex) {
+    v <<= 4;
+    if (c >= '0' && c <= '9') {
+      v |= static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      v |= static_cast<std::uint64_t>(c - 'a' + 10);
+    } else {
+      return std::nullopt;
+    }
+  }
+  return v;
+}
+
+std::string encode_double_bits(double value) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(value));
+  std::memcpy(&bits, &value, sizeof(bits));
+  return encode_u64_hex(bits);
+}
+
+std::optional<double> decode_double_bits(std::string_view hex) {
+  if (hex.size() != 16) return std::nullopt;
+  const auto bits = decode_u64_hex(hex);
+  if (!bits) return std::nullopt;
+  double value;
+  std::memcpy(&value, &*bits, sizeof(value));
+  return value;
+}
+
+ConfigHasher& ConfigHasher::mix(std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h_ ^= (v >> (8 * byte)) & 0xffu;
+    h_ *= 0x100000001b3ull;
+  }
+  return *this;
+}
+
+ConfigHasher& ConfigHasher::mix(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return mix(bits);
+}
+
+ConfigHasher& ConfigHasher::mix(std::string_view s) {
+  mix(static_cast<std::uint64_t>(s.size()));
+  for (const char c : s) {
+    h_ ^= static_cast<unsigned char>(c);
+    h_ *= 0x100000001b3ull;
+  }
+  return *this;
+}
+
+std::string encode_journal_line(const TrialRecord& record) {
+  std::string rec;
+  rec.reserve(64 + record.family.size() + record.payload.size());
+  rec += "{\"k\":\"t\",\"f\":\"";
+  rec += jesc(record.family);
+  rec += "\",\"i\":\"";
+  rec += encode_u64_hex(record.index);
+  rec += "\",\"s\":\"";
+  rec += encode_u64_hex(record.seed);
+  rec += "\",\"p\":\"";
+  rec += jesc(record.payload);
+  rec += "\"}";
+  return frame_line(rec);
+}
+
+std::string encode_journal_line(const QuarantineRecord& record) {
+  std::string rec;
+  rec.reserve(96 + record.family.size() + record.message.size());
+  rec += "{\"k\":\"q\",\"f\":\"";
+  rec += jesc(record.family);
+  rec += "\",\"i\":\"";
+  rec += encode_u64_hex(record.index);
+  rec += "\",\"s\":\"";
+  rec += encode_u64_hex(record.seed);
+  rec += "\",\"e\":\"";
+  rec += jesc(to_string(record.code));
+  rec += "\",\"m\":\"";
+  rec += jesc(record.message);
+  rec += "\",\"a\":\"";
+  rec += encode_u64_hex(record.attempts);
+  rec += "\"}";
+  return frame_line(rec);
+}
+
+Expected<JournalContents> read_journal(const std::string& path) {
+  JournalContents contents;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    // Missing journal = empty journal; only distinguish "cannot read" when
+    // the file exists but open failed, which ifstream cannot tell apart
+    // portably — callers treat both as a fresh start.
+    return contents;
+  }
+  std::string line;
+  std::uint64_t offset = 0;
+  bool tail_torn = false;
+  while (std::getline(in, line)) {
+    // getline strips the '\n'; a final line without one is a torn write.
+    const bool had_newline = !in.eof();
+    const std::uint64_t line_bytes = line.size() + (had_newline ? 1 : 0);
+    if (!had_newline || !accept_line(line, contents)) {
+      ++contents.dropped_lines;
+      tail_torn = true;
+      offset += line_bytes;
+      continue;
+    }
+    if (tail_torn) {
+      // A valid line after a torn one means mid-file corruption, not a torn
+      // tail. Keep accepting (records are keyed, order-independent) but the
+      // valid prefix for append-truncation ends at the first bad line.
+      offset += line_bytes;
+      continue;
+    }
+    offset += line_bytes;
+    contents.valid_bytes = offset;
+  }
+  return contents;
+}
+
+Expected<std::unique_ptr<CheckpointJournal>> CheckpointJournal::open(
+    const std::string& path, const std::string& experiment,
+    std::uint64_t config_hash, bool resume) {
+  obs::ScopedSpan span("ckpt.open");
+  span.attr("experiment", experiment);
+
+  auto journal = std::unique_ptr<CheckpointJournal>(new CheckpointJournal());
+  journal->path_ = path;
+
+  bool fresh = true;
+  if (resume) {
+    std::string why_not;
+    if (manifest_matches(manifest_path(path), experiment, config_hash,
+                         why_not)) {
+      auto loaded = read_journal(path);
+      if (loaded.ok()) {
+        journal->contents_ = std::move(*loaded);
+        journal->info_.resumed = true;
+        journal->info_.prior_trials = journal->contents_.trials.size();
+        journal->info_.prior_quarantined =
+            journal->contents_.quarantined.size();
+        journal->info_.dropped_lines = journal->contents_.dropped_lines;
+        fresh = false;
+        // Truncate back to the longest valid prefix so appends never land
+        // after a torn line.
+        if (::truncate(path.c_str(),
+                       static_cast<off_t>(journal->contents_.valid_bytes)) !=
+            0) {
+          return Error{ErrorCode::kIoError,
+                       "cannot truncate journal " + path + ": " +
+                           std::strerror(errno)};
+        }
+      } else {
+        journal->info_.note = loaded.error_message();
+      }
+    } else {
+      journal->info_.note = "fresh journal (" + why_not + ")";
+    }
+  }
+
+  if (fresh) {
+    journal->contents_ = JournalContents{};
+    const Status manifest_write = write_file_atomic(
+        manifest_path(path), manifest_text(experiment, config_hash));
+    if (!manifest_write.ok()) return manifest_write.error();
+    // O_TRUNC discards any stale journal from a different config.
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_APPEND, 0644);
+    if (fd < 0)
+      return Error{ErrorCode::kIoError, "cannot create journal " + path +
+                                            ": " + std::strerror(errno)};
+    journal->fd_ = fd;
+  } else {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND, 0644);
+    if (fd < 0)
+      return Error{ErrorCode::kIoError, "cannot append to journal " + path +
+                                            ": " + std::strerror(errno)};
+    journal->fd_ = fd;
+  }
+
+  span.attr("resumed", static_cast<std::uint64_t>(journal->info_.resumed));
+  span.attr("prior_trials",
+            static_cast<std::uint64_t>(journal->info_.prior_trials));
+  span.attr("dropped_lines",
+            static_cast<std::uint64_t>(journal->info_.dropped_lines));
+  if (journal->info_.dropped_lines > 0)
+    obs::count("ckpt.journal_lines_dropped", journal->info_.dropped_lines);
+  return journal;
+}
+
+CheckpointJournal::~CheckpointJournal() {
+  flush();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+const TrialRecord* CheckpointJournal::find(std::string_view family,
+                                           std::uint64_t index) const {
+  const auto it =
+      contents_.trials.find(JournalContents::Key{std::string(family), index});
+  return it == contents_.trials.end() ? nullptr : &it->second;
+}
+
+const QuarantineRecord* CheckpointJournal::find_quarantined(
+    std::string_view family, std::uint64_t index) const {
+  const auto it = contents_.quarantined.find(
+      JournalContents::Key{std::string(family), index});
+  return it == contents_.quarantined.end() ? nullptr : &it->second;
+}
+
+void CheckpointJournal::append(const TrialRecord& record) {
+  const JournalContents::Key key{record.family, record.index};
+  if (contents_.trials.count(key) || contents_.quarantined.count(key)) return;
+  buffer_ += encode_journal_line(record);
+  contents_.trials.emplace(key, record);
+  obs::count("ckpt.trials_recorded");
+}
+
+void CheckpointJournal::append(const QuarantineRecord& record) {
+  const JournalContents::Key key{record.family, record.index};
+  if (contents_.trials.count(key) || contents_.quarantined.count(key)) return;
+  buffer_ += encode_journal_line(record);
+  contents_.quarantined.emplace(key, record);
+}
+
+void CheckpointJournal::flush() {
+  if (fd_ < 0 || buffer_.empty()) return;
+  obs::ScopedTimer timer("ckpt.flush_us");
+  std::size_t off = 0;
+  while (off < buffer_.size()) {
+    const ssize_t n = ::write(fd_, buffer_.data() + off, buffer_.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // Journal write failure is not worth killing the sweep over: the run
+      // stays correct, only resumability degrades. Count it and move on.
+      obs::count("ckpt.write_errors");
+      break;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  buffer_.clear();
+  ::fsync(fd_);
+}
+
+}  // namespace scapegoat::robust

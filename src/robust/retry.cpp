@@ -5,16 +5,42 @@
 
 namespace scapegoat::robust {
 
+namespace {
+
+// base · factor^exponent, saturating at `cap` instead of running off to
+// inf/garbage for large attempt counts (factor^1000 overflows double range;
+// the old code returned inf, which downstream accumulated into nonsense
+// backoff_wait_ms totals).
+double saturating_scale(double base, double factor, std::size_t exponent,
+                        double cap) {
+  if (base <= 0.0) return 0.0;
+  const double scaled =
+      base * std::pow(factor, static_cast<double>(exponent));
+  if (!std::isfinite(scaled) || scaled > cap) return cap;
+  return scaled;
+}
+
+}  // namespace
+
 double RetryPolicy::deadline_for(std::size_t attempt) const {
-  if (probe_deadline_ms <= 0.0) return 0.0;
-  return probe_deadline_ms * std::pow(backoff_factor,
-                                      static_cast<double>(attempt));
+  return saturating_scale(probe_deadline_ms, backoff_factor, attempt,
+                          max_backoff_ms);
 }
 
 double RetryPolicy::backoff_before(std::size_t attempt) const {
-  if (attempt == 0 || backoff_base_ms <= 0.0) return 0.0;
-  return backoff_base_ms * std::pow(backoff_factor,
-                                    static_cast<double>(attempt - 1));
+  if (attempt == 0) return 0.0;
+  return saturating_scale(backoff_base_ms, backoff_factor, attempt - 1,
+                          max_backoff_ms);
+}
+
+double RetryPolicy::backoff_before(std::size_t attempt,
+                                   double remaining_deadline_ms) const {
+  const double wait = backoff_before(attempt);
+  if (remaining_deadline_ms < 0.0) return wait;
+  // Never schedule a wait longer than the time left: sleeping through the
+  // deadline just converts "retry might succeed" into "deadline definitely
+  // blown".
+  return std::min(wait, remaining_deadline_ms);
 }
 
 double median(std::vector<double> samples) {

@@ -21,14 +21,24 @@ struct RetryPolicy {
   double probe_deadline_ms = 0.0;   // 0 = no deadline; else per-probe, round 0
   double backoff_base_ms = 10.0;    // nominal wait before retry k ≥ 1
   double backoff_factor = 2.0;      // deadline and wait multiply per round
+  double max_backoff_ms = 60'000.0; // saturation ceiling for both curves
 
   std::size_t attempts() const { return max_retries + 1; }
 
   // Per-probe deadline in force during `attempt` (0-based); 0 = none.
+  // Saturates at max_backoff_ms — factor^attempt overflows double range
+  // for large attempt counts, and inf deadlines are worse than a cap.
   double deadline_for(std::size_t attempt) const;
 
-  // Nominal wait inserted before `attempt` (attempt ≥ 1; 0 for the first).
+  // Nominal wait inserted before `attempt` (attempt ≥ 1; 0 for the first),
+  // saturating at max_backoff_ms.
   double backoff_before(std::size_t attempt) const;
+
+  // Same, additionally clamped to the caller's remaining deadline budget
+  // (pass a negative value for "no overall deadline"): waiting longer than
+  // the time left guarantees the deadline is blown.
+  double backoff_before(std::size_t attempt,
+                        double remaining_deadline_ms) const;
 };
 
 // Median of the collected samples (empty → 0). Used for median-of-retries

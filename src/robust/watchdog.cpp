@@ -1,0 +1,77 @@
+#include "robust/watchdog.hpp"
+
+#include <csignal>
+#include <limits>
+
+#include "obs/obs.hpp"
+
+namespace scapegoat::robust {
+
+namespace {
+
+thread_local const Watchdog* t_current_deadline = nullptr;
+
+// sig_atomic_t + volatile is the only state a signal handler may touch.
+volatile std::sig_atomic_t g_shutdown_flag = 0;
+
+void shutdown_handler(int /*signum*/) { g_shutdown_flag = 1; }
+
+}  // namespace
+
+Watchdog::Watchdog(const Budget& budget) : budget_(budget) {
+  armed_ = !budget.unlimited();
+  if (armed_ && budget_.wall_ms > 0.0)
+    start_ = std::chrono::steady_clock::now();
+}
+
+bool Watchdog::expired(std::size_t spent_iterations) const {
+  if (!armed_) return false;
+  bool hit = false;
+  if (budget_.iterations != 0 && spent_iterations > budget_.iterations)
+    hit = true;
+  if (!hit && budget_.wall_ms > 0.0 && elapsed_ms() > budget_.wall_ms)
+    hit = true;
+  if (hit && !reported_) {
+    reported_ = true;
+    obs::count("watchdog.expirations");
+  }
+  return hit;
+}
+
+double Watchdog::elapsed_ms() const {
+  if (!armed_ || budget_.wall_ms <= 0.0) return 0.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+double Watchdog::remaining_ms() const {
+  if (!armed_ || budget_.wall_ms <= 0.0)
+    return std::numeric_limits<double>::infinity();
+  const double left = budget_.wall_ms - elapsed_ms();
+  return left > 0.0 ? left : 0.0;
+}
+
+ScopedTrialDeadline::ScopedTrialDeadline(const Watchdog* dog)
+    : previous_(t_current_deadline) {
+  t_current_deadline = (dog != nullptr && dog->armed()) ? dog : nullptr;
+}
+
+ScopedTrialDeadline::~ScopedTrialDeadline() {
+  t_current_deadline = previous_;
+}
+
+const Watchdog* ScopedTrialDeadline::current() { return t_current_deadline; }
+
+void install_graceful_shutdown() {
+  std::signal(SIGINT, shutdown_handler);
+  std::signal(SIGTERM, shutdown_handler);
+}
+
+bool shutdown_requested() { return g_shutdown_flag != 0; }
+
+void request_shutdown() { g_shutdown_flag = 1; }
+
+void reset_shutdown() { g_shutdown_flag = 0; }
+
+}  // namespace scapegoat::robust

@@ -1,0 +1,100 @@
+// Cooperative watchdog budgets and graceful-shutdown signalling.
+//
+// A `Budget` bounds one unit of work — wall-clock milliseconds and/or an
+// iteration count, 0 meaning unlimited. A `Watchdog` is the armed form: it
+// fixes the deadline at construction and long-running loops poll
+// `expired()` at natural checkpoints (the simplex polls every
+// kPollStride pivots). Nothing is preempted: expiry is observed, the loop
+// returns whatever certificate it owns (lp::Solution keeps its basis), and
+// the caller decides between retry and quarantine.
+//
+// `ScopedTrialDeadline` makes a watchdog ambient for the current thread so
+// deep callees (the attack LPs inside an experiment trial) can honour the
+// trial's budget without threading a parameter through every layer. The
+// experiment runners arm one per trial attempt.
+//
+// Determinism note: wall-clock budgets are load-dependent, so any run that
+// *fires* one is outside the bitwise cross-thread-count contract. The
+// figure runners therefore default to unlimited budgets; budgets are an
+// operator opt-in for production sweeps where a hung solve is worse than a
+// quarantined trial (DESIGN.md §10).
+//
+// `install_graceful_shutdown()` registers SIGINT/SIGTERM handlers that only
+// set a flag; runners poll `shutdown_requested()` between checkpoint blocks
+// and return early with everything folded so far, leaving the journal
+// resumable.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+
+namespace scapegoat::robust {
+
+struct Budget {
+  double wall_ms = 0.0;        // 0 = unlimited
+  std::size_t iterations = 0;  // 0 = unlimited; unit defined by the client
+
+  bool unlimited() const { return wall_ms <= 0.0 && iterations == 0; }
+};
+
+class Watchdog {
+ public:
+  Watchdog() = default;  // disarmed: never expires
+  explicit Watchdog(const Budget& budget);
+
+  bool armed() const { return armed_; }
+
+  // True once the wall budget is spent or `spent_iterations` exceeds the
+  // iteration budget. Counts obs `watchdog.expirations` exactly once per
+  // watchdog, on the first expired observation.
+  bool expired(std::size_t spent_iterations = 0) const;
+
+  double elapsed_ms() const;
+
+  // Remaining wall budget; +inf when unlimited/disarmed, clamped at 0.
+  double remaining_ms() const;
+
+ private:
+  Budget budget_;
+  bool armed_ = false;
+  std::chrono::steady_clock::time_point start_{};
+  mutable bool reported_ = false;  // expiry counted once
+};
+
+// Installs `dog` as the calling thread's ambient deadline for the scope;
+// restores the previous one on destruction (scopes nest). Pass nullptr to
+// explicitly clear the ambient deadline for a scope.
+class ScopedTrialDeadline {
+ public:
+  explicit ScopedTrialDeadline(const Watchdog* dog);
+  ~ScopedTrialDeadline();
+  ScopedTrialDeadline(const ScopedTrialDeadline&) = delete;
+  ScopedTrialDeadline& operator=(const ScopedTrialDeadline&) = delete;
+
+  // The innermost armed deadline of the calling thread, nullptr when none.
+  static const Watchdog* current();
+
+ private:
+  const Watchdog* previous_;
+};
+
+// ---------------------------------------------------- graceful shutdown --
+
+// Registers SIGINT/SIGTERM handlers that set an async-signal-safe flag.
+// Idempotent; call once from main() before starting a checkpointed run.
+void install_graceful_shutdown();
+
+// True once SIGINT/SIGTERM arrived (or request_shutdown() was called).
+bool shutdown_requested();
+
+// Programmatic equivalent of the signals — used by tests and by drivers
+// that want to stop a sweep after a quota.
+void request_shutdown();
+
+// Clears the flag (tests re-arm between cases; a driver may clear after a
+// handled, fully-flushed stop).
+void reset_shutdown();
+
+}  // namespace scapegoat::robust

@@ -1,0 +1,75 @@
+#include "util/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace scapegoat {
+
+namespace {
+
+robust::Error io_error(const std::string& what) {
+  return robust::Error{robust::ErrorCode::kIoError, what};
+}
+
+}  // namespace
+
+robust::Status write_file_atomic(const std::string& path,
+                                 std::string_view contents) {
+  // Sibling temp name: same directory ⇒ same filesystem ⇒ rename(2) is
+  // atomic. The pid suffix keeps concurrent writers from clobbering each
+  // other's temp files (last rename wins on the destination, which is the
+  // documented semantics for concurrent atomic writers).
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    return io_error("cannot create temp file " + tmp + ": " +
+                    std::strerror(errno));
+
+  std::size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return io_error("short write to " + tmp + ": " + err);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  // Data must be durable before the rename publishes the name, otherwise a
+  // crash can leave a correctly-named empty file — exactly the torn state
+  // this helper exists to rule out.
+  if (::fsync(fd) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return io_error("fsync of " + tmp + " failed: " + err);
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return io_error("close of " + tmp + " failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string err = std::strerror(errno);
+    ::unlink(tmp.c_str());
+    return io_error("rename " + tmp + " -> " + path + " failed: " + err);
+  }
+  return robust::ok_status();
+}
+
+bool fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace scapegoat

@@ -1,0 +1,32 @@
+// Crash-safe file replacement: write a sibling temp file, flush it to disk,
+// then rename over the destination. A reader (or a restarted process) sees
+// either the old contents or the complete new contents — never a truncated
+// half-write. Used by the checkpoint manifest, scenario persistence and the
+// metrics/bench report writers; the only writer allowed to append in place
+// is the checkpoint journal itself, whose CRC framing makes a torn tail
+// detectable instead (robust/checkpoint.hpp).
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "robust/expected.hpp"
+
+namespace scapegoat {
+
+// Writes `contents` to `path` atomically (temp file + fsync + rename).
+// The temp file lives beside the destination so the rename stays on one
+// filesystem. On failure the destination is untouched and the temp file is
+// removed best-effort.
+robust::Status write_file_atomic(const std::string& path,
+                                 std::string_view contents);
+
+// fsync(2) wrapper for streams we append to in place (the journal): forces
+// buffered bytes of the open file descriptor-less FILE*/ofstream world by
+// reopening — not possible portably — so instead this syncs by path using
+// a read-only descriptor. Returns false when the file cannot be opened or
+// synced; callers treat that as "durability not guaranteed", not an error.
+bool fsync_path(const std::string& path);
+
+}  // namespace scapegoat

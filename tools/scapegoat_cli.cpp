@@ -11,14 +11,17 @@
 // Common flags: --seed N, --attackers a,b,c (node ids; default: Fig. 1's
 // B,C or 2 random nodes), --redundant N, --alpha MS, --csv.
 
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
 
+#include "core/resilience_flags.hpp"
 #include "core/scapegoat.hpp"
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
+#include "robust/watchdog.hpp"
 #include "util/args.hpp"
 #include "util/thread_pool.hpp"
 
@@ -45,7 +48,12 @@ int usage(const char* reason) {
       "       --save PATH / --load PATH (scenario persistence)\n"
       "       --threads N (worker threads for linalg/experiments; "
       "absent = auto)\n"
-      "       --trace PATH (write a JSONL trace of spans for any command)\n";
+      "       --trace PATH (write a JSONL trace of spans for any command)\n"
+      "crash safety (faults/metrics): --checkpoint PATH  --resume\n"
+      "       --trial-budget-ms MS (quarantine trials exceeding the budget)\n"
+      "       --stop-after N (stop resumably after N new trials)\n"
+      "       SIGINT/SIGTERM stop at the next block boundary with the\n"
+      "       journal flushed; rerun with --resume to continue.\n";
   return 2;
 }
 
@@ -275,6 +283,7 @@ int cmd_faults(ArgParser& args) {
   args.apply_execution(opt);
   opt.alpha = args.get_double("alpha", 200.0);
   opt.retry.max_retries = static_cast<std::size_t>(args.get_int("retries", 2));
+  apply_resilience_flags(args, opt.resilience);
   if (const std::vector<long> permille = args.get_int_list("rates");
       !permille.empty()) {
     opt.loss_rates.clear();
@@ -302,6 +311,18 @@ int cmd_faults(ArgParser& args) {
   } else {
     table.print(std::cout);
   }
+  if (series.trials_quarantined > 0) {
+    std::cout << "quarantined trials (excluded from all cells): "
+              << series.trials_quarantined << '\n';
+  }
+  if (series.trials_replayed > 0) {
+    std::cout << "trials replayed from checkpoint: " << series.trials_replayed
+              << '\n';
+  }
+  if (series.interrupted) {
+    std::cout << "sweep interrupted — partial results above; journal "
+                 "flushed, rerun with --resume to continue\n";
+  }
   return 0;
 }
 
@@ -316,6 +337,7 @@ int cmd_metrics(ArgParser& args, obs::MetricsRegistry& registry) {
   opt.trials_per_topology =
       static_cast<std::size_t>(args.get_int("trials", 20));
   args.apply_execution(opt);
+  apply_resilience_flags(args, opt.resilience);
   run_presence_ratio_experiment(TopologyKind::kWireline, opt);
 
   const obs::MetricsSnapshot snapshot = registry.snapshot();
@@ -341,16 +363,25 @@ int main(int argc, char** argv) {
   ThreadPool::set_global_threads(args.get_threads());
   const std::string& cmd = *args.command();
 
+  // SIGINT/SIGTERM become a cooperative stop request: experiment runners
+  // finish the current block, flush their checkpoint journal and return
+  // with `interrupted` set, so ^C never loses journaled work.
+  robust::install_graceful_shutdown();
+
   // Observability: every command runs instrumented when asked. `--trace
-  // PATH` streams spans as JSONL; the `metrics` command prints the registry.
+  // PATH` streams spans as JSONL into PATH.partial, published to PATH by
+  // rename on exit — readers never see a file that is still growing, and a
+  // crash leaves the .partial for inspection instead of a torn PATH.
   obs::MetricsRegistry registry;
   std::ofstream trace_file;
   std::unique_ptr<obs::JsonlTraceSink> trace_sink;
-  if (const std::string trace_path = args.get_string("trace");
-      !trace_path.empty()) {
-    trace_file.open(trace_path);
+  const std::string trace_path = args.get_string("trace");
+  const std::string trace_partial =
+      trace_path.empty() ? "" : trace_path + ".partial";
+  if (!trace_path.empty()) {
+    trace_file.open(trace_partial);
     if (!trace_file) {
-      std::cerr << "error: cannot open trace file " << trace_path << '\n';
+      std::cerr << "error: cannot open trace file " << trace_partial << '\n';
       return 2;
     }
     trace_sink = std::make_unique<obs::JsonlTraceSink>(trace_file);
@@ -378,9 +409,27 @@ int main(int argc, char** argv) {
     return usage(("unknown command '" + cmd + "'").c_str());
   }
 
+  const bool interrupted = robust::shutdown_requested();
+  if (interrupted) {
+    // Graceful-shutdown epilogue: the runners already flushed their
+    // journals; dump the metrics gathered so far so the session's telemetry
+    // survives alongside the checkpoint.
+    if (instrumentation != nullptr)
+      std::cerr << obs::to_table(registry.snapshot());
+    std::cerr << "interrupted by signal — state is resumable (--resume)\n";
+  }
+
+  instrumentation.reset();
+  trace_sink.reset();
+  if (!trace_path.empty()) {
+    trace_file.close();
+    if (std::rename(trace_partial.c_str(), trace_path.c_str()) != 0)
+      std::cerr << "warning: trace left at " << trace_partial << '\n';
+  }
+
   for (const std::string& err : args.errors())
     std::cerr << "warning: " << err << '\n';
   for (const std::string& flag : args.unused())
     std::cerr << "warning: unused flag --" << flag << '\n';
-  return rc;
+  return interrupted ? 130 : rc;
 }
