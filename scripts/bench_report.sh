@@ -33,6 +33,12 @@ while [ $# -gt 0 ]; do
   shift
 done
 
+# Property-testkit knobs must not leak into bench processes: an exported
+# SCAPEGOAT_PROP_SEED/_ITERS (e.g. from a replay session) would silently
+# change any test binary the bench build re-runs, and the reports are meant
+# to be environment-independent.
+unset SCAPEGOAT_PROP_ITERS SCAPEGOAT_PROP_SEED SCAPEGOAT_PROP_CORPUS
+
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" --target bench_observability \
       bench_checkpoint_overhead

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Property-test driver: builds the default tree and runs every suite carrying
+# the `prop` ctest label at a raised iteration budget (nightly default 2000
+# vs the in-CI default of ~200 per property; expensive properties divide the
+# budget by their registered iters_divisor).
+#
+#   scripts/proptest.sh [--iters N] [--seed 0xHEX] [-j N]
+#
+#   --iters N    iteration budget (SCAPEGOAT_PROP_ITERS); 0 skips cleanly
+#   --seed S     replay exactly one case per property (SCAPEGOAT_PROP_SEED) —
+#                paste the seed from a failure report or tests/corpus/*.seed
+#
+# Failing runs journal shrunk counterexamples as <property>.seed files into
+# tests/corpus/ (SCAPEGOAT_PROP_CORPUS) — inspect, rename, and check them in
+# to pin the regression.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+iters=2000
+seed=""
+jobs=$(nproc 2>/dev/null || echo 4)
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --iters) iters=$2; shift ;;
+    --seed) seed=$2; shift ;;
+    -j) jobs=$2; shift ;;
+    *) echo "usage: $0 [--iters N] [--seed 0xHEX] [-j N]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+
+export SCAPEGOAT_PROP_ITERS="$iters"
+export SCAPEGOAT_PROP_CORPUS="$PWD/tests/corpus"
+[ -n "$seed" ] && export SCAPEGOAT_PROP_SEED="$seed"
+
+ctest --test-dir build -L prop -j "$jobs" --output-on-failure

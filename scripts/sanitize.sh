@@ -3,8 +3,11 @@
 #
 # Builds the tree under ASan+UBSan (or TSan with `--tsan`) and runs the
 # suites most likely to trip memory/UB bugs under fault injection: the
-# robust subsystem units, the chaos harness, and the loaders that digest
-# corrupted files. Pass `--all` to run the full ctest suite instead.
+# robust subsystem units, the chaos harness, the loaders that digest
+# corrupted files, and the `prop` generative suites at a reduced iteration
+# budget (sanitizer builds are ~10x slower; override with
+# SCAPEGOAT_PROP_ITERS, and SCAPEGOAT_PROP_ITERS=0 skips them cleanly).
+# Pass `--all` to run the full ctest suite instead.
 #
 #   scripts/sanitize.sh [--tsan] [--all] [-j N]
 set -euo pipefail
@@ -13,6 +16,8 @@ cd "$(dirname "$0")/.."
 
 preset=asan-ubsan
 suites='test_robust test_fault_injection test_checkpoint test_rocketfuel test_scenario_io test_args test_lp test_simnet'
+prop_suites='test_testkit test_prop_lp test_prop_linalg test_prop_attack test_prop_detect test_prop_checkpoint test_prop_corpus'
+export SCAPEGOAT_PROP_ITERS="${SCAPEGOAT_PROP_ITERS:-25}"
 jobs=$(nproc 2>/dev/null || echo 4)
 run_all=0
 while [ $# -gt 0 ]; do
@@ -35,9 +40,10 @@ if [ "$run_all" = 1 ]; then
   ctest --preset "$preset" -j "$jobs"
 else
   # ctest registers individual gtest case names, so filter by running the
-  # suite binaries directly.
-  for suite in $suites; do
-    echo "== $suite =="
+  # suite binaries directly. The `prop` label is also registered with ctest
+  # (`ctest -L prop`), which scripts/proptest.sh uses for nightly budgets.
+  for suite in $suites $prop_suites; do
+    echo "== $suite (SCAPEGOAT_PROP_ITERS=$SCAPEGOAT_PROP_ITERS) =="
     "$builddir/tests/$suite" --gtest_brief=1
   done
 fi

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <sstream>
 
 namespace scapegoat::lp {
 
@@ -51,6 +52,38 @@ double Model::max_violation(const std::vector<double>& x) const {
     }
   }
   return worst;
+}
+
+std::string to_string(const Model& model) {
+  std::ostringstream os;
+  os << (model.sense() == Sense::kMaximize ? "max" : "min");
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    const Variable& v = model.variable(j);
+    if (v.objective != 0.0) os << ' ' << v.objective << "*x" << j;
+  }
+  os << " |";
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    const Variable& v = model.variable(j);
+    os << " x" << j << " in [" << v.lower << ',' << v.upper << ']';
+  }
+  for (std::size_t i = 0; i < model.num_constraints(); ++i) {
+    const Constraint& c = model.constraint(i);
+    os << ';';
+    for (const Term& t : c.terms) os << ' ' << t.coeff << "*x" << t.var;
+    switch (c.type) {
+      case RowType::kLessEqual:
+        os << " <= ";
+        break;
+      case RowType::kGreaterEqual:
+        os << " >= ";
+        break;
+      case RowType::kEqual:
+        os << " == ";
+        break;
+    }
+    os << c.rhs;
+  }
+  return os.str();
 }
 
 }  // namespace scapegoat::lp

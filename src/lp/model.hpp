@@ -72,4 +72,8 @@ class Model {
   std::vector<Constraint> constraints_;
 };
 
+// Compact single-line rendering — "max 2x0 -x1 | x0 in [0,3] ...; 2x0+x1 <=
+// 4; ..." — for logs and property-test counterexample reports.
+std::string to_string(const Model& model);
+
 }  // namespace scapegoat::lp

@@ -1,0 +1,89 @@
+// Domain generators: every random instance a property needs, derived purely
+// from a Source's choice tape (so shrinking the tape shrinks the instance).
+//
+// Generators draw sizes before contents — deleting tape suffixes therefore
+// drops whole substructures (variables, constraints, edges) and the minimal
+// counterexample the shrinker reports is structurally minimal, not just
+// numerically small.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+#include "lp/model.hpp"
+#include "testkit/source.hpp"
+
+namespace scapegoat::testkit {
+
+// ---- graphs ---------------------------------------------------------------
+
+// Connected graph with n ∈ [min_nodes, max_nodes]: random spanning tree
+// (node v attaches to a choice of [0, v)) plus up to `max_extra_links`
+// chords. Connected by construction — no rejection loop to de-correlate the
+// tape from the instance.
+Graph gen_connected_graph(Source& src, std::size_t min_nodes,
+                          std::size_t max_nodes,
+                          std::size_t max_extra_links = 24);
+
+// ---- matrices -------------------------------------------------------------
+
+// rows×cols matrix with entries on a 0.25-grid in [-4, 4].
+Matrix gen_matrix(Source& src, std::size_t rows, std::size_t cols);
+
+// Matrix with exact rank `rank` (≤ min(rows, cols)) built as a product of
+// two diagonally-dominant factors, so the rank is guaranteed, not generic.
+// `cond_decades` > 0 grades the factor diagonals across that many decades,
+// pushing the condition number to ~10^cond_decades (ill-conditioning knob).
+Matrix gen_matrix_with_rank(Source& src, std::size_t rows, std::size_t cols,
+                            std::size_t rank, double cond_decades = 0.0);
+
+// {0,1} routing-style matrix, no all-zero rows (every path crosses a link).
+Matrix gen_routing_matrix(Source& src, std::size_t paths, std::size_t links);
+
+// Right-hand side / measurement vector on a 0.25-grid in [-8, 8].
+Vector gen_vector(Source& src, std::size_t n);
+
+// ---- LP models ------------------------------------------------------------
+
+struct LpModelLimits {
+  std::size_t max_vars = 6;
+  std::size_t max_constraints = 6;
+  double coeff_step = 0.5;     // constraint/objective coefficient grid
+  std::uint64_t coeff_steps = 6;  // grid extent: ±coeff_steps·coeff_step
+};
+
+// Random LP with box-bounded variables (finite lower AND upper bound on
+// every variable ⇒ the feasible set is a polytope, so the brute-force
+// vertex-enumeration oracle is exact). Constraints mix ≤ / ≥ / =.
+lp::Model gen_lp_model(Source& src, const LpModelLimits& limits = {});
+
+// ---- scenarios and attacks ------------------------------------------------
+
+// Erdős–Rényi scenario in the family the property suites historically used
+// (Scenario::from_graph over G(n, p)); the graph resample loop and monitor
+// placement draw from an Rng seeded off the tape. nullopt when placement
+// can't reach identifiability for this draw.
+std::optional<Scenario> gen_er_scenario(Source& src, std::size_t n, double p);
+
+// Scenario on a testkit-generated connected graph (structural shrinking).
+std::optional<Scenario> gen_scenario(Source& src, std::size_t min_nodes,
+                                     std::size_t max_nodes);
+
+// 1..max_attackers distinct nodes of the scenario's graph.
+std::vector<NodeId> gen_attackers(Source& src, const Scenario& sc,
+                                  std::size_t max_attackers);
+
+// A link id of the scenario's graph.
+LinkId gen_victim(Source& src, const Scenario& sc);
+
+// Re-draws the scenario's ground-truth link metrics from the tape.
+void gen_resample_metrics(Source& src, Scenario& sc);
+
+// An Rng whose seed comes off the tape — for APIs that want an Rng&.
+Rng gen_rng(Source& src);
+
+}  // namespace scapegoat::testkit

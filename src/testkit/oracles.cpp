@@ -1,0 +1,171 @@
+#include "testkit/oracles.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace scapegoat::testkit {
+namespace {
+
+// Local dense Gaussian elimination with partial pivoting — deliberately not
+// linalg::LuDecomposition, so the oracles share no solver code with the
+// library under test. Returns false when singular to `pivot_tol`.
+bool gauss_solve(std::vector<std::vector<double>> a, std::vector<double> b,
+                 std::vector<double>& x, double pivot_tol = 1e-10) {
+  const std::size_t n = a.size();
+  for (std::size_t k = 0; k < n; ++k) {
+    std::size_t piv = k;
+    for (std::size_t i = k + 1; i < n; ++i)
+      if (std::abs(a[i][k]) > std::abs(a[piv][k])) piv = i;
+    if (std::abs(a[piv][k]) < pivot_tol) return false;
+    std::swap(a[piv], a[k]);
+    std::swap(b[piv], b[k]);
+    for (std::size_t i = k + 1; i < n; ++i) {
+      const double f = a[i][k] / a[k][k];
+      if (f == 0.0) continue;
+      for (std::size_t j = k; j < n; ++j) a[i][j] -= f * a[k][j];
+      b[i] -= f * b[k];
+    }
+  }
+  x.assign(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= a[i][j] * x[j];
+    x[i] = acc / a[i][i];
+  }
+  return true;
+}
+
+struct Hyperplane {
+  std::vector<double> coeffs;  // length num_variables
+  double rhs = 0.0;
+};
+
+}  // namespace
+
+ReferenceLpResult solve_lp_by_vertex_enumeration(const lp::Model& model,
+                                                 double tol) {
+  const std::size_t n = model.num_variables();
+  assert(n > 0);
+
+  std::vector<Hyperplane> planes;
+  for (std::size_t i = 0; i < model.num_constraints(); ++i) {
+    const lp::Constraint& c = model.constraint(i);
+    Hyperplane h{std::vector<double>(n, 0.0), c.rhs};
+    for (const lp::Term& t : c.terms) h.coeffs[t.var] += t.coeff;
+    planes.push_back(std::move(h));
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const lp::Variable& v = model.variable(j);
+    assert(std::isfinite(v.lower) && std::isfinite(v.upper) &&
+           "vertex enumeration needs box-bounded variables");
+    Hyperplane lo{std::vector<double>(n, 0.0), v.lower};
+    lo.coeffs[j] = 1.0;
+    planes.push_back(std::move(lo));
+    Hyperplane hi{std::vector<double>(n, 0.0), v.upper};
+    hi.coeffs[j] = 1.0;
+    planes.push_back(std::move(hi));
+  }
+
+  ReferenceLpResult result;
+  const bool maximize = model.sense() == lp::Sense::kMaximize;
+  double best = maximize ? -std::numeric_limits<double>::infinity()
+                         : std::numeric_limits<double>::infinity();
+
+  // Enumerate every n-subset of the hyperplanes.
+  std::vector<std::size_t> pick(n);
+  for (std::size_t i = 0; i < n; ++i) pick[i] = i;
+  const std::size_t m = planes.size();
+  assert(m >= n);
+  while (true) {
+    std::vector<std::vector<double>> a(n);
+    std::vector<double> rhs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      a[i] = planes[pick[i]].coeffs;
+      rhs[i] = planes[pick[i]].rhs;
+    }
+    std::vector<double> x;
+    if (gauss_solve(std::move(a), std::move(rhs), x)) {
+      ++result.vertices_checked;
+      assert(result.vertices_checked < 1'000'000 &&
+             "oracle instance too large — tighten the generator limits");
+      if (model.max_violation(x) <= tol) {
+        result.feasible = true;
+        const double obj = model.objective_value(x);
+        if ((maximize && obj > best) || (!maximize && obj < best)) {
+          best = obj;
+          result.objective = obj;
+          result.x = std::move(x);
+        }
+      }
+    }
+    // Next combination in lexicographic order.
+    std::size_t i = n;
+    while (i-- > 0) {
+      if (pick[i] + (n - i) < m) {
+        ++pick[i];
+        for (std::size_t j = i + 1; j < n; ++j) pick[j] = pick[j - 1] + 1;
+        break;
+      }
+      if (i == 0) return result;
+    }
+  }
+}
+
+std::vector<double> ref_normal_equations(const Matrix& a, const Vector& b) {
+  const std::size_t m = a.rows(), n = a.cols();
+  std::vector<std::vector<double>> ata(n, std::vector<double>(n, 0.0));
+  std::vector<double> atb(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j)
+      for (std::size_t k = 0; k < m; ++k) ata[i][j] += a(k, i) * a(k, j);
+    for (std::size_t k = 0; k < m; ++k) atb[i] += a(k, i) * b[k];
+  }
+  std::vector<double> x;
+  if (!gauss_solve(std::move(ata), std::move(atb), x)) return {};
+  return x;
+}
+
+bool check_moore_penrose(const Matrix& a, const Matrix& g, double tol) {
+  if (g.rows() != a.cols() || g.cols() != a.rows()) return false;
+  const Matrix ag = a * g;
+  const Matrix ga = g * a;
+  const double scale =
+      1.0 + a.max_abs() * g.max_abs() * static_cast<double>(a.rows());
+  const auto close = [&](const Matrix& lhs, const Matrix& rhs) {
+    return (lhs - rhs).max_abs() <= tol * scale;
+  };
+  return close(ag * a, a) && close(ga * g, g) && close(ag.transposed(), ag) &&
+         close(ga.transposed(), ga);
+}
+
+bool ref_perfect_cut(const std::vector<Path>& paths,
+                     const std::vector<NodeId>& attackers,
+                     const std::vector<LinkId>& victims) {
+  for (const Path& path : paths) {
+    bool carries_victim = false;
+    for (LinkId l : path.links)
+      for (LinkId v : victims)
+        if (l == v) carries_victim = true;
+    if (!carries_victim) continue;
+    bool carries_attacker = false;
+    for (NodeId node : path.nodes)
+      for (NodeId a : attackers)
+        if (node == a) carries_attacker = true;
+    if (!carries_attacker) return false;
+  }
+  return true;
+}
+
+double ref_eq23_residual(const Matrix& r, const Vector& x_hat,
+                         const Vector& y) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < r.rows(); ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < r.cols(); ++j) row += r(i, j) * x_hat[j];
+    total += std::abs(y[i] - row);
+  }
+  return total;
+}
+
+}  // namespace scapegoat::testkit

@@ -1,0 +1,71 @@
+// Differential oracles: independent reference implementations that the
+// production code paths are diffed against by the test_prop_* suites.
+//
+// Each oracle is deliberately written the *obvious* way (brute force,
+// textbook formulas, literal loops over the paper's equations) with no code
+// shared with the implementation under test — agreement is then evidence,
+// not tautology.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/matrix.hpp"
+#include "lp/model.hpp"
+
+namespace scapegoat::testkit {
+
+// ---- LP: exhaustive basis/vertex enumeration ------------------------------
+//
+// For models whose variables all carry finite box bounds the feasible set is
+// a polytope: if it is non-empty it has a vertex, and some vertex attains
+// the optimum. The oracle enumerates every n-subset of the hyperplane set
+// {constraint rows as equalities} ∪ {x_j = lower_j} ∪ {x_j = upper_j},
+// solves the square system, keeps feasible solutions, and maximizes /
+// minimizes the objective over them.
+
+struct ReferenceLpResult {
+  bool feasible = false;
+  double objective = 0.0;
+  std::vector<double> x;            // an optimal vertex when feasible
+  std::size_t vertices_checked = 0; // candidate systems solved
+};
+
+// `tol` is the feasibility slack used when accepting a vertex. Asserts that
+// every variable has finite bounds and that the enumeration stays below an
+// internal combination cap (generator limits guarantee both).
+ReferenceLpResult solve_lp_by_vertex_enumeration(const lp::Model& model,
+                                                 double tol = 1e-7);
+
+// ---- linear algebra -------------------------------------------------------
+
+// Textbook normal-equations least squares: forms AᵀA and Aᵀb element by
+// element and solves with Gaussian elimination written out locally (no
+// linalg::CholeskyDecomposition, no linalg::LuDecomposition). Empty result
+// when the local elimination meets a non-positive pivot (rank deficiency).
+std::vector<double> ref_normal_equations(const Matrix& a, const Vector& b);
+
+// Checks the four Moore–Penrose axioms for a candidate pseudo-inverse g of
+// a:  a·g·a = a,  g·a·g = g,  (a·g)ᵀ = a·g,  (g·a)ᵀ = g·a.
+// `tol` is relative to the magnitudes involved.
+bool check_moore_penrose(const Matrix& a, const Matrix& g, double tol = 1e-6);
+
+// ---- attack: Theorem 1 cut condition, literally from the graph ------------
+
+// Independent re-statement of the perfect-cut predicate: every measurement
+// path that traverses a victim link also visits an attacker node. Written
+// against Path's raw node/link vectors (no contains_* helpers) so it can
+// disagree with attack/cut.cpp if either is wrong.
+bool ref_perfect_cut(const std::vector<Path>& paths,
+                     const std::vector<NodeId>& attackers,
+                     const std::vector<LinkId>& victims);
+
+// ---- detect: Eq. 23, literally --------------------------------------------
+
+// ‖y − R·x̂‖₁ computed as the paper prints it: Σ_i |y_i − Σ_j R_ij x̂_j|.
+double ref_eq23_residual(const Matrix& r, const Vector& x_hat,
+                         const Vector& y);
+
+}  // namespace scapegoat::testkit

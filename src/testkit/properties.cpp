@@ -1,0 +1,370 @@
+#include "testkit/properties.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "attack/attack_lp.hpp"
+#include "attack/chosen_victim.hpp"
+#include "attack/cut.hpp"
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+#include "detect/detector.hpp"
+#include "linalg/least_squares.hpp"
+#include "linalg/qr.hpp"
+#include "lp/simplex.hpp"
+#include "testkit/gen.hpp"
+#include "testkit/oracles.hpp"
+
+namespace scapegoat::testkit {
+namespace {
+
+std::string describe_model(const lp::Model& model) {
+  std::ostringstream os;
+  os << model.num_variables() << " vars / " << model.num_constraints()
+     << " constraints: " << lp::to_string(model);
+  return os.str();
+}
+
+// ---- lp_simplex_matches_reference -----------------------------------------
+
+bool prop_lp_simplex_matches_reference(Source& src) {
+  const lp::Model model = gen_lp_model(src);
+  const ReferenceLpResult ref = solve_lp_by_vertex_enumeration(model);
+  const lp::Solution sol = lp::solve(model);
+
+  if (!ref.feasible) {
+    if (sol.status == lp::SolveStatus::kInfeasible) return true;
+    // Status disagreement on a numerically borderline instance (feasibility
+    // decided by < 1e-4 of slack) is indeterminate, not a bug.
+    if (solve_lp_by_vertex_enumeration(model, 1e-4).feasible) return true;
+    src.note("oracle: infeasible, simplex: " + lp::to_string(sol.status));
+    src.note(describe_model(model));
+    return false;
+  }
+
+  if (sol.status != lp::SolveStatus::kOptimal) {
+    if (!solve_lp_by_vertex_enumeration(model, 1e-9).feasible) return true;
+    src.note("oracle: feasible (obj " + std::to_string(ref.objective) +
+             "), simplex: " + lp::to_string(sol.status));
+    src.note(describe_model(model));
+    return false;
+  }
+  if (model.max_violation(sol.x) > 1e-6) {
+    src.note("simplex point violates the model by " +
+             std::to_string(model.max_violation(sol.x)));
+    src.note(describe_model(model));
+    return false;
+  }
+  const double tol = 1e-6 * (1.0 + std::abs(ref.objective));
+  if (std::abs(sol.objective - ref.objective) > tol) {
+    src.note("objective mismatch: simplex " + std::to_string(sol.objective) +
+             " vs reference " + std::to_string(ref.objective) + " over " +
+             std::to_string(ref.vertices_checked) + " vertices");
+    src.note(describe_model(model));
+    return false;
+  }
+  return true;
+}
+
+// ---- linalg properties ----------------------------------------------------
+
+bool prop_qr_matches_normal_equations(Source& src) {
+  const std::size_t cols = 1 + src.index(5);
+  const std::size_t rows = cols + src.index(4);
+  const double decades = src.grid_nonneg(1.0, 2);  // condition ≤ ~10²
+  const Matrix a = gen_matrix_with_rank(src, rows, cols, cols, decades);
+  const Vector b = gen_vector(src, rows);
+
+  const auto x_qr = least_squares(a, b, LeastSquaresMethod::kQr);
+  const auto x_ne = least_squares(a, b, LeastSquaresMethod::kNormalEquations);
+  const std::vector<double> x_ref = ref_normal_equations(a, b);
+  if (!x_qr.has_value() || !x_ne.has_value() || x_ref.empty()) {
+    src.note("a full-column-rank solve refused: qr=" +
+             std::to_string(x_qr.has_value()) +
+             " ne=" + std::to_string(x_ne.has_value()) +
+             " ref=" + std::to_string(!x_ref.empty()));
+    return false;
+  }
+  // Normal equations square the conditioning; scale the agreement tolerance
+  // by the generated condition decades.
+  double scale = 1.0;
+  for (const double v : x_ref) scale = std::max(scale, std::abs(v));
+  const double tol = 1e-8 * std::pow(10.0, 2.0 * decades) * scale;
+  for (std::size_t j = 0; j < cols; ++j) {
+    const double d_ne = std::abs((*x_qr)[j] - (*x_ne)[j]);
+    const double d_ref = std::abs((*x_qr)[j] - x_ref[j]);
+    if (d_ne > tol || d_ref > tol) {
+      std::ostringstream os;
+      os << rows << "x" << cols << " cond decades " << decades << ": x[" << j
+         << "] qr=" << (*x_qr)[j] << " ne=" << (*x_ne)[j]
+         << " ref=" << x_ref[j] << " tol=" << tol;
+      src.note(os.str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool prop_pinv_satisfies_moore_penrose(Source& src) {
+  const std::size_t cols = 1 + src.index(4);
+  const std::size_t rows = cols + src.index(4);
+  const double decades = src.grid_nonneg(1.0, 2);
+  const Matrix a = gen_matrix_with_rank(src, rows, cols, cols, decades);
+
+  const Matrix g = pseudo_inverse(a);
+  const double tol = 1e-8 * std::pow(10.0, 2.0 * decades);
+  if (!check_moore_penrose(a, g, tol)) {
+    std::ostringstream os;
+    os << rows << "x" << cols << " cond decades " << decades
+       << ": Moore-Penrose axioms violated beyond tol " << tol;
+    src.note(os.str());
+    return false;
+  }
+  const auto checked = try_pseudo_inverse(a);
+  if (!checked.ok() || !approx_equal(g, *checked, 1e-12)) {
+    src.note("try_pseudo_inverse disagrees with pseudo_inverse: " +
+             checked.error_message());
+    return false;
+  }
+  return true;
+}
+
+bool prop_rank_detects_deficiency(Source& src) {
+  const std::size_t rows = 2 + src.index(5);
+  const std::size_t cols = 2 + src.index(4);
+  const std::size_t max_rank = std::min(rows, cols);
+  const std::size_t rank = 1 + src.index(max_rank);
+  const Matrix a = gen_matrix_with_rank(src, rows, cols, rank);
+  const Vector b = gen_vector(src, rows);
+
+  const std::size_t measured = matrix_rank(a);
+  if (measured != rank) {
+    src.note("constructed rank " + std::to_string(rank) +
+             " but matrix_rank reports " + std::to_string(measured));
+    return false;
+  }
+  RankTracker tracker(cols);
+  for (std::size_t i = 0; i < rows; ++i) tracker.add(a.row(i));
+  if (tracker.rank() != rank) {
+    src.note("RankTracker reports " + std::to_string(tracker.rank()) +
+             " for constructed rank " + std::to_string(rank));
+    return false;
+  }
+  const auto solve = try_least_squares(a, b);
+  if (rank < cols) {
+    if (solve.ok() ||
+        solve.code() != robust::ErrorCode::kRankDeficient) {
+      src.note("rank-deficient solve was not refused as kRankDeficient");
+      return false;
+    }
+    if (least_squares(a, b).has_value()) {
+      src.note("least_squares accepted a rank-deficient system");
+      return false;
+    }
+  } else if (!solve.ok()) {
+    src.note("full-rank solve refused: " + solve.error_message());
+    return false;
+  }
+  return true;
+}
+
+// ---- attack_feasibility_matches_cut_condition -----------------------------
+
+bool prop_attack_feasibility_matches_cut_condition(Source& src) {
+  auto sc = gen_er_scenario(src, 14 + src.index(8), 0.25);
+  if (!sc.has_value()) return true;  // unidentifiable draw: vacuous
+  const auto& paths = sc->estimator().paths();
+
+  // Differential check of the cut predicate itself on an arbitrary draw.
+  const std::vector<NodeId> rand_attackers = gen_attackers(src, *sc, 4);
+  const std::vector<LinkId> rand_victims{gen_victim(src, *sc)};
+  if (is_perfect_cut(paths, rand_attackers, rand_victims) !=
+      ref_perfect_cut(paths, rand_attackers, rand_victims)) {
+    src.note("is_perfect_cut disagrees with the literal graph evaluation");
+    return false;
+  }
+
+  // Theorem 1 construction: victim with non-monitor endpoints, attackers =
+  // the endpoints' full outside neighborhood — a perfect cut by design.
+  const std::size_t offset = src.index(sc->graph().num_links());
+  for (std::size_t step = 0; step < sc->graph().num_links(); ++step) {
+    const LinkId victim = (offset + step) % sc->graph().num_links();
+    const Link& l = sc->graph().link(victim);
+    if (sc->is_monitor(l.u) || sc->is_monitor(l.v)) continue;
+    std::vector<NodeId> attackers;
+    for (const Adjacent& a : sc->graph().neighbors(l.u))
+      if (a.neighbor != l.v) attackers.push_back(a.neighbor);
+    for (const Adjacent& a : sc->graph().neighbors(l.v))
+      if (a.neighbor != l.u &&
+          std::find(attackers.begin(), attackers.end(), a.neighbor) ==
+              attackers.end())
+        attackers.push_back(a.neighbor);
+    if (attackers.empty()) continue;
+
+    if (!ref_perfect_cut(paths, attackers, {victim})) {
+      src.note("neighborhood construction is not a perfect cut (victim " +
+               std::to_string(victim) + ")");
+      return false;
+    }
+    AttackContext ctx = sc->context(attackers);
+    const AttackResult r =
+        chosen_victim_attack(ctx, {victim}, ManipulationMode::kConsistent);
+    if (!r.success) {
+      src.note("Theorem 1 violated: perfect cut but consistent LP " +
+               lp::to_string(r.status) + " (victim " + std::to_string(victim) +
+               ", " + std::to_string(attackers.size()) + " attackers)");
+      return false;
+    }
+    const double residual =
+        detect_scapegoating(sc->estimator(), r.y_observed).residual_norm1;
+    if (residual >= 1.0) {
+      src.note("Theorem 3 violated: consistent attack left residual " +
+               std::to_string(residual));
+      return false;
+    }
+    return true;  // one constructed victim per case
+  }
+  return true;  // no interior link in this draw: vacuous
+}
+
+// ---- detector_residual_matches_eq23 ---------------------------------------
+
+bool prop_detector_residual_matches_eq23(Source& src) {
+  auto sc = gen_er_scenario(src, 12 + src.index(6), 0.3);
+  if (!sc.has_value()) return true;
+  const TomographyEstimator& est = sc->estimator();
+
+  Vector y = sc->clean_measurements();
+  const std::size_t tampered = src.index(y.size() + 1);
+  for (std::size_t i = 0; i < tampered; ++i)
+    y[src.index(y.size())] += src.grid_nonneg(50.0, 24);  // up to 1200 ms
+
+  const DetectionOutcome out = detect_scapegoating(est, y);
+  const double ref = ref_eq23_residual(est.r(), est.estimate(y), y);
+  if (std::abs(out.residual_norm1 - ref) > 1e-6 * (1.0 + ref)) {
+    src.note("detector residual " + std::to_string(out.residual_norm1) +
+             " vs literal Eq. 23 " + std::to_string(ref));
+    return false;
+  }
+  const DetectorOptions defaults;
+  if (std::abs(ref - defaults.alpha) > 1e-6 &&
+      out.detected != (ref > defaults.alpha)) {
+    src.note("detected flag inconsistent with residual " +
+             std::to_string(ref) + " vs alpha " +
+             std::to_string(defaults.alpha));
+    return false;
+  }
+  return true;
+}
+
+// ---- checkpoint_resume_equivalence ----------------------------------------
+
+std::string unique_checkpoint_path() {
+  static std::atomic<unsigned> counter{0};
+  std::ostringstream os;
+  os << (std::filesystem::temp_directory_path() / "scapegoat_prop_ckpt_")
+            .string()
+     << ::getpid() << "_" << counter.fetch_add(1) << ".ckpt";
+  return os.str();
+}
+
+bool same_series(const PresenceRatioSeries& a, const PresenceRatioSeries& b,
+                 Source& src) {
+  if (a.total_trials != b.total_trials || a.bins.size() != b.bins.size()) {
+    src.note("series shape differs after resume");
+    return false;
+  }
+  for (std::size_t i = 0; i < a.bins.size(); ++i) {
+    if (a.bins[i].trials != b.bins[i].trials ||
+        a.bins[i].successes != b.bins[i].successes) {
+      src.note("bin " + std::to_string(i) + " differs after resume: " +
+               std::to_string(b.bins[i].successes) + "/" +
+               std::to_string(b.bins[i].trials) + " vs " +
+               std::to_string(a.bins[i].successes) + "/" +
+               std::to_string(a.bins[i].trials));
+      return false;
+    }
+  }
+  return true;
+}
+
+bool prop_checkpoint_resume_equivalence(Source& src) {
+  PresenceRatioOptions opt;
+  opt.topologies = 1;
+  opt.trials_per_topology = 4 + src.index(5);
+  opt.seed = src.choice(0xffffull);
+  opt.threads = 1 + src.index(2);
+  const std::size_t stop_after = 1 + src.index(opt.trials_per_topology - 1);
+
+  const PresenceRatioSeries full =
+      run_presence_ratio_experiment(TopologyKind::kWireline, opt);
+
+  const std::string path = unique_checkpoint_path();
+  opt.resilience.checkpoint_path = path;
+  opt.resilience.stop_after_new_trials = stop_after;
+  const PresenceRatioSeries partial =
+      run_presence_ratio_experiment(TopologyKind::kWireline, opt);
+
+  opt.resilience.resume = true;
+  opt.resilience.stop_after_new_trials = 0;
+  const PresenceRatioSeries resumed =
+      run_presence_ratio_experiment(TopologyKind::kWireline, opt);
+
+  std::error_code ec;
+  std::filesystem::remove(path, ec);
+  std::filesystem::remove(path + ".manifest", ec);
+
+  if (partial.total_trials < full.total_trials && !partial.interrupted) {
+    src.note("stopped run not marked interrupted at quota " +
+             std::to_string(stop_after));
+    return false;
+  }
+  if (resumed.trials_replayed == 0) {
+    src.note("resume replayed no trials despite a journaled prefix");
+    return false;
+  }
+  return same_series(full, resumed, src);
+}
+
+}  // namespace
+
+const std::map<std::string, NamedProperty>& property_registry() {
+  static const std::map<std::string, NamedProperty> registry = {
+      {"lp_simplex_matches_reference",
+       {prop_lp_simplex_matches_reference, 200, 1}},
+      {"linalg_qr_matches_normal_equations",
+       {prop_qr_matches_normal_equations, 200, 1}},
+      {"linalg_pinv_satisfies_moore_penrose",
+       {prop_pinv_satisfies_moore_penrose, 200, 1}},
+      {"linalg_rank_detects_deficiency",
+       {prop_rank_detects_deficiency, 200, 1}},
+      {"attack_feasibility_matches_cut_condition",
+       {prop_attack_feasibility_matches_cut_condition, 40, 5}},
+      {"detector_residual_matches_eq23",
+       {prop_detector_residual_matches_eq23, 60, 4}},
+      {"checkpoint_resume_equivalence",
+       {prop_checkpoint_resume_equivalence, 8, 25}},
+  };
+  return registry;
+}
+
+PropertyOutcome check_registry_property(const std::string& name) {
+  const auto it = property_registry().find(name);
+  if (it == property_registry().end()) {
+    PropertyOutcome out;
+    out.name = name;
+    out.passed = false;
+    out.notes.push_back("unknown property name");
+    return out;
+  }
+  PropertyConfig cfg = PropertyConfig::from_env(it->second.default_iters);
+  if (cfg.env_iterations) cfg = cfg.scaled(it->second.iters_divisor);
+  return check_property(name, it->second.property, cfg);
+}
+
+}  // namespace scapegoat::testkit

@@ -1,0 +1,201 @@
+#include "testkit/runner.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "testkit/shrink.hpp"
+#include "util/random.hpp"
+
+namespace scapegoat::testkit {
+namespace {
+
+std::optional<std::uint64_t> parse_u64(const char* text) {
+  if (text == nullptr || *text == '\0') return std::nullopt;
+  errno = 0;
+  char* end = nullptr;
+  // Base 0: accepts decimal and the 0x-prefixed hex the runner prints.
+  const unsigned long long v = std::strtoull(text, &end, 0);
+  if (errno != 0 || end == text || *end != '\0') return std::nullopt;
+  return static_cast<std::uint64_t>(v);
+}
+
+std::string hex(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << v;
+  return os.str();
+}
+
+std::string join_tape(const std::vector<std::uint64_t>& tape) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < tape.size(); ++i) {
+    if (i != 0) os << ',';
+    os << tape[i];
+  }
+  return os.str();
+}
+
+bool run_case(const Property& property, Source& src) {
+  try {
+    return property(src);
+  } catch (...) {
+    // A throwing property is a failing property; the tape still identifies
+    // the instance that triggered it.
+    return false;
+  }
+}
+
+}  // namespace
+
+PropertyConfig PropertyConfig::from_env(std::size_t default_iterations) {
+  PropertyConfig cfg;
+  cfg.iterations = default_iterations;
+  if (const auto iters = parse_u64(std::getenv("SCAPEGOAT_PROP_ITERS"))) {
+    cfg.iterations = static_cast<std::size_t>(*iters);
+    cfg.env_iterations = true;
+  }
+  cfg.replay_seed = parse_u64(std::getenv("SCAPEGOAT_PROP_SEED"));
+  if (const char* dir = std::getenv("SCAPEGOAT_PROP_CORPUS"))
+    cfg.corpus_out_dir = dir;
+  return cfg;
+}
+
+PropertyConfig PropertyConfig::scaled(std::size_t divisor) const {
+  PropertyConfig cfg = *this;
+  if (divisor > 1 && cfg.iterations > 0)
+    cfg.iterations = std::max<std::size_t>(1, cfg.iterations / divisor);
+  return cfg;
+}
+
+std::string PropertyOutcome::report() const {
+  std::ostringstream os;
+  os << "property '" << name << "' ";
+  if (skipped) {
+    os << "skipped (SCAPEGOAT_PROP_ITERS=0)";
+    return os.str();
+  }
+  if (passed) {
+    os << "passed " << iterations << " cases";
+    return os.str();
+  }
+  os << "FAILED (seed " << hex(failing_seed) << ", tape "
+     << original_tape.size() << " -> " << shrunk_tape.size() << " choices)\n";
+  os << "  shrunk tape: [" << join_tape(shrunk_tape) << "]\n";
+  for (const std::string& n : notes) os << "  note: " << n << "\n";
+  if (!seed_file.empty()) os << "  journaled: " << seed_file << "\n";
+  os << "  replay: SCAPEGOAT_PROP_SEED=" << hex(failing_seed)
+     << " (reruns this exact case)";
+  return os.str();
+}
+
+PropertyOutcome check_property(std::string_view name, const Property& property,
+                               const PropertyConfig& config) {
+  PropertyOutcome out;
+  out.name = std::string(name);
+  if (config.iterations == 0 && !config.replay_seed.has_value()) {
+    out.skipped = true;
+    return out;
+  }
+
+  const std::size_t iterations =
+      config.replay_seed.has_value() ? 1 : config.iterations;
+  for (std::size_t i = 0; i < iterations; ++i) {
+    const std::uint64_t seed = config.replay_seed.has_value()
+                                   ? *config.replay_seed
+                                   : derive_seed(config.base_seed, i);
+    Source src(seed);
+    const bool ok = run_case(property, src);
+    ++out.iterations;
+    if (ok) continue;
+
+    out.passed = false;
+    out.failing_seed = seed;
+    out.original_tape = src.tape();
+
+    // Shrink: a candidate tape survives iff its replay still fails.
+    const auto still_fails = [&](const std::vector<std::uint64_t>& tape) {
+      Source replay(tape);
+      return !run_case(property, replay);
+    };
+    out.shrunk_tape =
+        shrink_tape(out.original_tape, still_fails, config.max_shrink_evals);
+
+    // Replay the minimal counterexample once more to collect its notes.
+    Source final_replay(out.shrunk_tape);
+    run_case(property, final_replay);
+    out.notes = final_replay.notes();
+
+    // Journal the failure for the corpus (best effort — a read-only cwd
+    // must not turn a red property into a crash).
+    SeedFile sf;
+    sf.property = out.name;
+    sf.seed = seed;
+    sf.tape = out.shrunk_tape;
+    sf.notes = out.notes;
+    const std::string dir =
+        config.corpus_out_dir.empty() ? "." : config.corpus_out_dir;
+    const std::string path = dir + "/" + out.name + ".seed";
+    std::ofstream f(path);
+    if (f && (f << encode_seed_file(sf)) && f.flush()) out.seed_file = path;
+    return out;
+  }
+  return out;
+}
+
+std::string encode_seed_file(const SeedFile& sf) {
+  std::ostringstream os;
+  os << "# scapegoat property regression seed — replay with\n"
+     << "#   SCAPEGOAT_PROP_SEED=" << hex(sf.seed) << " <suite binary>\n"
+     << "property " << sf.property << "\n"
+     << "seed " << hex(sf.seed) << "\n";
+  if (!sf.tape.empty()) os << "tape " << join_tape(sf.tape) << "\n";
+  for (const std::string& n : sf.notes) os << "note " << n << "\n";
+  return os.str();
+}
+
+std::optional<SeedFile> parse_seed_file(const std::string& text) {
+  SeedFile sf;
+  bool have_seed = false;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos) return std::nullopt;
+    const std::string key = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    if (key == "property") {
+      sf.property = value;
+    } else if (key == "seed") {
+      const auto v = parse_u64(value.c_str());
+      if (!v.has_value()) return std::nullopt;
+      sf.seed = *v;
+      have_seed = true;
+    } else if (key == "tape") {
+      std::istringstream ts(value);
+      std::string tok;
+      while (std::getline(ts, tok, ',')) {
+        const auto v = parse_u64(tok.c_str());
+        if (!v.has_value()) return std::nullopt;
+        sf.tape.push_back(*v);
+      }
+    } else if (key == "note") {
+      sf.notes.push_back(value);
+    } else {
+      return std::nullopt;  // unknown key: refuse to half-parse
+    }
+  }
+  if (sf.property.empty() || !have_seed) return std::nullopt;
+  return sf;
+}
+
+std::optional<SeedFile> load_seed_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return std::nullopt;
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return parse_seed_file(buf.str());
+}
+
+}  // namespace scapegoat::testkit

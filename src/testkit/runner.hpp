@@ -1,0 +1,93 @@
+// Property runner: iteration loop, env knobs, shrinking, seed journaling.
+//
+// A Property is any callable `bool(Source&)` that returns true when the
+// invariant holds for the instance it generated from the Source. The runner
+//   1. runs `iterations` independent cases, seeding case i with
+//      derive_seed(base_seed, i) so every case is replayable in isolation;
+//   2. on the first failure, re-runs the case in replay mode and shrinks its
+//      choice tape (shrink.hpp) to a minimal counterexample;
+//   3. journals the failure to a corpus seed file (`<property>.seed`) that
+//      replays bit-for-bit via SCAPEGOAT_PROP_SEED.
+//
+// Env knobs (read by PropertyConfig::from_env):
+//   SCAPEGOAT_PROP_ITERS   iteration budget; 0 = skip the property cleanly
+//                          (sanitizer runs); unset = per-property default.
+//   SCAPEGOAT_PROP_SEED    run exactly ONE case with this Source seed —
+//                          the replay knob for journaled/corpus seeds.
+//   SCAPEGOAT_PROP_CORPUS  directory for failure journals (default: cwd).
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "testkit/source.hpp"
+
+namespace scapegoat::testkit {
+
+using Property = std::function<bool(Source&)>;
+
+struct PropertyConfig {
+  std::size_t iterations = 200;    // CI default; nightly raises via env
+  std::uint64_t base_seed = 0x5ca9e90a7ull;
+  // Set when SCAPEGOAT_PROP_SEED is present: run one case, Source seeded
+  // with exactly this value (no derive_seed indirection).
+  std::optional<std::uint64_t> replay_seed;
+  std::size_t max_shrink_evals = 4000;
+  std::string corpus_out_dir;      // "" = current directory
+  bool env_iterations = false;     // iterations came from SCAPEGOAT_PROP_ITERS
+
+  // Reads the env knobs on top of `default_iterations`.
+  static PropertyConfig from_env(std::size_t default_iterations = 200);
+
+  // Copy with the iteration budget divided by `divisor` (min 1) — for
+  // expensive properties (checkpoint resume, whole-scenario generation)
+  // that should still scale with a raised nightly budget.
+  PropertyConfig scaled(std::size_t divisor) const;
+};
+
+struct PropertyOutcome {
+  std::string name;
+  bool passed = true;
+  bool skipped = false;            // SCAPEGOAT_PROP_ITERS=0
+  std::size_t iterations = 0;      // cases actually run
+  std::uint64_t failing_seed = 0;  // Source seed of the failing case
+  std::vector<std::uint64_t> original_tape;
+  std::vector<std::uint64_t> shrunk_tape;
+  std::vector<std::string> notes;  // Source::note()s from the shrunk replay
+  std::string seed_file;           // journal path, if one was written
+
+  // Human-readable failure report with the replay command line.
+  std::string report() const;
+};
+
+// Runs `property` under `config`. Never throws for property failures; a
+// property that itself throws is treated as a failure of that case.
+PropertyOutcome check_property(std::string_view name, const Property& property,
+                               const PropertyConfig& config =
+                                   PropertyConfig::from_env());
+
+// ---- corpus seed files ----------------------------------------------------
+//
+// Format (line-oriented, '#' comments):
+//   property <registry name>
+//   seed 0x<hex>
+//   tape 3,0,17,...        (optional: shrunk counterexample tape)
+//   note <free text>       (optional, repeatable)
+
+struct SeedFile {
+  std::string property;
+  std::uint64_t seed = 0;
+  std::vector<std::uint64_t> tape;
+  std::vector<std::string> notes;
+};
+
+std::string encode_seed_file(const SeedFile& sf);
+std::optional<SeedFile> parse_seed_file(const std::string& text);
+std::optional<SeedFile> load_seed_file(const std::string& path);
+
+}  // namespace scapegoat::testkit

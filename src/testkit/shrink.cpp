@@ -1,0 +1,130 @@
+#include "testkit/shrink.hpp"
+
+#include <algorithm>
+
+namespace scapegoat::testkit {
+namespace {
+
+struct Budget {
+  std::size_t remaining;
+  ShrinkStats* stats;
+
+  bool spend() {
+    if (remaining == 0) return false;
+    --remaining;
+    if (stats != nullptr) ++stats->evaluations;
+    return true;
+  }
+};
+
+bool accept(std::vector<std::uint64_t>& best,
+            const std::vector<std::uint64_t>& candidate,
+            const TapePredicate& still_fails, Budget& budget,
+            ShrinkStats* stats) {
+  if (!budget.spend()) return false;
+  if (!still_fails(candidate)) return false;
+  best = candidate;
+  if (stats != nullptr) ++stats->improvements;
+  return true;
+}
+
+// Pass 1: delete spans, window halving from |tape| down to 1.
+bool delete_chunks(std::vector<std::uint64_t>& best,
+                   const TapePredicate& still_fails, Budget& budget,
+                   ShrinkStats* stats) {
+  bool improved = false;
+  for (std::size_t window = best.size(); window >= 1; window /= 2) {
+    std::size_t start = 0;
+    while (start < best.size() && budget.remaining > 0) {
+      const std::size_t len = std::min(window, best.size() - start);
+      std::vector<std::uint64_t> candidate(best.begin(), best.begin() + start);
+      candidate.insert(candidate.end(), best.begin() + start + len,
+                       best.end());
+      if (accept(best, candidate, still_fails, budget, stats)) {
+        improved = true;  // same start now names the next span
+      } else {
+        start += window;
+      }
+    }
+    if (window == 1) break;
+  }
+  return improved;
+}
+
+// Pass 2: overwrite spans with zeros (keeps length, simplifies structure).
+bool zero_chunks(std::vector<std::uint64_t>& best,
+                 const TapePredicate& still_fails, Budget& budget,
+                 ShrinkStats* stats) {
+  bool improved = false;
+  for (std::size_t window = best.size(); window >= 1; window /= 2) {
+    for (std::size_t start = 0;
+         start < best.size() && budget.remaining > 0; start += window) {
+      const std::size_t len = std::min(window, best.size() - start);
+      bool already_zero = true;
+      for (std::size_t i = start; i < start + len; ++i)
+        if (best[i] != 0) already_zero = false;
+      if (already_zero) continue;
+      std::vector<std::uint64_t> candidate = best;
+      std::fill(candidate.begin() + start, candidate.begin() + start + len, 0);
+      if (accept(best, candidate, still_fails, budget, stats)) improved = true;
+    }
+    if (window == 1) break;
+  }
+  return improved;
+}
+
+// Pass 3: per-scalar binary descent toward 0.
+bool lower_scalars(std::vector<std::uint64_t>& best,
+                   const TapePredicate& still_fails, Budget& budget,
+                   ShrinkStats* stats) {
+  bool improved = false;
+  for (std::size_t i = 0; i < best.size() && budget.remaining > 0; ++i) {
+    if (best[i] == 0) continue;
+    // Try 0 outright, then close the gap from below: keep the largest known
+    // failing value's floor via bisection on [lo+1, value).
+    {
+      std::vector<std::uint64_t> candidate = best;
+      candidate[i] = 0;
+      if (accept(best, candidate, still_fails, budget, stats)) {
+        improved = true;
+        continue;
+      }
+    }
+    std::uint64_t lo = 0;             // known NOT to fail (as best[i])
+    std::uint64_t hi = best[i];       // known to fail
+    while (hi - lo > 1 && budget.remaining > 0) {
+      const std::uint64_t mid = lo + (hi - lo) / 2;
+      std::vector<std::uint64_t> candidate = best;
+      candidate[i] = mid;
+      if (accept(best, candidate, still_fails, budget, stats)) {
+        hi = mid;
+        improved = true;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+  return improved;
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> shrink_tape(std::vector<std::uint64_t> tape,
+                                       const TapePredicate& still_fails,
+                                       std::size_t max_evals,
+                                       ShrinkStats* stats) {
+  Budget budget{max_evals, stats};
+  bool improved = true;
+  while (improved && budget.remaining > 0) {
+    improved = false;
+    if (delete_chunks(tape, still_fails, budget, stats)) improved = true;
+    if (zero_chunks(tape, still_fails, budget, stats)) improved = true;
+    if (lower_scalars(tape, still_fails, budget, stats)) improved = true;
+  }
+  // Trailing zeros decode identically to an exhausted tape — drop them so
+  // the reported counterexample is canonical.
+  while (!tape.empty() && tape.back() == 0) tape.pop_back();
+  return tape;
+}
+
+}  // namespace scapegoat::testkit

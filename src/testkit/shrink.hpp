@@ -1,0 +1,37 @@
+// Integer-shrinking combinators over choice tapes.
+//
+// A failing property run is captured as its choice tape (source.hpp). The
+// shrinker minimizes that tape under the ordering "shorter is simpler;
+// equal length, lexicographically smaller is simpler" while preserving the
+// failure, by composing three classic passes until a fixpoint:
+//   1. chunk deletion  — drop spans of choices (halving window sizes), which
+//      removes whole generated substructures (a constraint, an edge, a term);
+//   2. chunk zeroing   — overwrite spans with 0, the simplest answer;
+//   3. scalar descent  — per element, try 0 then binary-search down.
+// Every candidate is validated by re-running the property in replay mode, so
+// the result is always a genuine counterexample.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace scapegoat::testkit {
+
+// Returns true iff replaying `tape` still FAILS the property.
+using TapePredicate = std::function<bool(const std::vector<std::uint64_t>&)>;
+
+struct ShrinkStats {
+  std::size_t evaluations = 0;  // predicate calls spent
+  std::size_t improvements = 0; // accepted simplifications
+};
+
+// Minimizes `tape` under `still_fails`, spending at most `max_evals`
+// predicate evaluations. `tape` must satisfy the predicate on entry.
+std::vector<std::uint64_t> shrink_tape(std::vector<std::uint64_t> tape,
+                                       const TapePredicate& still_fails,
+                                       std::size_t max_evals,
+                                       ShrinkStats* stats = nullptr);
+
+}  // namespace scapegoat::testkit

@@ -1,0 +1,69 @@
+#include "testkit/source.hpp"
+
+#include <algorithm>
+
+namespace scapegoat::testkit {
+
+Source::Source(std::uint64_t seed) : engine_(seed) {}
+
+Source::Source(std::vector<std::uint64_t> tape)
+    : replaying_(true), tape_(std::move(tape)) {}
+
+std::uint64_t Source::choice(std::uint64_t bound) {
+  if (replaying_) {
+    ++cursor_;
+    if (cursor_ > tape_.size()) {
+      exhausted_ = true;
+      return 0;
+    }
+    return std::min(tape_[cursor_ - 1], bound);
+  }
+  const std::uint64_t v =
+      std::uniform_int_distribution<std::uint64_t>(0, bound)(engine_);
+  tape_.push_back(v);
+  ++cursor_;
+  return v;
+}
+
+std::size_t Source::index(std::size_t n) {
+  return static_cast<std::size_t>(choice(n == 0 ? 0 : n - 1));
+}
+
+double Source::grid(double step, std::uint64_t max_steps) {
+  // Zig-zag decode: 0, +1, -1, +2, -2, ... so smaller choices mean smaller
+  // magnitudes and the shrinker's drive-to-zero pass lands on 0.0 exactly.
+  const std::uint64_t c = choice(2 * max_steps);
+  if (c == 0) return 0.0;
+  const double magnitude = static_cast<double>((c + 1) / 2) * step;
+  return (c % 2 == 1) ? magnitude : -magnitude;
+}
+
+double Source::grid_nonneg(double step, std::uint64_t max_steps) {
+  return static_cast<double>(choice(max_steps)) * step;
+}
+
+bool Source::maybe(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  // choice 0 ↦ false keeps the all-zero tape on the "nothing happens" branch.
+  return static_cast<double>(choice(1023)) >= 1024.0 * (1.0 - p);
+}
+
+std::vector<std::size_t> Source::distinct_indices(std::size_t n,
+                                                  std::size_t k) {
+  k = std::min(k, n);
+  // Fisher–Yates over a virtual [0, n): pick from the shrinking remainder so
+  // each element costs exactly one tape entry regardless of collisions.
+  std::vector<std::size_t> pool(n);
+  for (std::size_t i = 0; i < n; ++i) pool[i] = i;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(pool[i], pool[j]);
+    out.push_back(pool[i]);
+  }
+  return out;
+}
+
+}  // namespace scapegoat::testkit

@@ -1,0 +1,73 @@
+// Choice-tape entropy source — the foundation of the property testkit.
+//
+// Every testkit generator draws from a Source instead of touching an engine
+// directly. In recording mode the Source answers each `choice(bound)` with a
+// fresh pseudo-random draw and logs it on an integer tape; in replay mode it
+// answers from a previously recorded (possibly shrunk) tape. Because a
+// generated value — a graph, a routing matrix, a whole LP model — is a pure
+// function of its choice tape, minimizing the tape minimizes the
+// counterexample (shrink.hpp), and re-seeding the Source replays a failure
+// bit-for-bit (the SCAPEGOAT_PROP_SEED contract in runner.hpp).
+//
+// Conventions that make shrinking meaningful:
+//   * choice(bound) is uniform on [0, bound] and 0 is always the *simplest*
+//     answer (fewest nodes, zero coefficient, first index, ...).
+//   * replay clamps out-of-range tape values to the bound and answers 0 once
+//     the tape is exhausted, so every tape decodes to a valid instance.
+
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace scapegoat::testkit {
+
+class Source {
+ public:
+  // Recording mode: draws come from an engine seeded with `seed`.
+  explicit Source(std::uint64_t seed);
+
+  // Replay mode: draws come from `tape` (clamped; 0 after exhaustion).
+  explicit Source(std::vector<std::uint64_t> tape);
+
+  // Uniform integer in [0, bound], recorded on (or read from) the tape.
+  std::uint64_t choice(std::uint64_t bound);
+
+  // Index into a non-empty collection of size n: choice(n - 1).
+  std::size_t index(std::size_t n);
+
+  // Signed zig-zag grid value: step * {0, +1, -1, +2, -2, ...} up to
+  // ±max_steps·step. choice 0 ↦ 0.0, so magnitudes shrink toward zero.
+  double grid(double step, std::uint64_t max_steps);
+
+  // Non-negative grid value in {0, step, ..., max_steps·step}.
+  double grid_nonneg(double step, std::uint64_t max_steps);
+
+  // Bernoulli(p) on a 1/1024 grid; choice 0 ↦ false.
+  bool maybe(double p);
+
+  // k distinct indices from [0, n), in generation order.
+  std::vector<std::size_t> distinct_indices(std::size_t n, std::size_t k);
+
+  // Diagnostic annotations attached to a failure report by the runner.
+  void note(std::string text) { notes_.push_back(std::move(text)); }
+  const std::vector<std::string>& notes() const { return notes_; }
+
+  const std::vector<std::uint64_t>& tape() const { return tape_; }
+  std::size_t choices_made() const { return cursor_; }
+  bool replaying() const { return replaying_; }
+  // True iff a replay ran off the end of its tape (answers defaulted to 0).
+  bool exhausted() const { return exhausted_; }
+
+ private:
+  bool replaying_ = false;
+  bool exhausted_ = false;
+  std::size_t cursor_ = 0;           // replay read position
+  std::mt19937_64 engine_;           // recording mode only
+  std::vector<std::uint64_t> tape_;  // recorded or replayed choices
+  std::vector<std::string> notes_;
+};
+
+}  // namespace scapegoat::testkit

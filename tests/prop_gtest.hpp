@@ -1,0 +1,19 @@
+// gtest glue for testkit properties: run a registry property under the env
+// knobs (SCAPEGOAT_PROP_ITERS / _SEED / _CORPUS) and report through gtest.
+// SCAPEGOAT_PROP_ITERS=0 maps to a clean GTEST_SKIP so sanitizer runs can
+// exclude the generative suites without failing them.
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "testkit/properties.hpp"
+
+#define SCAPEGOAT_RUN_PROPERTY(name_literal)                         \
+  do {                                                               \
+    const ::scapegoat::testkit::PropertyOutcome prop_outcome_ =      \
+        ::scapegoat::testkit::check_registry_property(name_literal); \
+    if (prop_outcome_.skipped)                                       \
+      GTEST_SKIP() << prop_outcome_.report();                        \
+    EXPECT_TRUE(prop_outcome_.passed) << prop_outcome_.report();     \
+  } while (false)

@@ -1,5 +1,7 @@
 // Second parameterized property battery: strategy-level invariants on
 // random topologies (complementing test_properties.cpp's theorem checks).
+// All randomness flows through a testkit choice-tape Source
+// (src/testkit/gen.hpp) — the former bespoke Rng/erdos_renyi helper is gone.
 
 #include <gtest/gtest.h>
 
@@ -12,25 +14,25 @@
 #include "attack/obfuscation.hpp"
 #include "core/scenario.hpp"
 #include "detect/localize.hpp"
-#include "topology/generators.hpp"
+#include "testkit/gen.hpp"
 
 namespace scapegoat {
 namespace {
 
-class StrategyInvariants : public ::testing::TestWithParam<int> {
- protected:
-  std::optional<Scenario> make(Rng& rng) {
-    return Scenario::from_graph(erdos_renyi(18, 0.25, rng), rng);
-  }
-};
+// ER family all five invariants run on.
+std::optional<Scenario> gen_instance(testkit::Source& src) {
+  return testkit::gen_er_scenario(src, 18, 0.25);
+}
+
+class StrategyInvariants : public ::testing::TestWithParam<int> {};
 
 TEST_P(StrategyInvariants, ObfuscationOutputsAreInBand) {
-  Rng rng(static_cast<std::uint64_t>(5000 + GetParam()));
-  auto sc = make(rng);
+  testkit::Source src(static_cast<std::uint64_t>(5000 + GetParam()));
+  auto sc = gen_instance(src);
   ASSERT_TRUE(sc.has_value());
   for (int trial = 0; trial < 6; ++trial) {
-    sc->resample_metrics(rng);
-    const auto att = rng.sample_without_replacement(18, 1 + rng.index(2));
+    testkit::gen_resample_metrics(src, *sc);
+    const auto att = src.distinct_indices(18, 1 + src.index(2));
     AttackContext ctx =
         sc->context(std::vector<NodeId>(att.begin(), att.end()));
     ObfuscationOptions opt;
@@ -47,10 +49,10 @@ TEST_P(StrategyInvariants, ObfuscationOutputsAreInBand) {
 }
 
 TEST_P(StrategyInvariants, MaxDamageDominatesSampledSingles) {
-  Rng rng(static_cast<std::uint64_t>(6000 + GetParam()));
-  auto sc = make(rng);
+  testkit::Source src(static_cast<std::uint64_t>(6000 + GetParam()));
+  auto sc = gen_instance(src);
   ASSERT_TRUE(sc.has_value());
-  const auto att = rng.sample_without_replacement(18, 2);
+  const auto att = src.distinct_indices(18, 2);
   AttackContext ctx =
       sc->context(std::vector<NodeId>(att.begin(), att.end()));
   const MaxDamageResult md = max_damage_attack(ctx);
@@ -65,16 +67,16 @@ TEST_P(StrategyInvariants, MaxDamageDominatesSampledSingles) {
 }
 
 TEST_P(StrategyInvariants, ConsistentSuccessesHaveZeroResidual) {
-  Rng rng(static_cast<std::uint64_t>(7000 + GetParam()));
-  auto sc = make(rng);
+  testkit::Source src(static_cast<std::uint64_t>(7000 + GetParam()));
+  auto sc = gen_instance(src);
   ASSERT_TRUE(sc.has_value());
   for (int trial = 0; trial < 10; ++trial) {
-    sc->resample_metrics(rng);
-    const auto att = rng.sample_without_replacement(18, 3);
+    testkit::gen_resample_metrics(src, *sc);
+    const auto att = src.distinct_indices(18, 3);
     AttackContext ctx =
         sc->context(std::vector<NodeId>(att.begin(), att.end()));
     const auto lm = ctx.controlled_links();
-    const LinkId victim = rng.index(sc->graph().num_links());
+    const LinkId victim = src.index(sc->graph().num_links());
     if (std::find(lm.begin(), lm.end(), victim) != lm.end()) continue;
     const AttackResult r =
         chosen_victim_attack(ctx, {victim}, ManipulationMode::kConsistent);
@@ -86,10 +88,10 @@ TEST_P(StrategyInvariants, ConsistentSuccessesHaveZeroResidual) {
 }
 
 TEST_P(StrategyInvariants, NaiveAttackNeverHidesTheWorstLink) {
-  Rng rng(static_cast<std::uint64_t>(8000 + GetParam()));
-  auto sc = make(rng);
+  testkit::Source src(static_cast<std::uint64_t>(8000 + GetParam()));
+  auto sc = gen_instance(src);
   ASSERT_TRUE(sc.has_value());
-  const NodeId attacker = rng.index(18);
+  const NodeId attacker = src.index(18);
   AttackContext ctx = sc->context({attacker});
   const AttackResult r = naive_delay_attack(ctx, 900.0);
   if (!r.success) return;  // attacker on no path
@@ -108,8 +110,8 @@ TEST_P(StrategyInvariants, LocalizationSoundnessOnMinorityManipulation) {
   // test_localize.cpp); what must always hold is soundness: honest systems
   // are never flagged, flagged sets respect the budget, and a clean verdict
   // really is consistent on the surviving rows.
-  Rng rng(static_cast<std::uint64_t>(8500 + GetParam()));
-  auto sc = make(rng);
+  testkit::Source src(static_cast<std::uint64_t>(8500 + GetParam()));
+  auto sc = gen_instance(src);
   ASSERT_TRUE(sc.has_value());
 
   // Honest run never flags anything.
@@ -121,8 +123,9 @@ TEST_P(StrategyInvariants, LocalizationSoundnessOnMinorityManipulation) {
   // Tamper 2 random paths hard (amounts far above α).
   Vector y = sc->clean_measurements();
   const auto tampered =
-      rng.sample_without_replacement(sc->estimator().num_paths(), 2);
-  for (std::size_t idx : tampered) y[idx] += 1200.0 + rng.uniform(0.0, 400.0);
+      src.distinct_indices(sc->estimator().num_paths(), 2);
+  for (std::size_t idx : tampered)
+    y[idx] += 1200.0 + src.grid_nonneg(25.0, 16);
 
   LocalizationOptions opt;
   opt.max_removals = 6;

@@ -1,0 +1,19 @@
+// Property suite for crash-safe checkpointing: a generated presence-ratio
+// experiment interrupted after a prefix of trials and resumed from its
+// journal must fold to exactly the uninterrupted result (DESIGN.md §9's
+// resume-equivalence contract, here exercised on generated configs instead
+// of the fixed ones in test_checkpoint.cpp).
+
+#include <gtest/gtest.h>
+
+#include "prop_gtest.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(PropCheckpoint, ResumeEquivalence) {
+  SCAPEGOAT_RUN_PROPERTY("checkpoint_resume_equivalence");
+}
+
+}  // namespace
+}  // namespace scapegoat

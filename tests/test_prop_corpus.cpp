@@ -1,0 +1,86 @@
+// Corpus replay: every checked-in tests/corpus/*.seed file names a registry
+// property and a Source seed that once produced a failure. The suite replays
+// each seed (and, when present, its shrunk counterexample tape) and expects
+// the property to PASS — checked-in seeds are fixed regressions, so a red
+// run here means an old bug came back.
+//
+// The corpus directory is baked in at compile time (SCAPEGOAT_CORPUS_DIR)
+// so the suite is independent of the ctest working directory.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "testkit/properties.hpp"
+#include "testkit/runner.hpp"
+#include "testkit/source.hpp"
+
+namespace scapegoat::testkit {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<fs::path> corpus_files() {
+  std::vector<fs::path> files;
+  const fs::path dir(SCAPEGOAT_CORPUS_DIR);
+  if (!fs::exists(dir)) return files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".seed") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+TEST(PropCorpus, CorpusIsCheckedIn) {
+  // The issue requires seeded regressions (rank-deficient routing matrices,
+  // degenerate simplex bases, ...): an empty corpus is a packaging bug.
+  EXPECT_GE(corpus_files().size(), 3u) << "expected regression seeds under "
+                                       << SCAPEGOAT_CORPUS_DIR;
+}
+
+TEST(PropCorpus, EverySeedFileParsesAndNamesARegisteredProperty) {
+  for (const fs::path& path : corpus_files()) {
+    const auto sf = load_seed_file(path.string());
+    ASSERT_TRUE(sf.has_value()) << "unparseable seed file: " << path;
+    EXPECT_EQ(property_registry().count(sf->property), 1u)
+        << path << " names unknown property '" << sf->property << "'";
+  }
+}
+
+TEST(PropCorpus, EverySeedReplaysClean) {
+  for (const fs::path& path : corpus_files()) {
+    const auto sf = load_seed_file(path.string());
+    ASSERT_TRUE(sf.has_value()) << path;
+    const auto it = property_registry().find(sf->property);
+    ASSERT_NE(it, property_registry().end()) << path;
+
+    // Replay the exact recorded case: one iteration, Source seeded directly
+    // with the journaled value (the SCAPEGOAT_PROP_SEED code path).
+    PropertyConfig cfg;
+    cfg.replay_seed = sf->seed;
+    cfg.corpus_out_dir = ::testing::TempDir();
+    const PropertyOutcome out =
+        check_property(sf->property, it->second.property, cfg);
+    EXPECT_TRUE(out.passed) << path << "\n" << out.report();
+  }
+}
+
+TEST(PropCorpus, EveryShrunkTapeReplaysClean) {
+  for (const fs::path& path : corpus_files()) {
+    const auto sf = load_seed_file(path.string());
+    ASSERT_TRUE(sf.has_value()) << path;
+    if (sf->tape.empty()) continue;
+    const auto it = property_registry().find(sf->property);
+    ASSERT_NE(it, property_registry().end()) << path;
+
+    Source replay(sf->tape);
+    EXPECT_TRUE(it->second.property(replay))
+        << path << ": shrunk counterexample tape fails again";
+  }
+}
+
+}  // namespace
+}  // namespace scapegoat::testkit

@@ -1,0 +1,41 @@
+// Differential property suite for the detector: detect_scapegoating's
+// residual vs the literal Eq. 23 sum Σ|y − Rx̂|, plus a hand-computed
+// residual check keeping the reference honest.
+
+#include <gtest/gtest.h>
+
+#include "prop_gtest.hpp"
+#include "linalg/matrix.hpp"
+#include "testkit/oracles.hpp"
+
+namespace scapegoat {
+namespace {
+
+TEST(PropDetect, ResidualMatchesEq23) {
+  SCAPEGOAT_RUN_PROPERTY("detector_residual_matches_eq23");
+}
+
+TEST(DetectOracle, Eq23ResidualByHand) {
+  // R = [1 1; 0 1], x̂ = (2, 3), y = (6, 2):
+  // |6 - 5| + |2 - 3| = 2.
+  Matrix r(2, 2);
+  r(0, 0) = 1.0;
+  r(0, 1) = 1.0;
+  r(1, 1) = 1.0;
+  const Vector x_hat{2.0, 3.0};
+  const Vector y{6.0, 2.0};
+  EXPECT_NEAR(testkit::ref_eq23_residual(r, x_hat, y), 2.0, 1e-12);
+}
+
+TEST(DetectOracle, Eq23ZeroResidualForConsistentMeasurements) {
+  Matrix r(2, 3);
+  r(0, 0) = 1.0;
+  r(0, 2) = 1.0;
+  r(1, 1) = 1.0;
+  const Vector x_hat{10.0, 20.0, 30.0};
+  const Vector y{40.0, 20.0};  // exactly R·x̂
+  EXPECT_NEAR(testkit::ref_eq23_residual(r, x_hat, y), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace scapegoat

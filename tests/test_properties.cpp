@@ -1,5 +1,11 @@
 // Parameterized property suites over random instances — the paper's
 // theorems as executable invariants.
+//
+// Instances come from the testkit generators (src/testkit/gen.hpp): every
+// draw flows through a choice-tape Source, so any failing parameterization
+// can be re-generated and shrunk by the property runner if it is ever
+// promoted into the registry (testkit/properties.hpp, which hosts the
+// generative sibling of the Theorem 1 check below).
 
 #include <gtest/gtest.h>
 
@@ -11,7 +17,7 @@
 #include "attack/cut.hpp"
 #include "core/scenario.hpp"
 #include "detect/detector.hpp"
-#include "topology/generators.hpp"
+#include "testkit/gen.hpp"
 
 namespace scapegoat {
 namespace {
@@ -25,8 +31,8 @@ namespace {
 class PerfectCutFeasibility : public ::testing::TestWithParam<int> {};
 
 TEST_P(PerfectCutFeasibility, Theorem1Holds) {
-  Rng rng(static_cast<std::uint64_t>(1000 + GetParam()));
-  auto sc = Scenario::from_graph(erdos_renyi(24, 0.22, rng), rng);
+  testkit::Source src(static_cast<std::uint64_t>(1000 + GetParam()));
+  auto sc = testkit::gen_er_scenario(src, 24, 0.22);
   ASSERT_TRUE(sc.has_value());
   const auto& paths = sc->estimator().paths();
 
@@ -70,18 +76,18 @@ INSTANTIATE_TEST_SUITE_P(Seeds, PerfectCutFeasibility, ::testing::Range(0, 10));
 class AttackInvariants : public ::testing::TestWithParam<int> {};
 
 TEST_P(AttackInvariants, EverySuccessfulAttackIsValid) {
-  Rng rng(static_cast<std::uint64_t>(2000 + GetParam()));
-  auto sc = Scenario::from_graph(erdos_renyi(20, 0.25, rng), rng);
+  testkit::Source src(static_cast<std::uint64_t>(2000 + GetParam()));
+  auto sc = testkit::gen_er_scenario(src, 20, 0.25);
   ASSERT_TRUE(sc.has_value());
 
   for (int trial = 0; trial < 10; ++trial) {
-    sc->resample_metrics(rng);
-    const std::size_t na = 1 + rng.index(3);
-    const auto att = rng.sample_without_replacement(20, na);
+    testkit::gen_resample_metrics(src, *sc);
+    const std::size_t na = 1 + src.index(3);
+    const auto att = src.distinct_indices(20, na);
     AttackContext ctx =
         sc->context(std::vector<NodeId>(att.begin(), att.end()));
     const auto lm = ctx.controlled_links();
-    const LinkId victim = rng.index(sc->graph().num_links());
+    const LinkId victim = src.index(sc->graph().num_links());
     if (std::find(lm.begin(), lm.end(), victim) != lm.end()) continue;
 
     const AttackResult r = chosen_victim_attack(ctx, {victim});
@@ -108,11 +114,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AttackInvariants, ::testing::Range(0, 10));
 class CoverageMonotonicity : public ::testing::TestWithParam<int> {};
 
 TEST_P(CoverageMonotonicity, WiderSupportPreservesFeasibility) {
-  Rng rng(static_cast<std::uint64_t>(3000 + GetParam()));
-  auto sc = Scenario::from_graph(erdos_renyi(18, 0.28, rng), rng);
+  testkit::Source src(static_cast<std::uint64_t>(3000 + GetParam()));
+  auto sc = testkit::gen_er_scenario(src, 18, 0.28);
   ASSERT_TRUE(sc.has_value());
 
-  const auto base = rng.sample_without_replacement(18, 2);
+  const auto base = src.distinct_indices(18, 2);
   std::vector<NodeId> small(base.begin(), base.end());
   std::vector<NodeId> big = small;
   for (NodeId v = 0; v < 18 && big.size() < 6; ++v)
@@ -151,11 +157,11 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CoverageMonotonicity, ::testing::Range(0, 8));
 class EstimatorExactness : public ::testing::TestWithParam<int> {};
 
 TEST_P(EstimatorExactness, RecoversTruthOnRandomTopologies) {
-  Rng rng(static_cast<std::uint64_t>(4000 + GetParam()));
-  auto sc = Scenario::from_graph(erdos_renyi(16, 0.3, rng), rng);
+  testkit::Source src(static_cast<std::uint64_t>(4000 + GetParam()));
+  auto sc = testkit::gen_er_scenario(src, 16, 0.3);
   ASSERT_TRUE(sc.has_value());
   for (int rep = 0; rep < 5; ++rep) {
-    sc->resample_metrics(rng);
+    testkit::gen_resample_metrics(src, *sc);
     const Vector x_hat =
         sc->estimator().estimate(sc->clean_measurements());
     EXPECT_TRUE(approx_equal(x_hat, sc->x_true(), 1e-6));
