@@ -10,10 +10,15 @@
 #                   vs full replay, with the <2% journal-overhead bar and the
 #                   cross-mode series fingerprint (EXPERIMENTS.md
 #                   "Crash-safe runs")
-# Re-run after touching the obs layer, the checkpoint journal, or any
-# instrumented hot path.
+#   BENCH_pr6.json  bench_sparse — dense-vs-sparse crossover table (QR vs
+#                   CGLS, tableau vs revised simplex) up to 5k+ links, with
+#                   the ≥5× speedup gate at the top size (EXPERIMENTS.md
+#                   "Sparse backend")
+# Re-run after touching the obs layer, the checkpoint journal, the sparse
+# numerics, the LP solvers, or any instrumented hot path.
 #
 #   scripts/bench_report.sh [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH]
+#                           [--sparse-out PATH]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,14 +26,16 @@ cd "$(dirname "$0")/.."
 jobs=$(nproc 2>/dev/null || echo 4)
 obs_out=BENCH_pr3.json
 ckpt_out=BENCH_pr4.json
+sparse_out=BENCH_pr6.json
 quick=""
 while [ $# -gt 0 ]; do
   case "$1" in
     --quick) quick="--quick" ;;
     --obs-out) obs_out=$2; shift ;;
     --ckpt-out) ckpt_out=$2; shift ;;
+    --sparse-out) sparse_out=$2; shift ;;
     -j) jobs=$2; shift ;;
-    *) echo "usage: $0 [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH] [--sparse-out PATH]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -41,10 +48,13 @@ unset SCAPEGOAT_PROP_ITERS SCAPEGOAT_PROP_SEED SCAPEGOAT_PROP_CORPUS
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" --target bench_observability \
-      bench_checkpoint_overhead
+      bench_checkpoint_overhead bench_sparse
 
 build/bench/bench_observability $quick --out "$obs_out"
 echo "report: $obs_out"
 
 build/bench/bench_checkpoint_overhead $quick --out "$ckpt_out"
 echo "report: $ckpt_out"
+
+build/bench/bench_sparse $quick --out "$sparse_out"
+echo "report: $sparse_out"

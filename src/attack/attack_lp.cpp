@@ -50,7 +50,7 @@ AttackResult solve_attack_lp(const AttackContext& ctx,
                            band.lower - base);
   }
 
-  const lp::Solution sol = lp::solve(model);
+  const lp::Solution sol = lp::solve(model, ctx.lp_options);
   result.status = sol.status;
   if (!sol.optimal()) return result;
 
@@ -114,7 +114,7 @@ AttackResult solve_consistent_attack_lp(const AttackContext& ctx,
     }
   }
 
-  const lp::Solution sol = lp::solve(model);
+  const lp::Solution sol = lp::solve(model, ctx.lp_options);
   result.status = sol.status;
   if (!sol.optimal()) return result;
 

@@ -1,5 +1,6 @@
 #include "detect/detector.hpp"
 
+#include "linalg/backend.hpp"
 #include "obs/obs.hpp"
 
 namespace scapegoat {
@@ -8,6 +9,13 @@ DetectionOutcome detect_scapegoating(const TomographyEstimator& estimator,
                                      const Vector& y_observed,
                                      const DetectorOptions& opt) {
   DetectionOutcome out;
+  // The Eq. 23 residual inherits the estimator's backend routing; the
+  // per-backend counter makes the split visible in experiment reports.
+  const auto& r = estimator.sparse_r();
+  obs::count(estimator.backend().use_sparse_products(r.rows(), r.cols(),
+                                                     r.nnz())
+                 ? "detect.residual_backend.sparse"
+                 : "detect.residual_backend.dense");
   out.residual_norm1 = estimator.residual(y_observed).norm1();
   out.detected = out.residual_norm1 > opt.alpha;
   obs::count("detect.checks");

@@ -1,0 +1,109 @@
+#include "linalg/backend.hpp"
+
+#include <atomic>
+
+namespace scapegoat {
+namespace {
+
+// -1 = no override; otherwise the NumericBackend value. Plain atomics (not
+// a pointer chain) because overrides nest strictly via RAII scopes.
+std::atomic<int> g_products_override{-1};
+std::atomic<int> g_solver_override{-1};
+
+NumericBackend resolve(NumericBackend policy,
+                       const std::atomic<int>& override_slot) {
+  const int forced = override_slot.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<NumericBackend>(forced);
+  return policy;
+}
+
+bool sparse_shaped(std::size_t rows, std::size_t cols, std::size_t nnz,
+                   std::size_t min_cells, double max_density) {
+  if (rows == 0 || cols == 0) return false;
+  const double cells =
+      static_cast<double>(rows) * static_cast<double>(cols);
+  if (cells < static_cast<double>(min_cells)) return false;
+  return static_cast<double>(nnz) <= max_density * cells;
+}
+
+}  // namespace
+
+std::string to_string(NumericBackend backend) {
+  switch (backend) {
+    case NumericBackend::kAuto:
+      return "auto";
+    case NumericBackend::kDense:
+      return "dense";
+    case NumericBackend::kSparse:
+      return "sparse";
+  }
+  return "unknown";
+}
+
+std::optional<NumericBackend> numeric_backend_from_string(
+    const std::string& text) {
+  if (text == "auto") return NumericBackend::kAuto;
+  if (text == "dense") return NumericBackend::kDense;
+  if (text == "sparse") return NumericBackend::kSparse;
+  return std::nullopt;
+}
+
+bool BackendPolicy::use_sparse_products(std::size_t rows, std::size_t cols,
+                                        std::size_t nnz) const {
+  switch (resolve(products, g_products_override)) {
+    case NumericBackend::kDense:
+      return false;
+    case NumericBackend::kSparse:
+      return true;
+    case NumericBackend::kAuto:
+      break;
+  }
+  return sparse_shaped(rows, cols, nnz, sparse_min_cells, sparse_max_density);
+}
+
+bool BackendPolicy::use_iterative_solver(std::size_t rows, std::size_t cols,
+                                         std::size_t nnz) const {
+  switch (resolve(solver, g_solver_override)) {
+    case NumericBackend::kDense:
+      return false;
+    case NumericBackend::kSparse:
+      return true;
+    case NumericBackend::kAuto:
+      break;
+  }
+  return sparse_shaped(rows, cols, nnz, iterative_min_cells,
+                       sparse_max_density);
+}
+
+ScopedBackendOverride::ScopedBackendOverride(NumericBackend products,
+                                             NumericBackend solver) {
+  // kAuto means "no override for this slot" so a scope can force only one
+  // side; the previous override (if any) keeps governing the other.
+  prev_products_ = g_products_override.load(std::memory_order_relaxed);
+  prev_solver_ = g_solver_override.load(std::memory_order_relaxed);
+  if (products != NumericBackend::kAuto)
+    g_products_override.store(static_cast<int>(products),
+                              std::memory_order_relaxed);
+  if (solver != NumericBackend::kAuto)
+    g_solver_override.store(static_cast<int>(solver),
+                            std::memory_order_relaxed);
+}
+
+ScopedBackendOverride::~ScopedBackendOverride() {
+  g_products_override.store(prev_products_, std::memory_order_relaxed);
+  g_solver_override.store(prev_solver_, std::memory_order_relaxed);
+}
+
+std::optional<NumericBackend> ScopedBackendOverride::products_override() {
+  const int v = g_products_override.load(std::memory_order_relaxed);
+  if (v < 0) return std::nullopt;
+  return static_cast<NumericBackend>(v);
+}
+
+std::optional<NumericBackend> ScopedBackendOverride::solver_override() {
+  const int v = g_solver_override.load(std::memory_order_relaxed);
+  if (v < 0) return std::nullopt;
+  return static_cast<NumericBackend>(v);
+}
+
+}  // namespace scapegoat

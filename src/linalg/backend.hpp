@@ -1,0 +1,79 @@
+// Numeric backend selection for the sparse subsystem.
+//
+// Two independent choices hide behind one policy:
+//   products — whether routing-matrix products (SpMV in estimate/residual)
+//              run through CSR storage. Bitwise-identical to dense (see
+//              sparse_matrix.hpp), so forcing it is always safe.
+//   solver   — whether least squares runs through iterative CGLS instead of
+//              dense QR. Equal only to tolerance, so the auto threshold is
+//              deliberately high and golden-figure workloads stay dense.
+//
+// Resolution precedence, decided at call time (mirrors how ExecutionPolicy
+// resolves thread counts):
+//   1. ScopedBackendOverride — process-global RAII override, for tests and
+//      benchmarks that must force one backend through code they don't own.
+//   2. The caller's BackendPolicy (kDense / kSparse pins the choice).
+//   3. kAuto — size/density thresholds below.
+
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace scapegoat {
+
+enum class NumericBackend {
+  kAuto,    // size/density thresholds decide
+  kDense,   // always dense Matrix / QR
+  kSparse,  // always CSR products / CGLS solver
+};
+
+std::string to_string(NumericBackend backend);
+std::optional<NumericBackend> numeric_backend_from_string(
+    const std::string& text);
+
+struct BackendPolicy {
+  NumericBackend products = NumericBackend::kAuto;
+  NumericBackend solver = NumericBackend::kAuto;
+
+  // kAuto products: go sparse when the matrix has at least this many cells
+  // AND density at most this fraction. Products are bitwise-identical either
+  // way, so the threshold is purely a speed heuristic.
+  std::size_t sparse_min_cells = 1u << 14;  // 16384 cells (e.g. 128x128)
+  double sparse_max_density = 0.25;
+
+  // kAuto solver: CGLS only above this cell count (and under the density
+  // cap). Dense QR is the reference everywhere the golden figures run;
+  // 1<<20 cells keeps every checked-in experiment config on QR.
+  std::size_t iterative_min_cells = 1u << 20;
+
+  // Resolve the policy for a rows×cols matrix with nnz stored entries.
+  bool use_sparse_products(std::size_t rows, std::size_t cols,
+                           std::size_t nnz) const;
+  bool use_iterative_solver(std::size_t rows, std::size_t cols,
+                            std::size_t nnz) const;
+};
+
+// Process-global backend override (RAII). While alive, every BackendPolicy
+// resolution in the process obeys it, regardless of per-instance policy.
+// Nests: the innermost override wins, and destruction restores the previous
+// one. Intended for tests/benchmarks; not for library code.
+class ScopedBackendOverride {
+ public:
+  ScopedBackendOverride(NumericBackend products, NumericBackend solver);
+  ~ScopedBackendOverride();
+
+  ScopedBackendOverride(const ScopedBackendOverride&) = delete;
+  ScopedBackendOverride& operator=(const ScopedBackendOverride&) = delete;
+
+  // Current override, or nullopt when none is active.
+  static std::optional<NumericBackend> products_override();
+  static std::optional<NumericBackend> solver_override();
+
+ private:
+  int prev_products_;
+  int prev_solver_;
+};
+
+}  // namespace scapegoat

@@ -4,8 +4,10 @@
 #include <cmath>
 #include <string>
 
+#include "linalg/cgls.hpp"
 #include "linalg/cholesky.hpp"
 #include "linalg/qr.hpp"
+#include "linalg/sparse_matrix.hpp"
 #include "obs/obs.hpp"
 
 namespace scapegoat {
@@ -16,6 +18,8 @@ std::string to_string(LeastSquaresMethod method) {
       return "qr";
     case LeastSquaresMethod::kNormalEquations:
       return "normal_equations";
+    case LeastSquaresMethod::kCgls:
+      return "cgls";
   }
   return "unknown";
 }
@@ -23,7 +27,8 @@ std::string to_string(LeastSquaresMethod method) {
 std::optional<LeastSquaresMethod> least_squares_method_from_string(
     std::string_view s) {
   for (LeastSquaresMethod m :
-       {LeastSquaresMethod::kQr, LeastSquaresMethod::kNormalEquations}) {
+       {LeastSquaresMethod::kQr, LeastSquaresMethod::kNormalEquations,
+        LeastSquaresMethod::kCgls}) {
     if (to_string(m) == s) return m;
   }
   return std::nullopt;
@@ -42,6 +47,13 @@ std::optional<Vector> least_squares(const Matrix& a, const Vector& b,
       QrDecomposition qr(a, QrDecomposition::Pivoting::kColumn);
       if (!qr.full_column_rank()) return std::nullopt;
       return qr.solve(b);
+    }
+    case LeastSquaresMethod::kCgls: {
+      // Trusts the caller on column rank (CGLS cannot detect deficiency —
+      // see cgls.hpp); only non-convergence is reported as failure.
+      CglsResult r = cgls_solve(SparseMatrix::from_dense(a), b);
+      if (!r.converged) return std::nullopt;
+      return r.x;
     }
   }
   return std::nullopt;

@@ -22,6 +22,8 @@ namespace scapegoat {
 enum class LeastSquaresMethod {
   kQr,               // Householder QR (default; better conditioned)
   kNormalEquations,  // (AᵀA)⁻¹Aᵀb via Cholesky — the paper's Eq. 2 verbatim
+  kCgls,             // iterative CGLS over CSR storage (linalg/cgls.hpp);
+                     // tolerance-equal to QR, cannot detect rank deficiency
 };
 
 std::string to_string(LeastSquaresMethod method);

@@ -1,0 +1,242 @@
+#include "linalg/sparse_matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace scapegoat {
+
+SparseMatrix::SparseMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), row_ptr_(rows + 1, 0) {}
+
+robust::Expected<SparseMatrix> SparseMatrix::try_from_triplets(
+    std::size_t rows, std::size_t cols, const std::vector<Triplet>& entries) {
+  SparseMatrix out(rows, cols);
+  // Counting sort by row keeps construction O(nnz + rows) and deterministic.
+  std::vector<std::size_t> per_row(rows, 0);
+  for (const Triplet& t : entries) {
+    if (t.row >= rows || t.col >= cols) {
+      return robust::Error{robust::ErrorCode::kInvalidInput,
+                           "triplet (" + std::to_string(t.row) + "," +
+                               std::to_string(t.col) + ") outside " +
+                               std::to_string(rows) + "x" +
+                               std::to_string(cols)};
+    }
+    if (t.value != 0.0) ++per_row[t.row];
+  }
+  for (std::size_t r = 0; r < rows; ++r)
+    out.row_ptr_[r + 1] = out.row_ptr_[r] + per_row[r];
+  const std::size_t nnz = out.row_ptr_[rows];
+  out.col_index_.resize(nnz);
+  out.values_.resize(nnz);
+  std::vector<std::size_t> cursor(out.row_ptr_.begin(),
+                                  out.row_ptr_.end() - 1);
+  for (const Triplet& t : entries) {
+    if (t.value == 0.0) continue;  // structural zeros are not stored
+    const std::size_t k = cursor[t.row]++;
+    out.col_index_[k] = t.col;
+    out.values_[k] = t.value;
+  }
+  // Sort each row by column and reject duplicates: one incidence per
+  // (path, link) is the routing-matrix invariant this type exists for.
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t begin = out.row_ptr_[r], end = out.row_ptr_[r + 1];
+    std::vector<std::size_t> order(end - begin);
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = begin + i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return out.col_index_[a] < out.col_index_[b];
+              });
+    std::vector<std::size_t> cols_sorted(order.size());
+    std::vector<double> vals_sorted(order.size());
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      cols_sorted[i] = out.col_index_[order[i]];
+      vals_sorted[i] = out.values_[order[i]];
+    }
+    for (std::size_t i = 0; i + 1 < cols_sorted.size(); ++i) {
+      if (cols_sorted[i] == cols_sorted[i + 1]) {
+        return robust::Error{robust::ErrorCode::kInvalidInput,
+                             "duplicate coordinate (" + std::to_string(r) +
+                                 "," + std::to_string(cols_sorted[i]) + ")"};
+      }
+    }
+    std::copy(cols_sorted.begin(), cols_sorted.end(),
+              out.col_index_.begin() + begin);
+    std::copy(vals_sorted.begin(), vals_sorted.end(),
+              out.values_.begin() + begin);
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         const std::vector<Triplet>& entries) {
+  auto out = try_from_triplets(rows, cols, entries);
+  assert(out.ok() && "invalid triplets");
+  return *out;
+}
+
+SparseMatrix SparseMatrix::from_dense(const Matrix& a, double tol) {
+  SparseMatrix out(a.rows(), a.cols());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    std::size_t count = 0;
+    for (std::size_t c = 0; c < a.cols(); ++c)
+      if (std::abs(a(r, c)) > tol && a(r, c) != 0.0) ++count;
+    out.row_ptr_[r + 1] = out.row_ptr_[r] + count;
+  }
+  out.col_index_.reserve(out.row_ptr_[a.rows()]);
+  out.values_.reserve(out.row_ptr_[a.rows()]);
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      const double v = a(r, c);
+      if (std::abs(v) > tol && v != 0.0) {
+        out.col_index_.push_back(c);
+        out.values_.push_back(v);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix SparseMatrix::to_dense() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      out(r, col_index_[k]) = values_[k];
+  return out;
+}
+
+double SparseMatrix::density() const {
+  if (rows_ == 0 || cols_ == 0) return 1.0;
+  return static_cast<double>(nnz()) /
+         (static_cast<double>(rows_) * static_cast<double>(cols_));
+}
+
+double SparseMatrix::at(std::size_t row, std::size_t col) const {
+  assert(row < rows_ && col < cols_);
+  for (std::size_t k = row_ptr_[row]; k < row_ptr_[row + 1]; ++k)
+    if (col_index_[k] == col) return values_[k];
+  return 0.0;
+}
+
+Vector SparseMatrix::multiply(const Vector& x) const {
+  assert(x.size() == cols_);
+  Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      acc += values_[k] * x[col_index_[k]];
+    out[r] = acc;
+  }
+  return out;
+}
+
+Vector SparseMatrix::multiply_transpose(const Vector& y) const {
+  assert(y.size() == rows_);
+  Vector out(cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double yr = y[r];
+    if (yr == 0.0) continue;
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      out[col_index_[k]] += values_[k] * yr;
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::transposed() const {
+  SparseMatrix out(cols_, rows_);
+  std::vector<std::size_t> per_row(cols_, 0);
+  for (const std::size_t c : col_index_) ++per_row[c];
+  for (std::size_t r = 0; r < cols_; ++r)
+    out.row_ptr_[r + 1] = out.row_ptr_[r] + per_row[r];
+  out.col_index_.resize(nnz());
+  out.values_.resize(nnz());
+  std::vector<std::size_t> cursor(out.row_ptr_.begin(),
+                                  out.row_ptr_.end() - 1);
+  // Walking rows in order writes each transposed row's entries in
+  // increasing original-row order, so columns stay sorted.
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      const std::size_t dst = cursor[col_index_[k]]++;
+      out.col_index_[dst] = r;
+      out.values_[dst] = values_[k];
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::select_rows(
+    const std::vector<std::size_t>& rows) const {
+  SparseMatrix out(rows.size(), cols_);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i] < rows_);
+    out.row_ptr_[i + 1] = out.row_ptr_[i] + row_nnz(rows[i]);
+  }
+  out.col_index_.reserve(out.row_ptr_.back());
+  out.values_.reserve(out.row_ptr_.back());
+  for (const std::size_t r : rows) {
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+      out.col_index_.push_back(col_index_[k]);
+      out.values_.push_back(values_[k]);
+    }
+  }
+  return out;
+}
+
+SparseMatrix SparseMatrix::select_cols(
+    const std::vector<std::size_t>& cols) const {
+  // new position of an original column, in `cols` order; kKeep sentinel
+  // avoids a per-entry map lookup. Repeated columns take the last position —
+  // callers selecting with repeats get each entry once (documented: indices
+  // may repeat, entries are not duplicated across repeats of a column).
+  constexpr std::size_t kDrop = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> position(cols_, kDrop);
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    assert(cols[i] < cols_);
+    position[cols[i]] = i;
+  }
+  SparseMatrix out(rows_, cols.size());
+  std::vector<Triplet> kept;
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+      if (position[col_index_[k]] != kDrop)
+        kept.push_back({r, position[col_index_[k]], values_[k]});
+  return from_triplets(rows_, cols.size(), kept);
+}
+
+Vector SparseMatrix::row_dense(std::size_t r) const {
+  assert(r < rows_);
+  Vector out(cols_);
+  for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k)
+    out[col_index_[k]] = values_[k];
+  return out;
+}
+
+std::string SparseMatrix::to_string() const {
+  std::ostringstream os;
+  os << rows_ << "x" << cols_ << " csr, " << nnz() << " nnz";
+  return os.str();
+}
+
+Vector operator*(const SparseMatrix& a, const Vector& x) {
+  return a.multiply(x);
+}
+
+bool approx_equal(const SparseMatrix& a, const Matrix& b, double tol) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  std::size_t k = 0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    std::size_t next = a.row_begin(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      double av = 0.0;
+      if (next < a.row_end(r) && a.col_index()[next] == c)
+        av = a.values()[next++];
+      if (std::abs(av - b(r, c)) > tol) return false;
+    }
+    k = next;
+  }
+  (void)k;
+  return true;
+}
+
+}  // namespace scapegoat

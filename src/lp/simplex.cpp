@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "lp/revised_simplex.hpp"
 #include "obs/obs.hpp"
 #include "robust/watchdog.hpp"
 
@@ -442,7 +443,50 @@ std::string to_string(SolveStatus status) {
   return "unknown";
 }
 
+std::string to_string(LpBackend backend) {
+  switch (backend) {
+    case LpBackend::kAuto:
+      return "auto";
+    case LpBackend::kTableau:
+      return "tableau";
+    case LpBackend::kRevised:
+      return "revised";
+  }
+  return "unknown";
+}
+
+std::optional<LpBackend> lp_backend_from_string(std::string_view s) {
+  for (LpBackend b :
+       {LpBackend::kAuto, LpBackend::kTableau, LpBackend::kRevised}) {
+    if (to_string(b) == s) return b;
+  }
+  return std::nullopt;
+}
+
+namespace {
+
+// Estimate of the dense tableau's footprint in cells: rows = constraints
+// plus one bound row per doubly-bounded variable; columns = structurals plus
+// up to a slack and an artificial per row.
+std::size_t estimated_tableau_cells(const Model& model) {
+  std::size_t bound_rows = 0;
+  for (std::size_t j = 0; j < model.num_variables(); ++j) {
+    const Variable& v = model.variable(j);
+    if (std::isfinite(v.lower) && std::isfinite(v.upper)) ++bound_rows;
+  }
+  const std::size_t rows = model.num_constraints() + bound_rows;
+  const std::size_t cols = model.num_variables() + 2 * rows;
+  return rows * cols;
+}
+
+}  // namespace
+
 Solution solve(const Model& model, const SimplexOptions& options) {
+  if (options.backend == LpBackend::kRevised ||
+      (options.backend == LpBackend::kAuto &&
+       estimated_tableau_cells(model) >= kRevisedCellThreshold)) {
+    return solve_revised(model, options);
+  }
   obs::ScopedTimer timer("lp.simplex.solve_us");
   obs::ScopedSpan span("lp.simplex.solve");
   Tableau tableau(model, options);

@@ -70,6 +70,18 @@ Matrix gen_routing_matrix(Source& src, std::size_t paths, std::size_t links) {
   return r;
 }
 
+Matrix gen_full_rank_routing_matrix(Source& src, std::size_t links,
+                                    std::size_t extra_paths) {
+  Matrix r(links + extra_paths, links);
+  for (std::size_t j = 0; j < links; ++j) r(j, j) = 1.0;
+  for (std::size_t i = 0; i < extra_paths; ++i) {
+    for (std::size_t j = 0; j < links; ++j)
+      r(links + i, j) = src.maybe(0.35) ? 1.0 : 0.0;
+    r(links + i, src.index(links)) = 1.0;  // no all-zero rows
+  }
+  return r;
+}
+
 Vector gen_vector(Source& src, std::size_t n) {
   Vector v(n);
   for (std::size_t i = 0; i < n; ++i) v[i] = src.grid(0.25, 32);

@@ -44,6 +44,13 @@ Matrix gen_matrix_with_rank(Source& src, std::size_t rows, std::size_t cols,
 // {0,1} routing-style matrix, no all-zero rows (every path crosses a link).
 Matrix gen_routing_matrix(Source& src, std::size_t paths, std::size_t links);
 
+// Full-column-rank {0,1} routing matrix: one direct-probe row per link (an
+// identity block — the "measure every link individually" path set) followed
+// by `extra_paths` random routing rows. rank == links by construction, so
+// least-squares differential properties never hit the rank-refusal path.
+Matrix gen_full_rank_routing_matrix(Source& src, std::size_t links,
+                                    std::size_t extra_paths);
+
 // Right-hand side / measurement vector on a 0.25-grid in [-8, 8].
 Vector gen_vector(Source& src, std::size_t n);
 

@@ -4,7 +4,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <filesystem>
 #include <sstream>
 
@@ -14,8 +16,11 @@
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
 #include "detect/detector.hpp"
+#include "linalg/cgls.hpp"
+#include "linalg/conditioning.hpp"
 #include "linalg/least_squares.hpp"
 #include "linalg/qr.hpp"
+#include "linalg/sparse_matrix.hpp"
 #include "lp/simplex.hpp"
 #include "testkit/gen.hpp"
 #include "testkit/oracles.hpp"
@@ -71,7 +76,114 @@ bool prop_lp_simplex_matches_reference(Source& src) {
   return true;
 }
 
+// ---- lp_revised_simplex_matches_tableau -----------------------------------
+
+bool prop_lp_revised_simplex_matches_tableau(Source& src) {
+  const lp::Model model = gen_lp_model(src);
+  lp::SimplexOptions tab_opt;
+  tab_opt.backend = lp::LpBackend::kTableau;
+  lp::SimplexOptions rev_opt;
+  rev_opt.backend = lp::LpBackend::kRevised;
+  const lp::Solution tab = lp::solve(model, tab_opt);
+  const lp::Solution rev = lp::solve(model, rev_opt);
+
+  if (tab.status != rev.status) {
+    // Borderline feasibility (the loose and tight vertex oracles disagree)
+    // is indeterminate, not a divergence — the same adjudication the
+    // simplex-vs-reference property uses.
+    const bool loose = solve_lp_by_vertex_enumeration(model, 1e-4).feasible;
+    const bool tight = solve_lp_by_vertex_enumeration(model, 1e-9).feasible;
+    if (loose != tight) return true;
+    src.note("status: tableau " + lp::to_string(tab.status) + " vs revised " +
+             lp::to_string(rev.status));
+    src.note(describe_model(model));
+    return false;
+  }
+  if (tab.status != lp::SolveStatus::kOptimal) return true;
+  if (model.max_violation(rev.x) > 1e-6) {
+    src.note("revised point violates the model by " +
+             std::to_string(model.max_violation(rev.x)));
+    src.note(describe_model(model));
+    return false;
+  }
+  const double tol = 1e-6 * (1.0 + std::abs(tab.objective));
+  if (std::abs(tab.objective - rev.objective) > tol) {
+    src.note("objective mismatch: tableau " + std::to_string(tab.objective) +
+             " vs revised " + std::to_string(rev.objective));
+    src.note(describe_model(model));
+    return false;
+  }
+  return true;
+}
+
 // ---- linalg properties ----------------------------------------------------
+
+// ---- linalg_sparse_matches_dense_least_squares ----------------------------
+
+bool prop_sparse_matches_dense_least_squares(Source& src) {
+  const std::size_t links = 2 + src.index(8);
+  const std::size_t extra = src.index(8);
+  const Matrix a = gen_full_rank_routing_matrix(src, links, extra);
+  const Vector b = gen_vector(src, a.rows());
+
+  // CSR round-trip must be lossless on this draw…
+  const SparseMatrix s = SparseMatrix::from_dense(a);
+  if (!approx_equal(s, a, 0.0) || !approx_equal(s.to_dense(), a, 0.0)) {
+    src.note("CSR round-trip lost entries on a " + s.to_string());
+    return false;
+  }
+  // …and SpMV must honor the bitwise contract against the dense product.
+  const Vector probe = gen_vector(src, links);
+  const Vector dense_prod = a * probe;
+  const Vector sparse_prod = s * probe;
+  for (std::size_t i = 0; i < dense_prod.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(dense_prod[i]) !=
+        std::bit_cast<std::uint64_t>(sparse_prod[i])) {
+      std::ostringstream os;
+      os << "SpMV not bitwise at row " << i << ": dense " << dense_prod[i]
+         << " vs sparse " << sparse_prod[i] << " (" << s.to_string() << ")";
+      src.note(os.str());
+      return false;
+    }
+  }
+
+  const auto x_qr = least_squares(a, b, LeastSquaresMethod::kQr);
+  const CglsResult cg = cgls_solve(s, b);
+  if (!x_qr.has_value() || !cg.converged) {
+    src.note("solver refused a full-rank routing system: qr=" +
+             std::to_string(x_qr.has_value()) +
+             " cgls_converged=" + std::to_string(cg.converged) +
+             " rel_resid=" + std::to_string(cg.relative_residual));
+    return false;
+  }
+  // CGLS error scales with κ² (normal equations); the identity block keeps
+  // κ modest, but scale the tolerance by the measured conditioning anyway.
+  const auto cond = estimate_condition(a);
+  const double kappa =
+      cond.has_value() ? std::max(1.0, cond->condition()) : 1e3;
+  double scale = 1.0;
+  for (const double v : *x_qr) scale = std::max(scale, std::abs(v));
+  const double tol = 1e-9 * kappa * kappa * scale;
+  for (std::size_t j = 0; j < links; ++j) {
+    if (std::abs((*x_qr)[j] - cg.x[j]) > tol) {
+      std::ostringstream os;
+      os << a.rows() << "x" << links << " kappa " << kappa << ": x[" << j
+         << "] qr=" << (*x_qr)[j] << " cgls=" << cg.x[j] << " tol=" << tol;
+      src.note(os.str());
+      return false;
+    }
+  }
+  // Both must fit the data equally well (optimal LS values coincide even
+  // when the matrix is ill-conditioned enough to spread the iterates).
+  const double fit_qr = (b - a * (*x_qr)).norm2();
+  const double fit_cg = (b - s * cg.x).norm2();
+  if (std::abs(fit_qr - fit_cg) > 1e-7 * (1.0 + fit_qr)) {
+    src.note("LS optimum differs: qr fit " + std::to_string(fit_qr) +
+             " vs cgls fit " + std::to_string(fit_cg));
+    return false;
+  }
+  return true;
+}
 
 bool prop_qr_matches_normal_equations(Source& src) {
   const std::size_t cols = 1 + src.index(5);
@@ -337,6 +449,10 @@ const std::map<std::string, NamedProperty>& property_registry() {
   static const std::map<std::string, NamedProperty> registry = {
       {"lp_simplex_matches_reference",
        {prop_lp_simplex_matches_reference, 200, 1}},
+      {"lp_revised_simplex_matches_tableau",
+       {prop_lp_revised_simplex_matches_tableau, 200, 1}},
+      {"linalg_sparse_matches_dense_least_squares",
+       {prop_sparse_matches_dense_least_squares, 200, 1}},
       {"linalg_qr_matches_normal_equations",
        {prop_qr_matches_normal_equations, 200, 1}},
       {"linalg_pinv_satisfies_moore_penrose",

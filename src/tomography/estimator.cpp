@@ -3,23 +3,42 @@
 #include <cassert>
 #include <string>
 
+#include "linalg/cgls.hpp"
 #include "linalg/qr.hpp"
+#include "obs/obs.hpp"
 #include "tomography/routing_matrix.hpp"
 
 namespace scapegoat {
 
 TomographyEstimator::TomographyEstimator(const Graph& g,
                                          std::vector<Path> paths,
-                                         LeastSquaresMethod method)
+                                         LeastSquaresMethod method,
+                                         BackendPolicy backend)
     : paths_(std::move(paths)),
       r_(routing_matrix(g, paths_)),
-      method_(method) {
+      rs_(sparse_routing_matrix(g, paths_)),
+      method_(method),
+      backend_(backend) {
   ok_ = is_identifiable(r_);
+}
+
+bool TomographyEstimator::solve_iteratively() const {
+  return backend_.use_iterative_solver(rs_.rows(), rs_.cols(), rs_.nnz());
 }
 
 Vector TomographyEstimator::estimate(const Vector& y) const {
   assert(ok_);
   assert(y.size() == paths_.size());
+  if (solve_iteratively()) {
+    CglsResult cg = cgls_solve(rs_, y);
+    if (cg.converged) {
+      obs::count("tomography.estimate.sparse");
+      return cg.x;
+    }
+    // Rare: stalled CGLS (extreme conditioning). QR is always available.
+    obs::count("tomography.estimate.cgls_fallback");
+  }
+  obs::count("tomography.estimate.dense");
   auto x = least_squares(r_, y, method_);
   assert(x.has_value());  // guaranteed by ok_
   return *x;
@@ -36,6 +55,15 @@ robust::Expected<Vector> TomographyEstimator::try_estimate(
     return robust::Error{robust::ErrorCode::kRankDeficient,
                          "path set does not identify the link metrics"};
   }
+  if (solve_iteratively()) {
+    CglsResult cg = cgls_solve(rs_, y);
+    if (cg.converged) {
+      obs::count("tomography.estimate.sparse");
+      return cg.x;
+    }
+    obs::count("tomography.estimate.cgls_fallback");
+  }
+  obs::count("tomography.estimate.dense");
   return try_least_squares(r_, y, method_);
 }
 
@@ -46,7 +74,13 @@ const Matrix& TomographyEstimator::pseudo_inverse() const {
 }
 
 Vector TomographyEstimator::residual(const Vector& y) const {
-  return y - r_ * estimate(y);
+  const Vector xhat = estimate(y);
+  if (backend_.use_sparse_products(rs_.rows(), rs_.cols(), rs_.nnz())) {
+    obs::count("tomography.residual.sparse");
+    return y - rs_ * xhat;  // bitwise == dense product (sparse_matrix.hpp)
+  }
+  obs::count("tomography.residual.dense");
+  return y - r_ * xhat;
 }
 
 std::vector<LinkState> TomographyEstimator::classify(

@@ -6,6 +6,14 @@
 //   * residual(y)        — y − R x̂(y), the quantity the detector thresholds.
 // Construction fails (ok() == false) when R lacks full column rank, i.e.
 // the link metrics are not identifiable from the chosen paths.
+//
+// Backend routing (DESIGN.md §12): R is held both dense and in CSR form.
+// Products (R·x̂ in residual) resolve through BackendPolicy at call time and
+// are bitwise-identical either way; the least-squares solve itself switches
+// to iterative CGLS only when the policy's solver threshold says so (or a
+// ScopedBackendOverride forces it), falling back to dense QR if CGLS fails
+// to converge. Identifiability is always established densely — CGLS cannot
+// detect rank deficiency.
 
 #pragma once
 
@@ -13,8 +21,10 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "linalg/backend.hpp"
 #include "linalg/least_squares.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
 #include "robust/expected.hpp"
 #include "tomography/link_state.hpp"
 
@@ -23,7 +33,8 @@ namespace scapegoat {
 class TomographyEstimator {
  public:
   TomographyEstimator(const Graph& g, std::vector<Path> paths,
-                      LeastSquaresMethod method = LeastSquaresMethod::kQr);
+                      LeastSquaresMethod method = LeastSquaresMethod::kQr,
+                      BackendPolicy backend = {});
 
   // False iff the path set does not identify all link metrics.
   bool ok() const { return ok_; }
@@ -32,6 +43,8 @@ class TomographyEstimator {
   std::size_t num_links() const { return r_.cols(); }
   const std::vector<Path>& paths() const { return paths_; }
   const Matrix& r() const { return r_; }
+  const SparseMatrix& sparse_r() const { return rs_; }
+  const BackendPolicy& backend() const { return backend_; }
 
   // x̂ from end-to-end measurements y (requires ok()).
   Vector estimate(const Vector& y) const;
@@ -53,9 +66,14 @@ class TomographyEstimator {
                                   const StateThresholds& t) const;
 
  private:
+  // Resolved per call; true when the solver should go through CGLS.
+  bool solve_iteratively() const;
+
   std::vector<Path> paths_;
   Matrix r_;
+  SparseMatrix rs_;  // same R in CSR form (to_dense(rs_) == r_ exactly)
   LeastSquaresMethod method_;
+  BackendPolicy backend_;
   bool ok_ = false;
   mutable std::optional<Matrix> pinv_;  // lazily computed
 };

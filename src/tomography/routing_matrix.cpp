@@ -15,6 +15,21 @@ Matrix routing_matrix(const Graph& g, const std::vector<Path>& paths) {
   return r;
 }
 
+SparseMatrix sparse_routing_matrix(const Graph& g,
+                                   const std::vector<Path>& paths) {
+  std::vector<Triplet> entries;
+  std::size_t total = 0;
+  for (const Path& p : paths) total += p.links.size();
+  entries.reserve(total);
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    assert(is_valid_simple_path(g, paths[i]));
+    for (LinkId l : paths[i].links) entries.push_back({i, l, 1.0});
+  }
+  // A simple path visits each link at most once, so duplicate rejection in
+  // from_triplets doubles as a path-validity assertion.
+  return SparseMatrix::from_triplets(paths.size(), g.num_links(), entries);
+}
+
 Vector path_metrics(const std::vector<Path>& paths, const Vector& x) {
   Vector y(paths.size());
   for (std::size_t i = 0; i < paths.size(); ++i) {

@@ -9,11 +9,18 @@
 
 #include "graph/graph.hpp"
 #include "linalg/matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
 
 namespace scapegoat {
 
 // Builds R from the path set. Every path must be a valid simple path of `g`.
 Matrix routing_matrix(const Graph& g, const std::vector<Path>& paths);
+
+// Same R in CSR form, built directly from the path incidence lists — never
+// materializes the dense |P|×|L| array. to_dense() of the result equals
+// routing_matrix(g, paths) exactly.
+SparseMatrix sparse_routing_matrix(const Graph& g,
+                                   const std::vector<Path>& paths);
 
 // y = R x without materializing R (x indexed by LinkId).
 Vector path_metrics(const std::vector<Path>& paths, const Vector& x);

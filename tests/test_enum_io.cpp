@@ -6,6 +6,7 @@
 
 #include <sstream>
 
+#include "linalg/backend.hpp"
 #include "linalg/least_squares.hpp"
 #include "lp/simplex.hpp"
 #include "robust/degraded.hpp"
@@ -52,7 +53,8 @@ TEST(EnumIo, SolveMethodRoundTrips) {
 
 TEST(EnumIo, LeastSquaresMethodRoundTrips) {
   for (LeastSquaresMethod m :
-       {LeastSquaresMethod::kQr, LeastSquaresMethod::kNormalEquations}) {
+       {LeastSquaresMethod::kQr, LeastSquaresMethod::kNormalEquations,
+        LeastSquaresMethod::kCgls}) {
     const auto back = least_squares_method_from_string(to_string(m));
     ASSERT_TRUE(back.has_value());
     EXPECT_EQ(*back, m);
@@ -60,10 +62,37 @@ TEST(EnumIo, LeastSquaresMethodRoundTrips) {
   EXPECT_EQ(to_string(LeastSquaresMethod::kQr), "qr");
   EXPECT_EQ(to_string(LeastSquaresMethod::kNormalEquations),
             "normal_equations");
+  EXPECT_EQ(to_string(LeastSquaresMethod::kCgls), "cgls");
   EXPECT_FALSE(least_squares_method_from_string("cholesky").has_value());
   std::ostringstream os;
   os << LeastSquaresMethod::kQr;
   EXPECT_EQ(os.str(), "qr");
+}
+
+TEST(EnumIo, NumericBackendRoundTrips) {
+  for (NumericBackend b : {NumericBackend::kAuto, NumericBackend::kDense,
+                           NumericBackend::kSparse}) {
+    const auto back = numeric_backend_from_string(to_string(b));
+    ASSERT_TRUE(back.has_value()) << to_string(b);
+    EXPECT_EQ(*back, b);
+  }
+  EXPECT_EQ(to_string(NumericBackend::kSparse), "sparse");
+  EXPECT_FALSE(numeric_backend_from_string("csr").has_value());
+  EXPECT_FALSE(numeric_backend_from_string("").has_value());
+}
+
+TEST(EnumIo, LpBackendRoundTrips) {
+  for (lp::LpBackend b : {lp::LpBackend::kAuto, lp::LpBackend::kTableau,
+                          lp::LpBackend::kRevised}) {
+    const auto back = lp::lp_backend_from_string(lp::to_string(b));
+    ASSERT_TRUE(back.has_value()) << lp::to_string(b);
+    EXPECT_EQ(*back, b);
+  }
+  EXPECT_EQ(lp::to_string(lp::LpBackend::kRevised), "revised");
+  EXPECT_FALSE(lp::lp_backend_from_string("dense").has_value());
+  std::ostringstream os;
+  os << lp::LpBackend::kTableau;
+  EXPECT_EQ(os.str(), "tableau");
 }
 
 TEST(EnumIo, LpSolveStatusStreams) {

@@ -24,6 +24,10 @@ TEST(PropLinalg, RankDetectsDeficiency) {
   SCAPEGOAT_RUN_PROPERTY("linalg_rank_detects_deficiency");
 }
 
+TEST(PropLinalg, SparseMatchesDenseLeastSquares) {
+  SCAPEGOAT_RUN_PROPERTY("linalg_sparse_matches_dense_least_squares");
+}
+
 // ---- oracle self-checks ---------------------------------------------------
 
 TEST(LinalgOracle, NormalEquationsSolveExactSquareSystem) {

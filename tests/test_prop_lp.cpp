@@ -20,6 +20,10 @@ TEST(PropLp, SimplexMatchesVertexEnumeration) {
   SCAPEGOAT_RUN_PROPERTY("lp_simplex_matches_reference");
 }
 
+TEST(PropLp, RevisedSimplexMatchesTableau) {
+  SCAPEGOAT_RUN_PROPERTY("lp_revised_simplex_matches_tableau");
+}
+
 // ---- oracle self-checks on hand-computable models -------------------------
 
 TEST(LpOracle, SolvesKnownMaximization) {

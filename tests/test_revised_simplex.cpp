@@ -1,0 +1,288 @@
+// Revised simplex unit suite: known-optimum models, status parity with the
+// tableau on the tricky shapes (infeasible, unbounded, equality chains,
+// redundant rows, free variables, bound flips), certificate contract on
+// iteration limits, and lp::solve's backend routing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/model.hpp"
+#include "lp/revised_simplex.hpp"
+#include "lp/simplex.hpp"
+#include "util/random.hpp"
+
+namespace scapegoat::lp {
+namespace {
+
+SimplexOptions revised_options() {
+  SimplexOptions opt;
+  opt.backend = LpBackend::kRevised;
+  return opt;
+}
+
+TEST(RevisedSimplex, SolvesKnownMaximization) {
+  // max x + y  s.t.  x + y <= 1.5, x,y in [0,1] → 1.5.
+  Model m(Sense::kMaximize);
+  const std::size_t x = m.add_variable(0.0, 1.0, 1.0, "x");
+  const std::size_t y = m.add_variable(0.0, 1.0, 1.0, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, RowType::kLessEqual, 1.5);
+
+  const Solution s = solve_revised(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.5, 1e-9);
+  EXPECT_LE(m.max_violation(s.x), 1e-9);
+  EXPECT_EQ(s.basis.size(), 1u);
+}
+
+TEST(RevisedSimplex, SolvesKnownMinimization) {
+  // min x + 2y  s.t.  x + y = 2, x,y in [0,3] → x=2, y=0, objective 2.
+  Model m(Sense::kMinimize);
+  const std::size_t x = m.add_variable(0.0, 3.0, 1.0, "x");
+  const std::size_t y = m.add_variable(0.0, 3.0, 2.0, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, RowType::kEqual, 2.0);
+
+  const Solution s = solve_revised(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-9);
+}
+
+TEST(RevisedSimplex, DetectsInfeasibility) {
+  Model m(Sense::kMaximize);
+  const std::size_t x = m.add_variable(0.0, 1.0, 1.0);
+  m.add_constraint({{x, 1.0}}, RowType::kGreaterEqual, 2.0);
+  EXPECT_EQ(solve_revised(m).status, SolveStatus::kInfeasible);
+}
+
+TEST(RevisedSimplex, DetectsUnboundedness) {
+  Model m(Sense::kMaximize);
+  const std::size_t x = m.add_variable(0.0, kInfinity, 1.0);
+  const std::size_t y = m.add_variable(0.0, kInfinity, 0.0);
+  m.add_constraint({{x, 1.0}, {y, -1.0}}, RowType::kLessEqual, 1.0);
+  EXPECT_EQ(solve_revised(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(RevisedSimplex, HandlesFreeVariables) {
+  // min x + y with free x: x + y = 1, y in [0, 10], x free, minimize x →
+  // pushed by nothing? min x + y = 1 everywhere on the line; add a second
+  // row to pin: x >= -3 via x + 0y >= -3. Optimal anywhere; use objective
+  // min 2x + y instead: on x + y = 1, obj = x + 1 → minimized at x = -3.
+  Model m(Sense::kMinimize);
+  const std::size_t x = m.add_variable(-kInfinity, kInfinity, 2.0, "x");
+  const std::size_t y = m.add_variable(0.0, 10.0, 1.0, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, RowType::kEqual, 1.0);
+  m.add_constraint({{x, 1.0}}, RowType::kGreaterEqual, -3.0);
+
+  const Solution s = solve_revised(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.x[0], -3.0, 1e-8);
+  EXPECT_NEAR(s.x[1], 4.0, 1e-8);
+  EXPECT_NEAR(s.objective, -2.0, 1e-8);
+}
+
+TEST(RevisedSimplex, NegativeAndShiftedBounds) {
+  // max x + y over x in [-5, -1], y in [2, 4], x + y <= 1 → x=-1, y=2... no:
+  // x+y ≤ 1 binds: best is x=-1, y=2 (sum 1). Objective 1.
+  Model m(Sense::kMaximize);
+  const std::size_t x = m.add_variable(-5.0, -1.0, 1.0);
+  const std::size_t y = m.add_variable(2.0, 4.0, 1.0);
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, RowType::kLessEqual, 1.0);
+
+  const Solution s = solve_revised(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-9);
+  EXPECT_LE(m.max_violation(s.x), 1e-9);
+}
+
+TEST(RevisedSimplex, PureBoundFlipProblem) {
+  // No constraint binds: the optimum is a bound flip per variable, no basis
+  // change at all (the m == 0 fast path plus the flip machinery).
+  Model m(Sense::kMaximize);
+  m.add_variable(-1.0, 2.0, 3.0);
+  m.add_variable(0.0, 4.0, -1.0);
+  const Solution s = solve_revised(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 6.0, 1e-9);
+  EXPECT_NEAR(s.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[1], 0.0, 1e-9);
+}
+
+TEST(RevisedSimplex, UnboundedWithoutConstraints) {
+  Model m(Sense::kMaximize);
+  m.add_variable(0.0, kInfinity, 1.0);
+  EXPECT_EQ(solve_revised(m).status, SolveStatus::kUnbounded);
+}
+
+TEST(RevisedSimplex, EqualityChainSystem) {
+  // x1 = 1, x_{k+1} - x_k = 1 → x_k = k (unique feasible point).
+  Model m(Sense::kMaximize);
+  const std::size_t n = 20;
+  for (std::size_t j = 0; j < n; ++j)
+    m.add_variable(0.0, kInfinity, j + 1 == n ? -1.0 : 0.0);
+  m.add_constraint({{0, 1.0}}, RowType::kEqual, 1.0);
+  for (std::size_t j = 0; j + 1 < n; ++j)
+    m.add_constraint({{j + 1, 1.0}, {j, -1.0}}, RowType::kEqual, 1.0);
+  const Solution s = solve_revised(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  for (std::size_t j = 0; j < n; ++j)
+    EXPECT_NEAR(s.x[j], static_cast<double>(j + 1), 1e-7);
+}
+
+TEST(RevisedSimplex, RedundantRowsDoNotConfusePhase1) {
+  Model m(Sense::kMaximize);
+  auto x = m.add_variable(0.0, kInfinity, 1.0);
+  auto y = m.add_variable(0.0, kInfinity, 1.0);
+  for (int rep = 0; rep < 3; ++rep)
+    m.add_constraint({{x, 1.0}, {y, 1.0}}, RowType::kEqual, 4.0);
+  const Solution s = solve_revised(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 4.0, 1e-8);
+}
+
+TEST(RevisedSimplex, IterationLimitReturnsCertificate) {
+  Rng rng(31337);
+  Model m(Sense::kMaximize);
+  const std::size_t vars = 40, rows = 25;
+  for (std::size_t j = 0; j < vars; ++j) m.add_variable(0.0, 100.0, 1.0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<Term> terms;
+    for (std::size_t j = 0; j < vars; ++j)
+      terms.push_back({j, rng.uniform(0.1, 1.0)});
+    m.add_constraint(std::move(terms), RowType::kLessEqual,
+                     rng.uniform(50.0, 200.0));
+  }
+  SimplexOptions opt;
+  opt.max_iterations = 3;  // guaranteed to stop mid-flight
+  const Solution s = solve_revised(m, opt);
+  ASSERT_EQ(s.status, SolveStatus::kIterationLimit);
+  EXPECT_EQ(s.basis.size(), rows);      // the exit basis, not an empty husk
+  EXPECT_EQ(s.x.size(), vars);          // the basic point where it stopped
+  EXPECT_LE(s.iterations, 3u);
+}
+
+TEST(RevisedSimplex, RefactorizationSurvivesLongPivotSequences) {
+  // > 64 pivots forces at least one LU refresh mid-solve; the optimum must
+  // still verify against feasibility and a Monte Carlo bound.
+  Rng rng(777);
+  Model m(Sense::kMaximize);
+  const std::size_t vars = 60, rows = 45;
+  for (std::size_t j = 0; j < vars; ++j)
+    m.add_variable(0.0, rng.uniform(1.0, 10.0), rng.uniform(-1.0, 2.0));
+  for (std::size_t i = 0; i < rows; ++i) {
+    std::vector<Term> terms;
+    for (std::size_t j = 0; j < vars; ++j) {
+      const double c = rng.uniform(-1.0, 1.0);
+      if (std::abs(c) > 0.3) terms.push_back({j, c});
+    }
+    if (terms.empty()) continue;
+    m.add_constraint(std::move(terms), RowType::kLessEqual,
+                     rng.uniform(5.0, 50.0));
+  }
+  const Solution s = solve_revised(m);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_LE(m.max_violation(s.x), 1e-6);
+  // Random feasible points can't beat the reported optimum.
+  std::vector<double> x(vars);
+  for (int sample = 0; sample < 200; ++sample) {
+    for (std::size_t j = 0; j < vars; ++j)
+      x[j] = rng.uniform(m.variable(j).lower, m.variable(j).upper);
+    if (m.max_violation(x) > 1e-9) continue;
+    EXPECT_LE(m.objective_value(x), s.objective + 1e-6);
+  }
+}
+
+TEST(RevisedSimplex, AgreesWithTableauOnAnchoredBattery) {
+  // Small randomized cross-check, a deterministic complement to the
+  // lp_revised_simplex_matches_tableau property.
+  Rng rng(4242);
+  for (int instance = 0; instance < 25; ++instance) {
+    Model m(Sense::kMaximize);
+    const std::size_t n = 2 + rng.index(4);
+    std::vector<double> anchor(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double lo = rng.uniform(-4.0, 1.0);
+      const double hi = lo + rng.uniform(0.5, 5.0);
+      anchor[j] = rng.uniform(lo, hi);
+      m.add_variable(lo, hi, rng.uniform(-2.0, 2.0));
+    }
+    const std::size_t rows = 1 + rng.index(4);
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::vector<Term> terms;
+      double at_anchor = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double c = rng.uniform(-1.5, 1.5);
+        if (std::abs(c) < 0.1) continue;
+        terms.push_back({j, c});
+        at_anchor += c * anchor[j];
+      }
+      if (terms.empty()) continue;
+      switch (rng.uniform_int(0, 2)) {
+        case 0:
+          m.add_constraint(std::move(terms), RowType::kLessEqual,
+                           at_anchor + rng.uniform(0.0, 2.0));
+          break;
+        case 1:
+          m.add_constraint(std::move(terms), RowType::kGreaterEqual,
+                           at_anchor - rng.uniform(0.0, 2.0));
+          break;
+        default:
+          m.add_constraint(std::move(terms), RowType::kEqual, at_anchor);
+          break;
+      }
+    }
+    SimplexOptions tab;
+    tab.backend = LpBackend::kTableau;
+    const Solution st = solve(m, tab);
+    const Solution sr = solve(m, revised_options());
+    ASSERT_EQ(st.status, SolveStatus::kOptimal) << "instance " << instance;
+    ASSERT_EQ(sr.status, SolveStatus::kOptimal) << "instance " << instance;
+    EXPECT_NEAR(st.objective, sr.objective,
+                1e-6 * (1.0 + std::abs(st.objective)))
+        << "instance " << instance;
+    EXPECT_LE(m.max_violation(sr.x), 1e-6);
+  }
+}
+
+TEST(LpBackendRouting, AutoSwitchesOnEstimatedTableauCells) {
+  // Tiny model stays on the tableau under kAuto; a model whose estimated
+  // tableau crosses kRevisedCellThreshold routes to the revised solver.
+  // Observable difference: both must solve correctly (the routing itself is
+  // covered by the obs counters and the threshold arithmetic here).
+  Model small(Sense::kMaximize);
+  small.add_variable(0.0, 1.0, 1.0);
+  small.add_constraint({{0, 1.0}}, RowType::kLessEqual, 0.5);
+  const Solution s = solve(small);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 0.5, 1e-9);
+
+  // 300 doubly-bounded vars × 150 rows: (150+300) rows × (300+900) cols
+  // ≈ 540k cells ≥ 1<<18 → revised path under kAuto. The answer is easy to
+  // verify: maximize Σx with generous rows → every variable at its cap.
+  Model big(Sense::kMaximize);
+  const std::size_t vars = 300;
+  for (std::size_t j = 0; j < vars; ++j) big.add_variable(0.0, 1.0, 1.0);
+  for (std::size_t i = 0; i < 150; ++i) {
+    std::vector<Term> terms;
+    for (std::size_t j = i; j < vars; j += 150) terms.push_back({j, 1.0});
+    big.add_constraint(std::move(terms), RowType::kLessEqual, 1e6);
+  }
+  const Solution sb = solve(big);
+  ASSERT_EQ(sb.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sb.objective, static_cast<double>(vars), 1e-6);
+}
+
+TEST(LpBackendEnum, RoundTripsThroughStrings) {
+  for (LpBackend b :
+       {LpBackend::kAuto, LpBackend::kTableau, LpBackend::kRevised}) {
+    const auto parsed = lp_backend_from_string(to_string(b));
+    ASSERT_TRUE(parsed.has_value()) << to_string(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(lp_backend_from_string("dense").has_value());
+}
+
+}  // namespace
+}  // namespace scapegoat::lp
