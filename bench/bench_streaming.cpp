@@ -1,0 +1,237 @@
+// Streaming-service overload soak: the PR-7 acceptance gate.
+//
+// Open-loop load (no producer retries — rejections are final, the overload
+// shape) from 4 producer threads into the probe-ingest service, with small
+// queues so the run spends most of its life saturated, and a PINNED shed
+// policy so the deterministic-shedding contract is on the hook:
+//
+//   * bounded memory   — max observed queue depth never exceeds capacity
+//                        (the queue admits under its own lock; this gate
+//                        holds by construction, the soak witnesses it),
+//   * zero crashes     — no shard restarts, no quarantined or lost batches
+//                        across ≥10⁶ offered probe measurements,
+//   * exact accounting — offered == admitted + rejected + shed + closed and
+//                        every admitted batch is processed after the drain,
+//   * replayable shed  — the realized shed set is IDENTICAL (FNV checksum
+//                        over the sorted batch ids) at 1 shard and 2 shards,
+//                        and equals the pure (seed, permille) candidate set.
+//
+// The overload ratio (offered/processed throughput while both ran) is
+// reported but not gated — it depends on the host's core count.
+//
+//   bench_streaming [--quick] [--probes N] [--out PATH]
+//
+// --out writes the machine-readable JSON consumed by scripts/bench_report.sh
+// --service-out (checked in as BENCH_pr7.json).
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "service/session.hpp"
+#include "util/args.hpp"
+#include "util/atomic_file.hpp"
+#include "util/table.hpp"
+
+using namespace scapegoat;
+
+namespace {
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::uint64_t fnv1a(const std::vector<std::uint64_t>& values) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (std::uint64_t v : values) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+struct RunResult {
+  std::size_t shards = 0;
+  service::ServiceStats stats;
+  std::uint64_t probes = 0;
+  std::uint64_t shed_count = 0;
+  std::uint64_t shed_checksum = 0;
+  double wall_s = 0.0;
+  bool accounted = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const bool quick = args.get_bool("quick");
+  const std::uint64_t probes_floor = static_cast<std::uint64_t>(
+      args.get_int("probes", quick ? 20'000 : 1'100'000));
+  const std::string out_path = args.get_string("out");
+
+  service::SessionWorkload workload;
+  workload.kind = TopologyKind::kWireline;
+  workload.topologies = 2;
+  workload.scenario_seed = 7;
+  workload.producers = 4;
+  workload.closed_loop = false;  // open loop: the overload shape
+  workload.load.seed = derive_seed(workload.scenario_seed, 0x10adull);
+  workload.load.noise_ms = 1.0;
+
+  // Size batches_per_topology so the run offers at least `probes_floor`
+  // measurement entries (the catalog fixes the per-batch width).
+  const std::vector<Scenario> catalog = service::make_session_catalog(
+      workload.kind, workload.topologies, workload.scenario_seed);
+  if (catalog.size() != workload.topologies) {
+    std::cerr << "could not build the soak catalog\n";
+    return 1;
+  }
+  std::uint64_t probes_per_round = 0;  // one batch from every topology
+  for (const Scenario& s : catalog)
+    probes_per_round += s.estimator().num_paths();
+  workload.load.batches_per_topology =
+      (probes_floor + probes_per_round - 1) / probes_per_round;
+
+  service::ServiceOptions opt;
+  opt.queue_capacity = 256;
+  opt.high_water = 192;
+  opt.retry_after_base_ms = 1.0;
+  opt.shed.mode = service::ShedPolicy::Mode::kPinned;
+  opt.shed.seed = workload.scenario_seed;
+  opt.shed.permille = 125;
+  opt.window = 8;
+  opt.stride = 8;
+  opt.alpha_ms = 200.0;
+  opt.seed = workload.scenario_seed;
+
+  // The pure candidate set every realized shed set must equal, bit for bit.
+  std::vector<std::uint64_t> expected_shed;
+  const std::uint64_t total_batches =
+      workload.load.batches_per_topology * workload.topologies;
+  for (std::uint64_t id = 0; id < total_batches; ++id) {
+    if (service::is_shed_candidate(opt.shed.seed, id, opt.shed.permille))
+      expected_shed.push_back(id);
+  }
+  const std::uint64_t expected_checksum = fnv1a(expected_shed);
+
+  std::vector<RunResult> runs;
+  bool pass = true;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    opt.shards = shards;
+    const double t0 = now_seconds();
+    auto report = service::run_service_session(workload, opt);
+    const double wall = now_seconds() - t0;
+    if (!report.ok()) {
+      std::cerr << "session failed: " << report.error_message() << '\n';
+      return 1;
+    }
+    const service::SessionReport& r = report.value();
+    RunResult run;
+    run.shards = shards;
+    run.stats = r.stats;
+    run.probes = r.probes_offered;
+    run.shed_count = r.shed_ids.size();
+    run.shed_checksum = fnv1a(r.shed_ids);
+    run.wall_s = wall;
+    run.accounted =
+        r.stats.offered == r.stats.admitted + r.stats.rejected +
+                               r.stats.shed + r.stats.closed &&
+        r.stats.lost_in_flight() == 0;
+    runs.push_back(run);
+
+    pass = pass && run.accounted && run.stats.restarts == 0 &&
+           run.stats.quarantined == 0 && run.stats.malformed == 0 &&
+           run.stats.max_queue_depth <= opt.queue_capacity &&
+           run.shed_checksum == expected_checksum &&
+           run.shed_count == expected_shed.size();
+    if (!quick) pass = pass && run.probes >= 1'000'000;
+  }
+
+  Table table({"shards", "probes", "offered", "admitted", "rejected", "shed",
+               "processed", "max_depth", "overload", "Mprobe/s"});
+  for (const RunResult& r : runs) {
+    const double overload =
+        r.stats.processed == 0
+            ? 0.0
+            : static_cast<double>(r.stats.offered) /
+                  static_cast<double>(r.stats.processed);
+    table.add_row({std::to_string(r.shards), std::to_string(r.probes),
+                   std::to_string(r.stats.offered),
+                   std::to_string(r.stats.admitted),
+                   std::to_string(r.stats.rejected),
+                   std::to_string(r.stats.shed),
+                   std::to_string(r.stats.processed),
+                   std::to_string(r.stats.max_queue_depth),
+                   Table::num(overload, 2),
+                   Table::num(r.probes / r.wall_s / 1e6, 3)});
+  }
+  std::cout << "streaming overload soak (open loop, pinned shed "
+            << opt.shed.permille << "‰, capacity " << opt.queue_capacity
+            << ", " << workload.producers << " producers"
+            << (quick ? ", quick sizes, 1e6 floor not enforced" : "")
+            << ")\n";
+  table.print(std::cout);
+  std::cout << "candidate shed set: " << expected_shed.size() << " of "
+            << total_batches << " batches, checksum "
+            << expected_checksum << '\n'
+            << "shed-set replay across shard counts: "
+            << (runs[0].shed_checksum == runs[1].shed_checksum ? "identical"
+                                                               : "DIVERGED")
+            << '\n'
+            << (pass ? "PASS" : "FAIL") << '\n';
+
+  if (!out_path.empty()) {
+    std::string json = "{\n  \"bench\": \"bench_streaming\",\n";
+    json += "  \"workload\": \"open_loop_overload_soak\",\n";
+    json += "  \"quick\": " + std::string(quick ? "true" : "false") + ",\n";
+    json += "  \"topologies\": " + std::to_string(workload.topologies) +
+            ",\n";
+    json += "  \"producers\": " + std::to_string(workload.producers) + ",\n";
+    json += "  \"queue_capacity\": " + std::to_string(opt.queue_capacity) +
+            ",\n";
+    json += "  \"shed_permille\": " + std::to_string(opt.shed.permille) +
+            ",\n";
+    json += "  \"total_batches\": " + std::to_string(total_batches) + ",\n";
+    json += "  \"candidate_shed\": " + std::to_string(expected_shed.size()) +
+            ",\n";
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "  \"candidate_checksum\": \"%016" PRIx64
+                                   "\",\n",
+                  expected_checksum);
+    json += buf;
+    json += "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const RunResult& r = runs[i];
+      std::snprintf(
+          buf, sizeof buf,
+          "    {\"shards\": %zu, \"probes\": %" PRIu64
+          ", \"offered\": %" PRIu64 ", \"admitted\": %" PRIu64
+          ", \"rejected\": %" PRIu64 ", \"shed\": %" PRIu64
+          ", \"processed\": %" PRIu64 ", \"max_depth\": %zu, "
+          "\"restarts\": %" PRIu64 ", \"shed_checksum\": \"%016" PRIx64
+          "\", \"wall_s\": %.3f}%s\n",
+          r.shards, r.probes, r.stats.offered, r.stats.admitted,
+          r.stats.rejected, r.stats.shed, r.stats.processed,
+          r.stats.max_queue_depth, r.stats.restarts, r.shed_checksum,
+          r.wall_s, i + 1 < runs.size() ? "," : "");
+      json += buf;
+    }
+    json += "  ],\n";
+    json += "  \"gate\": \"accounting+bounded_depth+zero_crashes+"
+            "replayable_shed\",\n";
+    json += std::string("  \"pass\": ") + (pass ? "true" : "false") + "\n}\n";
+    if (!write_file_atomic(out_path, json).ok()) {
+      std::cerr << "cannot write " << out_path << '\n';
+      return 1;
+    }
+    std::cout << "report written to " << out_path << '\n';
+  }
+  return pass ? 0 : 1;
+}

@@ -14,11 +14,15 @@
 #                   CGLS, tableau vs revised simplex) up to 5k+ links, with
 #                   the ≥5× speedup gate at the top size (EXPERIMENTS.md
 #                   "Sparse backend")
+#   BENCH_pr7.json  bench_streaming — open-loop overload soak of the
+#                   probe-ingest service: bounded queue depth, exact batch
+#                   accounting, zero crashes, shard-count-independent pinned
+#                   shed set (EXPERIMENTS.md "Streaming service")
 # Re-run after touching the obs layer, the checkpoint journal, the sparse
-# numerics, the LP solvers, or any instrumented hot path.
+# numerics, the LP solvers, the service layer, or any instrumented hot path.
 #
 #   scripts/bench_report.sh [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH]
-#                           [--sparse-out PATH]
+#                           [--sparse-out PATH] [--service-out PATH]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +31,7 @@ jobs=$(nproc 2>/dev/null || echo 4)
 obs_out=BENCH_pr3.json
 ckpt_out=BENCH_pr4.json
 sparse_out=BENCH_pr6.json
+service_out=BENCH_pr7.json
 quick=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -34,8 +39,9 @@ while [ $# -gt 0 ]; do
     --obs-out) obs_out=$2; shift ;;
     --ckpt-out) ckpt_out=$2; shift ;;
     --sparse-out) sparse_out=$2; shift ;;
+    --service-out) service_out=$2; shift ;;
     -j) jobs=$2; shift ;;
-    *) echo "usage: $0 [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH] [--sparse-out PATH]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH] [--sparse-out PATH] [--service-out PATH]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -48,7 +54,7 @@ unset SCAPEGOAT_PROP_ITERS SCAPEGOAT_PROP_SEED SCAPEGOAT_PROP_CORPUS
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" --target bench_observability \
-      bench_checkpoint_overhead bench_sparse
+      bench_checkpoint_overhead bench_sparse bench_streaming
 
 build/bench/bench_observability $quick --out "$obs_out"
 echo "report: $obs_out"
@@ -58,3 +64,6 @@ echo "report: $ckpt_out"
 
 build/bench/bench_sparse $quick --out "$sparse_out"
 echo "report: $sparse_out"
+
+build/bench/bench_streaming $quick --out "$service_out"
+echo "report: $service_out"

@@ -4,7 +4,8 @@
 # Builds the tree under ASan+UBSan (or TSan with `--tsan`) and runs the
 # suites most likely to trip memory/UB bugs under fault injection: the
 # robust subsystem units, the chaos harness, the loaders that digest
-# corrupted files, and the `prop` generative suites at a reduced iteration
+# corrupted files, the streaming-service suite (queues + shard threads —
+# the prime TSan target), and the `prop` generative suites at a reduced iteration
 # budget (sanitizer builds are ~10x slower; override with
 # SCAPEGOAT_PROP_ITERS, and SCAPEGOAT_PROP_ITERS=0 skips them cleanly).
 # Pass `--all` to run the full ctest suite instead.
@@ -15,7 +16,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 preset=asan-ubsan
-suites='test_robust test_fault_injection test_checkpoint test_rocketfuel test_scenario_io test_args test_lp test_simnet test_sparse test_revised_simplex'
+suites='test_robust test_fault_injection test_checkpoint test_rocketfuel test_scenario_io test_args test_lp test_simnet test_sparse test_revised_simplex test_service'
 prop_suites='test_testkit test_prop_lp test_prop_linalg test_prop_attack test_prop_detect test_prop_checkpoint test_prop_corpus'
 export SCAPEGOAT_PROP_ITERS="${SCAPEGOAT_PROP_ITERS:-25}"
 jobs=$(nproc 2>/dev/null || echo 4)

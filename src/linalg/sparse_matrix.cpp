@@ -204,6 +204,56 @@ SparseMatrix SparseMatrix::select_cols(
   return from_triplets(rows_, cols.size(), kept);
 }
 
+robust::Status SparseMatrix::try_append_row(
+    const std::vector<std::size_t>& cols, const std::vector<double>& values) {
+  if (cols_ == 0) {
+    return robust::Error{robust::ErrorCode::kInvalidInput,
+                         "cannot append a row to a 0-column matrix"};
+  }
+  if (cols.size() != values.size()) {
+    return robust::Error{robust::ErrorCode::kDimensionMismatch,
+                         std::to_string(cols.size()) + " columns for " +
+                             std::to_string(values.size()) + " values"};
+  }
+  // Stage the nonzero entries sorted by column; validate before touching any
+  // member so a rejected append leaves the matrix exactly as it was.
+  std::vector<std::pair<std::size_t, double>> entries;
+  entries.reserve(cols.size());
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    if (cols[i] >= cols_) {
+      return robust::Error{robust::ErrorCode::kInvalidInput,
+                           "column " + std::to_string(cols[i]) +
+                               " outside width " + std::to_string(cols_)};
+    }
+    if (values[i] != 0.0) entries.emplace_back(cols[i], values[i]);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+    if (entries[i].first == entries[i + 1].first) {
+      return robust::Error{robust::ErrorCode::kInvalidInput,
+                           "duplicate coordinate (" + std::to_string(rows_) +
+                               "," + std::to_string(entries[i].first) + ")"};
+    }
+  }
+  col_index_.reserve(col_index_.size() + entries.size());
+  values_.reserve(values_.size() + entries.size());
+  for (const auto& [c, v] : entries) {
+    col_index_.push_back(c);
+    values_.push_back(v);
+  }
+  ++rows_;
+  row_ptr_.push_back(col_index_.size());
+  return robust::ok_status();
+}
+
+void SparseMatrix::append_row(const std::vector<std::size_t>& cols,
+                              const std::vector<double>& values) {
+  const robust::Status st = try_append_row(cols, values);
+  assert(st.ok() && "invalid appended row");
+  (void)st;
+}
+
 Vector SparseMatrix::row_dense(std::size_t r) const {
   assert(r < rows_);
   Vector out(cols_);

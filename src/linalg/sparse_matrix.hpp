@@ -96,6 +96,22 @@ class SparseMatrix {
   SparseMatrix select_rows(const std::vector<std::size_t>& rows) const;
   SparseMatrix select_cols(const std::vector<std::size_t>& cols) const;
 
+  // Incremental row append: grows the matrix to rows()+1 without rebuilding
+  // the CSR arrays from triplets — the streaming-service shape, where a
+  // shard absorbs a new measurement path as one O(k log k) append instead of
+  // an O(nnz) from-scratch reconstruction. Entries may arrive in any column
+  // order; exact zeros are dropped and duplicate columns are rejected, so an
+  // appended matrix is BITWISE identical (row_ptr/col_index/values) to the
+  // same matrix rebuilt via from_triplets — pinned by the
+  // `linalg_sparse_row_append_matches_rebuild` registry property. `try_`
+  // names the failure (kInvalidInput, matrix untouched); `append_row`
+  // asserts on the same conditions. cols() must already be set (appending
+  // to a default-constructed 0-column matrix is kInvalidInput).
+  robust::Status try_append_row(const std::vector<std::size_t>& cols,
+                                const std::vector<double>& values);
+  void append_row(const std::vector<std::size_t>& cols,
+                  const std::vector<double>& values);
+
   // Dense copy of one row (length cols()).
   Vector row_dense(std::size_t r) const;
 

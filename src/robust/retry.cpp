@@ -43,6 +43,30 @@ double RetryPolicy::backoff_before(std::size_t attempt,
   return std::min(wait, remaining_deadline_ms);
 }
 
+double RetryPolicy::backoff_before(std::size_t attempt,
+                                   double remaining_deadline_ms,
+                                   double retry_after_hint_ms) const {
+  double wait = backoff_before(attempt);
+  if (retry_after_hint_ms > 0.0) {
+    // The hint is a floor, not a replacement: our own backoff curve still
+    // applies when it is the stricter of the two. The policy ceiling caps
+    // even server hints — a server asking for an hour-long wait is treated
+    // as "effectively unavailable" (retry_fits lets callers give up).
+    wait = std::max(wait, std::min(retry_after_hint_ms, max_backoff_ms));
+  }
+  if (remaining_deadline_ms < 0.0) return wait;
+  return std::min(wait, remaining_deadline_ms);
+}
+
+bool RetryPolicy::retry_fits(double remaining_deadline_ms,
+                             double retry_after_hint_ms) const {
+  if (remaining_deadline_ms < 0.0) return true;
+  const double hint =
+      retry_after_hint_ms > 0.0 ? std::min(retry_after_hint_ms, max_backoff_ms)
+                                : 0.0;
+  return hint <= remaining_deadline_ms;
+}
+
 double median(std::vector<double> samples) {
   if (samples.empty()) return 0.0;
   const std::size_t mid = samples.size() / 2;

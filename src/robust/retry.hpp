@@ -39,6 +39,21 @@ struct RetryPolicy {
   // the time left guarantees the deadline is blown.
   double backoff_before(std::size_t attempt,
                         double remaining_deadline_ms) const;
+
+  // Same again, composed with a server-supplied "retry after" hint (the
+  // streaming service's backpressure rejections carry one): the wait honours
+  // the LARGER of the policy's own backoff and the hint — retrying before
+  // the server said to is exactly the queue-hammering the hint exists to
+  // prevent — saturating at max_backoff_ms and then clamped to the
+  // remaining deadline. Hints ≤ 0 degrade to the plain two-arg form.
+  double backoff_before(std::size_t attempt, double remaining_deadline_ms,
+                        double retry_after_hint_ms) const;
+
+  // Whether a retry scheduled under `retry_after_hint_ms` can still begin
+  // inside the remaining deadline (negative = no deadline). When false the
+  // caller should give up now instead of sleeping through its budget.
+  bool retry_fits(double remaining_deadline_ms,
+                  double retry_after_hint_ms) const;
 };
 
 // Median of the collected samples (empty → 0). Used for median-of-retries

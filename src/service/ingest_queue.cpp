@@ -1,0 +1,111 @@
+#include "service/ingest_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace scapegoat::service {
+
+IngestQueue::IngestQueue(const IngestQueueOptions& opt) : opt_(opt) {
+  assert(opt_.capacity > 0);
+  if (opt_.high_water == 0 || opt_.high_water > opt_.capacity)
+    opt_.high_water = opt_.capacity;
+}
+
+AdmitResult IngestQueue::offer(ProbeBatch&& batch) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) return {Admission::kClosed, 0.0};
+  const std::size_t depth = queue_.size();
+  if (depth >= opt_.capacity) {
+    // Hard limit. Candidates picked by the pure hash are shed (a replayable
+    // SUBSET of the candidate set in this auto mode — see probe_batch.hpp);
+    // everything else is backpressure at the maximum hint.
+    if (opt_.shed.mode == ShedPolicy::Mode::kAuto &&
+        is_shed_candidate(opt_.shed.seed, batch.batch_id,
+                          opt_.shed.permille)) {
+      obs::count("service.queue.shed");
+      return {Admission::kShed, 0.0};
+    }
+    obs::count("service.queue.rejected");
+    return {Admission::kRejected, opt_.retry_after_base_ms * 2.0};
+  }
+  if (depth >= opt_.high_water) {
+    // Backpressure: the hint scales linearly from base at the high-water
+    // mark to 2×base at capacity, so heavily loaded queues push retries
+    // further out than lightly loaded ones.
+    const double span = static_cast<double>(opt_.capacity - opt_.high_water);
+    const double overshoot = static_cast<double>(depth - opt_.high_water);
+    const double hint =
+        opt_.retry_after_base_ms *
+        (1.0 + (span <= 0.0 ? 1.0 : overshoot / span));
+    obs::count("service.queue.rejected");
+    return {Admission::kRejected, hint};
+  }
+  queue_.push_back(std::move(batch));
+  max_depth_ = std::max(max_depth_, queue_.size());
+  obs::gauge_max("service.queue.depth", static_cast<std::int64_t>(
+                                            queue_.size()));
+  lock.unlock();
+  cv_.notify_one();
+  return {Admission::kAdmitted, 0.0};
+}
+
+std::optional<ProbeBatch> IngestQueue::pop_wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  ProbeBatch out = std::move(queue_.front());
+  queue_.pop_front();
+  return out;
+}
+
+std::optional<ProbeBatch> IngestQueue::pop_wait(
+    const std::atomic<bool>& abort) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] {
+    return closed_ || !queue_.empty() ||
+           abort.load(std::memory_order_relaxed);
+  });
+  if (abort.load(std::memory_order_relaxed)) return std::nullopt;
+  if (queue_.empty()) return std::nullopt;  // closed and drained
+  ProbeBatch out = std::move(queue_.front());
+  queue_.pop_front();
+  return out;
+}
+
+void IngestQueue::kick() { cv_.notify_all(); }
+
+std::optional<ProbeBatch> IngestQueue::try_pop() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (queue_.empty()) return std::nullopt;
+  ProbeBatch out = std::move(queue_.front());
+  queue_.pop_front();
+  return out;
+}
+
+void IngestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool IngestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::size_t IngestQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::size_t IngestQueue::max_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return max_depth_;
+}
+
+}  // namespace scapegoat::service

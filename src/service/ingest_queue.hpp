@@ -1,0 +1,92 @@
+// Bounded MPSC ingest queue with admission control (DESIGN.md §13).
+//
+// One queue per worker shard: many producers (monitor submission threads —
+// in the benches, util/thread_pool workers) offer ProbeBatches, exactly one
+// consumer (the shard) pops them. The queue enforces the service's overload
+// ladder entirely under its own mutex, so the admission decision and the
+// enqueue are atomic with respect to concurrent producers:
+//
+//   depth <  high_water   → kAdmitted
+//   depth >= high_water   → kRejected with a retry-after hint that grows
+//                           linearly with the overshoot (compose it with
+//                           RetryPolicy::backoff_before's hint argument)
+//   depth == capacity     → hard limit: under ShedPolicy::kAuto, shed
+//                           candidates are dropped as kShed, everything
+//                           else is kRejected — memory stays bounded by
+//                           construction, never by luck
+//
+// Under ShedPolicy::kPinned the service sheds candidates before the queue
+// is consulted at all (see supervisor.hpp), which is what makes the shed
+// set replayable; the queue itself only ever applies the kAuto form.
+//
+// close() stops admissions (offers return kClosed) while letting the
+// consumer drain what was already accepted: pop_wait returns the remaining
+// batches, then nullopt — the graceful-drain contract.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "service/probe_batch.hpp"
+
+namespace scapegoat::service {
+
+struct IngestQueueOptions {
+  std::size_t capacity = 1024;        // hard depth limit (bounded memory)
+  std::size_t high_water = 768;       // backpressure threshold
+  double retry_after_base_ms = 5.0;   // hint at depth == high_water
+  ShedPolicy shed;                    // kAuto consults this at capacity
+};
+
+class IngestQueue {
+ public:
+  explicit IngestQueue(const IngestQueueOptions& opt);
+
+  IngestQueue(const IngestQueue&) = delete;
+  IngestQueue& operator=(const IngestQueue&) = delete;
+
+  // Admission + enqueue, atomic under the queue lock. `batch` is consumed
+  // only on kAdmitted.
+  AdmitResult offer(ProbeBatch&& batch);
+
+  // Blocks until a batch is available or the queue is closed and empty
+  // (nullopt — the consumer's signal to finish up).
+  std::optional<ProbeBatch> pop_wait();
+
+  // As pop_wait, but also wakes (returning nullopt) once `abort` becomes
+  // true — the supervisor's cooperative kill path for a shard that might be
+  // blocked on an empty queue. Pair with kick() after setting the flag.
+  std::optional<ProbeBatch> pop_wait(const std::atomic<bool>& abort);
+
+  // Wakes any blocked consumer without changing queue state (so it can
+  // re-check an external abort flag).
+  void kick();
+
+  // Non-blocking variant for supervisor-driven polling loops.
+  std::optional<ProbeBatch> try_pop();
+
+  // Stops admissions; wakes the consumer so it can drain and exit.
+  void close();
+  bool closed() const;
+
+  std::size_t depth() const;
+  // Highest depth ever observed — the bounded-memory witness the overload
+  // soak asserts against capacity.
+  std::size_t max_depth() const;
+  const IngestQueueOptions& options() const { return opt_; }
+
+ private:
+  IngestQueueOptions opt_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<ProbeBatch> queue_;
+  std::size_t max_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace scapegoat::service

@@ -1,0 +1,140 @@
+// Wire types of the streaming probe-ingest service (DESIGN.md §13).
+//
+// A `ProbeBatch` is the unit monitors submit: one vector of end-to-end
+// measurements for one topology's current path set, tagged with a globally
+// unique batch id (the shedding key) and a per-topology sequence number (the
+// windowing key). This header is deliberately types-plus-pure-functions only
+// — the open-loop load generator (simnet/load_gen) and the service proper
+// both include it without creating a link dependency between those layers.
+//
+// Shedding determinism contract: `is_shed_candidate` is a pure hash of
+// (seed, batch_id) — the same splitmix64 finalizer the experiment engine
+// uses for seed-splitting — so the candidate set for a given (seed,
+// permille) is a replayable, thread-count- and shard-count-independent set,
+// exactly like a robust/faults schedule. Under `ShedPolicy::Mode::kPinned`
+// every candidate is shed at admission regardless of queue state, making the
+// realized shed set equal to the candidate set bit for bit; under `kAuto`
+// the predicate is only consulted once a queue is at its hard capacity, so
+// the realized set is a timing-gated SUBSET of the candidate set (documented
+// as outside the replay contract).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace scapegoat::service {
+
+struct ProbeBatch {
+  std::uint64_t batch_id = 0;  // globally unique; the shedding key
+  std::uint32_t topology = 0;  // which topology stream this batch feeds
+  std::uint64_t seq = 0;       // per-topology sequence number (in-order)
+  Vector y;                    // per-path measurements, current path count
+};
+
+// Interleaved (round-robin over topologies) global batch id for the batch
+// with per-topology sequence `seq` — shared by the load generator and any
+// test that needs to predict shed fates.
+inline std::uint64_t interleaved_batch_id(std::uint32_t topology,
+                                          std::uint64_t seq,
+                                          std::size_t num_topologies) {
+  return seq * static_cast<std::uint64_t>(num_topologies) + topology;
+}
+
+// ------------------------------------------------------------- shedding --
+
+struct ShedPolicy {
+  enum class Mode {
+    kOff,     // never shed; overload is pure backpressure
+    kAuto,    // shed candidates only when a queue is at hard capacity
+    kPinned,  // shed every candidate at admission (replayable shed set)
+  };
+  Mode mode = Mode::kAuto;
+  std::uint64_t seed = 0;        // candidate-set seed (replay key)
+  std::uint32_t permille = 125;  // candidate fraction, out of 1000
+};
+
+// Pure candidate predicate: depends only on (seed, batch_id, permille).
+inline bool is_shed_candidate(std::uint64_t seed, std::uint64_t batch_id,
+                              std::uint32_t permille) {
+  if (permille == 0) return false;
+  if (permille >= 1000) return true;
+  std::uint64_t z = batch_id + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z ^= seed;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z % 1000 < permille;
+}
+
+inline std::string to_string(ShedPolicy::Mode mode) {
+  switch (mode) {
+    case ShedPolicy::Mode::kOff:
+      return "off";
+    case ShedPolicy::Mode::kAuto:
+      return "auto";
+    case ShedPolicy::Mode::kPinned:
+      return "pinned";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------ admission --
+
+enum class Admission {
+  kAdmitted,  // enqueued; will be processed or counted lost on a crash
+  kRejected,  // backpressure: retry after `retry_after_ms`
+  kShed,      // deterministically dropped; do not retry
+  kClosed,    // service is draining/stopped; do not retry
+};
+
+struct AdmitResult {
+  Admission outcome = Admission::kAdmitted;
+  double retry_after_ms = 0.0;  // > 0 only for kRejected
+};
+
+inline std::string to_string(Admission a) {
+  switch (a) {
+    case Admission::kAdmitted:
+      return "admitted";
+    case Admission::kRejected:
+      return "rejected";
+    case Admission::kShed:
+      return "shed";
+    case Admission::kClosed:
+      return "closed";
+  }
+  return "unknown";
+}
+
+// --------------------------------------------------------- path growth --
+
+// Deterministic mid-stream path growth: every `every` batches a topology
+// gains one more measurement path (a repeat of an existing route — a
+// redundancy-adding row), up to `max_extra` of them. Both the load
+// generator and the shard derive the grown path count from the same plan,
+// so batch `seq`'s expected measurement width is a pure function.
+struct GrowthPlan {
+  std::size_t every = 0;      // 0 = growth off
+  std::size_t max_extra = 4;  // cap on appended paths per topology
+};
+
+inline std::size_t grown_path_count(std::size_t base_paths,
+                                    const GrowthPlan& plan,
+                                    std::uint64_t seq) {
+  if (plan.every == 0) return base_paths;
+  const std::uint64_t steps = seq / plan.every;
+  return base_paths +
+         static_cast<std::size_t>(
+             steps < plan.max_extra ? steps : plan.max_extra);
+}
+
+// Which existing path the k-th appended row repeats (k is 0-based among the
+// extras): cycles through the base set.
+inline std::size_t grown_path_source(std::size_t base_paths, std::size_t k) {
+  return base_paths == 0 ? 0 : k % base_paths;
+}
+
+}  // namespace scapegoat::service

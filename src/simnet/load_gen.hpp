@@ -1,0 +1,73 @@
+// Deterministic open-loop load generator for the probe-ingest service
+// (DESIGN.md §13).
+//
+// Synthesizes the ProbeBatch streams that monitors would emit: per topology,
+// batch `seq` carries y = R·x_true plus per-path measurement jitter, with an
+// optional periodic "attack" batch whose one inflated path makes the
+// measurement inconsistent (R is non-square by construction, so the Eq. 23
+// residual fires — the online analogue of the paper's detectability result).
+//
+// Every batch is a PURE function of (seed, topology, seq): the jitter Rng is
+// Rng(derive_seed(seed, batch_id)), never a shared stream, so producers can
+// generate batches from any thread, in any order, at any shard count, and an
+// interrupted run can regenerate exactly the batches it needs to redeliver.
+// Path growth follows the same GrowthPlan the service shards apply, so the
+// generator's measurement width always matches the shard's estimator width.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "service/probe_batch.hpp"
+#include "tomography/estimator.hpp"
+
+namespace scapegoat::simnet {
+
+struct LoadGenOptions {
+  std::uint64_t seed = 0;
+  std::uint64_t batches_per_topology = 64;
+  double noise_ms = 1.0;  // per-path jitter ~ U[0, noise_ms) (Remark 4)
+  // Every `attack_every`-th batch of a topology (0 = never) carries an
+  // inconsistent +attack_delay_ms on one path.
+  std::uint64_t attack_every = 0;
+  double attack_delay_ms = 500.0;
+  service::GrowthPlan growth;  // must match the service's plan
+};
+
+class OpenLoopLoadGen {
+ public:
+  struct TopologyRef {
+    const TomographyEstimator* estimator = nullptr;
+    const Vector* x_true = nullptr;
+  };
+
+  OpenLoopLoadGen(std::vector<TopologyRef> topologies,
+                  const LoadGenOptions& opt);
+
+  std::size_t num_topologies() const { return clean_.size(); }
+  const LoadGenOptions& options() const { return opt_; }
+
+  // Batch (topology, seq) — pure, thread-safe, identical on every call.
+  service::ProbeBatch make_batch(std::uint32_t topology,
+                                 std::uint64_t seq) const;
+
+  // True iff (topology, seq) is an attack batch under the options.
+  bool is_attack_batch(std::uint64_t seq) const {
+    return opt_.attack_every != 0 &&
+           seq % opt_.attack_every == opt_.attack_every - 1;
+  }
+
+  // Total measurements (vector entries) across the whole configured run —
+  // the "probes" unit the overload soak's ≥10⁶ floor is stated in.
+  std::uint64_t total_probes() const;
+
+ private:
+  LoadGenOptions opt_;
+  std::vector<std::size_t> base_paths_;
+  std::vector<Vector> clean_;  // per-topology y₀ = R·x_true, base paths
+};
+
+}  // namespace scapegoat::simnet

@@ -185,6 +185,109 @@ bool prop_sparse_matches_dense_least_squares(Source& src) {
   return true;
 }
 
+// ---- linalg_sparse_row_append_matches_rebuild ------------------------------
+
+// Incremental CSR row append (the streaming-service growth path) must leave
+// storage BITWISE identical to rebuilding the whole matrix from triplets:
+// same row offsets, same column indices, same value bit patterns — across
+// any split point between "constructed" and "appended" rows, with exact
+// zeros dropped either way, and with SpMV still bitwise equal to dense.
+bool prop_sparse_row_append_matches_rebuild(Source& src) {
+  const std::size_t cols = 1 + src.index(10);
+  const std::size_t rows = 1 + src.index(12);
+
+  std::vector<Triplet> triplets;
+  std::vector<std::vector<std::size_t>> row_cols(rows);
+  std::vector<std::vector<double>> row_vals(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t entries = src.index(cols + 1);  // 0..cols per row
+    for (std::size_t c : src.distinct_indices(cols, entries)) {
+      // Exact zeros sometimes, to exercise the drop rule on both paths.
+      const double v = src.maybe(0.15) ? 0.0 : src.grid(0.25, 40);
+      row_cols[r].push_back(c);
+      row_vals[r].push_back(v);
+      triplets.push_back({r, c, v});
+    }
+  }
+  const auto rebuilt = SparseMatrix::try_from_triplets(rows, cols, triplets);
+  if (!rebuilt.ok()) {
+    src.note("triplet rebuild refused a clean draw: " +
+             rebuilt.error_message());
+    return false;
+  }
+
+  // Grow from a split point: rows [0, split) via triplets, the rest
+  // appended one by one (split == 0 grows from the empty matrix).
+  const std::size_t split = src.index(rows + 1);
+  std::vector<Triplet> head;
+  for (const Triplet& t : triplets)
+    if (t.row < split) head.push_back(t);
+  auto grown_or = SparseMatrix::try_from_triplets(split, cols, head);
+  if (!grown_or.ok()) {
+    src.note("head rebuild refused: " + grown_or.error_message());
+    return false;
+  }
+  SparseMatrix grown = grown_or.value();
+  for (std::size_t r = split; r < rows; ++r) {
+    const robust::Status appended =
+        grown.try_append_row(row_cols[r], row_vals[r]);
+    if (!appended.ok()) {
+      src.note("append of row " + std::to_string(r) +
+               " refused: " + appended.error_message());
+      return false;
+    }
+  }
+
+  // A duplicate-column append must be rejected and leave storage untouched.
+  if (cols >= 2) {
+    const std::size_t nnz_before = grown.nnz();
+    if (grown.try_append_row({0, 0}, {1.0, 2.0}).ok()) {
+      src.note("duplicate-column append was accepted");
+      return false;
+    }
+    if (grown.rows() != rows || grown.nnz() != nnz_before) {
+      src.note("rejected append mutated the matrix");
+      return false;
+    }
+  }
+
+  const SparseMatrix& reference = rebuilt.value();
+  if (grown.rows() != reference.rows() || grown.nnz() != reference.nnz() ||
+      grown.col_index() != reference.col_index()) {
+    src.note("storage shape diverged: grown " + grown.to_string() +
+             " vs rebuilt " + reference.to_string());
+    return false;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (grown.row_begin(r) != reference.row_begin(r) ||
+        grown.row_end(r) != reference.row_end(r)) {
+      src.note("row_ptr diverged at row " + std::to_string(r));
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < grown.values().size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(grown.values()[i]) !=
+        std::bit_cast<std::uint64_t>(reference.values()[i])) {
+      src.note("value not bitwise at nnz index " + std::to_string(i));
+      return false;
+    }
+  }
+
+  // And the grown matrix still honors the §12 bitwise SpMV contract.
+  const Vector probe = gen_vector(src, cols);
+  const Vector dense_prod = reference.to_dense() * probe;
+  const Vector sparse_prod = grown * probe;
+  for (std::size_t i = 0; i < dense_prod.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(dense_prod[i]) !=
+        std::bit_cast<std::uint64_t>(sparse_prod[i])) {
+      src.note("SpMV on the grown matrix not bitwise at row " +
+               std::to_string(i));
+      return false;
+    }
+  }
+  return true;
+}
+
 bool prop_qr_matches_normal_equations(Source& src) {
   const std::size_t cols = 1 + src.index(5);
   const std::size_t rows = cols + src.index(4);
@@ -453,6 +556,8 @@ const std::map<std::string, NamedProperty>& property_registry() {
        {prop_lp_revised_simplex_matches_tableau, 200, 1}},
       {"linalg_sparse_matches_dense_least_squares",
        {prop_sparse_matches_dense_least_squares, 200, 1}},
+      {"linalg_sparse_row_append_matches_rebuild",
+       {prop_sparse_row_append_matches_rebuild, 200, 1}},
       {"linalg_qr_matches_normal_equations",
        {prop_qr_matches_normal_equations, 200, 1}},
       {"linalg_pinv_satisfies_moore_penrose",

@@ -22,6 +22,24 @@ TomographyEstimator::TomographyEstimator(const Graph& g,
   ok_ = is_identifiable(r_);
 }
 
+robust::Status TomographyEstimator::try_append_path(const Path& path) {
+  std::vector<std::size_t> cols(path.links.begin(), path.links.end());
+  std::vector<double> ones(cols.size(), 1.0);
+  if (robust::Status st = rs_.try_append_row(cols, ones); !st.ok()) {
+    return st;
+  }
+  // Dense mirror: one-row extension by copy (the CSR side is the storage
+  // that matters at scale; to_dense(rs_) == r_ stays exact).
+  Matrix grown(r_.rows() + 1, r_.cols());
+  for (std::size_t i = 0; i < r_.rows(); ++i)
+    for (std::size_t j = 0; j < r_.cols(); ++j) grown(i, j) = r_(i, j);
+  for (LinkId l : path.links) grown(r_.rows(), l) = 1.0;
+  r_ = std::move(grown);
+  paths_.push_back(path);
+  pinv_.reset();  // G = R⁺ changed shape; recomputed on next use
+  return robust::ok_status();
+}
+
 bool TomographyEstimator::solve_iteratively() const {
   return backend_.use_iterative_solver(rs_.rows(), rs_.cols(), rs_.nnz());
 }

@@ -46,6 +46,16 @@ class TomographyEstimator {
   const SparseMatrix& sparse_r() const { return rs_; }
   const BackendPolicy& backend() const { return backend_; }
 
+  // Absorbs one more measurement path as a new row of R — the streaming
+  // shape, where monitors announce additional (possibly repeated, i.e.
+  // redundancy-adding) probe routes mid-run. The CSR form grows via the
+  // incremental SparseMatrix::try_append_row (no from-scratch triplet
+  // rebuild); the dense mirror is extended by a row copy and the cached
+  // pseudo-inverse is invalidated (recomputed lazily on next use). A row
+  // append can never lose column rank, so ok() is preserved. kInvalidInput
+  // when the path's links don't fit R's width or repeat a link.
+  robust::Status try_append_path(const Path& path);
+
   // x̂ from end-to-end measurements y (requires ok()).
   Vector estimate(const Vector& y) const;
 

@@ -11,6 +11,7 @@
 #include "lp/simplex.hpp"
 #include "robust/degraded.hpp"
 #include "robust/expected.hpp"
+#include "service/options.hpp"
 
 namespace scapegoat {
 namespace {
@@ -99,6 +100,30 @@ TEST(EnumIo, LpSolveStatusStreams) {
   std::ostringstream os;
   os << lp::SolveStatus::kOptimal << ' ' << lp::SolveStatus::kIterationLimit;
   EXPECT_EQ(os.str(), "optimal iteration_limit");
+}
+
+TEST(EnumIo, ServiceStateRoundTrips) {
+  for (service::ServiceState s :
+       {service::ServiceState::kHealthy, service::ServiceState::kDegraded,
+        service::ServiceState::kShedding, service::ServiceState::kDraining,
+        service::ServiceState::kStopped}) {
+    const auto back = service::service_state_from_string(service::to_string(s));
+    ASSERT_TRUE(back.has_value()) << service::to_string(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_EQ(service::to_string(service::ServiceState::kShedding), "shedding");
+  EXPECT_FALSE(service::service_state_from_string("overloaded").has_value());
+  EXPECT_FALSE(service::service_state_from_string("").has_value());
+}
+
+TEST(EnumIo, ServiceAdmissionAndShedModeStrings) {
+  EXPECT_EQ(service::to_string(service::Admission::kAdmitted), "admitted");
+  EXPECT_EQ(service::to_string(service::Admission::kRejected), "rejected");
+  EXPECT_EQ(service::to_string(service::Admission::kShed), "shed");
+  EXPECT_EQ(service::to_string(service::Admission::kClosed), "closed");
+  EXPECT_EQ(service::to_string(service::ShedPolicy::Mode::kOff), "off");
+  EXPECT_EQ(service::to_string(service::ShedPolicy::Mode::kAuto), "auto");
+  EXPECT_EQ(service::to_string(service::ShedPolicy::Mode::kPinned), "pinned");
 }
 
 TEST(EnumIo, ExpectedErrorMessage) {

@@ -28,6 +28,10 @@ TEST(PropLinalg, SparseMatchesDenseLeastSquares) {
   SCAPEGOAT_RUN_PROPERTY("linalg_sparse_matches_dense_least_squares");
 }
 
+TEST(PropLinalg, SparseRowAppendMatchesRebuild) {
+  SCAPEGOAT_RUN_PROPERTY("linalg_sparse_row_append_matches_rebuild");
+}
+
 // ---- oracle self-checks ---------------------------------------------------
 
 TEST(LinalgOracle, NormalEquationsSolveExactSquareSystem) {

@@ -182,6 +182,42 @@ TEST(RetryPolicy, BackoffBeforeFirstAttemptIsZero) {
   EXPECT_DOUBLE_EQ(p.backoff_before(2), 20.0);
 }
 
+TEST(RetryPolicy, RetryAfterHintFloorsTheBackoff) {
+  RetryPolicy p;
+  p.backoff_base_ms = 10.0;
+  p.backoff_factor = 2.0;
+  // Hint above the curve: the server's ask wins.
+  EXPECT_DOUBLE_EQ(p.backoff_before(1, -1.0, 50.0), 50.0);
+  // Hint below the curve: our own backoff still applies.
+  EXPECT_DOUBLE_EQ(p.backoff_before(3, -1.0, 5.0), 40.0);
+  // No hint (<= 0) degrades to the plain form.
+  EXPECT_DOUBLE_EQ(p.backoff_before(2, -1.0, 0.0), p.backoff_before(2, -1.0));
+  EXPECT_DOUBLE_EQ(p.backoff_before(2, -1.0, -3.0), p.backoff_before(2, -1.0));
+}
+
+TEST(RetryPolicy, RetryAfterHintSaturatesAndClamps) {
+  RetryPolicy p;
+  p.backoff_base_ms = 10.0;
+  p.max_backoff_ms = 1000.0;
+  // An hour-long server hint saturates at the policy ceiling...
+  EXPECT_DOUBLE_EQ(p.backoff_before(1, -1.0, 3.6e6), 1000.0);
+  // ...and the remaining deadline clamps whatever survives.
+  EXPECT_DOUBLE_EQ(p.backoff_before(1, 25.0, 50.0), 25.0);
+  EXPECT_DOUBLE_EQ(p.backoff_before(1, 0.0, 50.0), 0.0);
+}
+
+TEST(RetryPolicy, RetryFitsHonoursDeadlineAndCeiling) {
+  RetryPolicy p;
+  p.max_backoff_ms = 1000.0;
+  EXPECT_TRUE(p.retry_fits(-1.0, 1e9));   // no deadline: always fits
+  EXPECT_TRUE(p.retry_fits(100.0, 50.0));
+  EXPECT_FALSE(p.retry_fits(100.0, 200.0));
+  // A saturating hint fits iff the ceiling itself fits.
+  EXPECT_TRUE(p.retry_fits(1000.0, 1e9));
+  EXPECT_FALSE(p.retry_fits(999.0, 1e9));
+  EXPECT_TRUE(p.retry_fits(0.0, 0.0));    // nothing to wait for
+}
+
 TEST(Median, OddEvenEmptyAndOutlier) {
   EXPECT_EQ(median({}), 0.0);
   EXPECT_DOUBLE_EQ(median({5.0}), 5.0);

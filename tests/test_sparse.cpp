@@ -70,6 +70,66 @@ TEST(SparseMatrix, SingleEntry) {
   EXPECT_DOUBLE_EQ(s.density(), 1.0 / 6.0);
 }
 
+TEST(SparseMatrix, AppendRowMatchesFromTripletsBitwise) {
+  // Growing [2x3] by one row must leave CSR arrays identical to rebuilding
+  // the [3x3] matrix from scratch — including an unsorted, zero-carrying
+  // appended row.
+  SparseMatrix grown =
+      SparseMatrix::from_triplets(2, 3, {{0, 1, 2.5}, {1, 0, -1.0}});
+  grown.append_row({2, 0, 1}, {4.0, 0.0, -3.0});  // unsorted + exact zero
+  const SparseMatrix rebuilt = SparseMatrix::from_triplets(
+      3, 3, {{0, 1, 2.5}, {1, 0, -1.0}, {2, 1, -3.0}, {2, 2, 4.0}});
+  ASSERT_EQ(grown.rows(), rebuilt.rows());
+  ASSERT_EQ(grown.nnz(), rebuilt.nnz());
+  EXPECT_EQ(grown.col_index(), rebuilt.col_index());
+  for (std::size_t r = 0; r < grown.rows(); ++r) {
+    EXPECT_EQ(grown.row_begin(r), rebuilt.row_begin(r));
+    EXPECT_EQ(grown.row_end(r), rebuilt.row_end(r));
+  }
+  for (std::size_t k = 0; k < grown.nnz(); ++k) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(grown.values()[k]),
+              std::bit_cast<std::uint64_t>(rebuilt.values()[k]));
+  }
+  const Vector probe{1.0, -2.0, 0.5};
+  EXPECT_TRUE(bitwise_equal(grown * probe, rebuilt * probe));
+}
+
+TEST(SparseMatrix, AppendRowCanBeStructurallyEmpty) {
+  SparseMatrix s = SparseMatrix::from_triplets(1, 2, {{0, 0, 1.0}});
+  ASSERT_TRUE(s.try_append_row({0, 1}, {0.0, 0.0}).ok());
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.nnz(), 1u);
+  EXPECT_EQ(s.row_nnz(1), 0u);
+  const Vector y = s * Vector(2, 3.0);
+  EXPECT_EQ(y[1], 0.0);
+}
+
+TEST(SparseMatrix, AppendRowRejectionsLeaveMatrixUntouched) {
+  SparseMatrix s = SparseMatrix::from_triplets(2, 3, {{0, 0, 1.0}, {1, 2, 2.0}});
+  const std::size_t rows_before = s.rows();
+  const std::size_t nnz_before = s.nnz();
+
+  const auto dup = s.try_append_row({1, 1}, {1.0, 2.0});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.code(), robust::ErrorCode::kInvalidInput);
+
+  const auto oob = s.try_append_row({3}, {1.0});
+  ASSERT_FALSE(oob.ok());
+  EXPECT_EQ(oob.code(), robust::ErrorCode::kInvalidInput);
+
+  const auto mismatch = s.try_append_row({0, 1}, {1.0});
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.code(), robust::ErrorCode::kDimensionMismatch);
+
+  EXPECT_EQ(s.rows(), rows_before);
+  EXPECT_EQ(s.nnz(), nnz_before);
+
+  SparseMatrix zero_width;
+  const auto no_cols = zero_width.try_append_row({}, {});
+  ASSERT_FALSE(no_cols.ok());
+  EXPECT_EQ(no_cols.code(), robust::ErrorCode::kInvalidInput);
+}
+
 TEST(SparseMatrix, DuplicateCoordinatesRejected) {
   const auto dup = SparseMatrix::try_from_triplets(
       2, 2, {{0, 1, 1.0}, {1, 0, 2.0}, {0, 1, 3.0}});

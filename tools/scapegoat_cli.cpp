@@ -22,6 +22,7 @@
 #include "obs/export.hpp"
 #include "obs/obs.hpp"
 #include "robust/watchdog.hpp"
+#include "service/session.hpp"
 #include "util/args.hpp"
 #include "util/thread_pool.hpp"
 
@@ -41,6 +42,13 @@ int usage(const char* reason) {
       "            (--rates permille list, --trials N, --retries N)\n"
       "  metrics — run an instrumented workload and print the metrics\n"
       "            registry (--trials N, --format table|json|csv)\n"
+      "  serve   — streaming probe-ingest session: bounded queues, shards,\n"
+      "            online Eq. 23 windows, supervised restart\n"
+      "            (--topologies N --shards N --batches N --producers N\n"
+      "             --capacity N --high-water N --shed off|auto|pinned\n"
+      "             --shed-permille N --window N --stride N --alpha MS\n"
+      "             --attack-every N --noise MS --grow-every N --open-loop\n"
+      "             --batch-budget-ms MS --journal PATH --resume)\n"
       "flags: --topology fig1|wireline|wireless|file:PATH  --seed N\n"
       "       --strategy chosen|max|obfuscation  --victim L(1-based)\n"
       "       --attackers a,b,c  --redundant N  --alpha MS  --csv\n"
@@ -355,6 +363,106 @@ int cmd_metrics(ArgParser& args, obs::MetricsRegistry& registry) {
   return 0;
 }
 
+// Streaming probe-ingest session: the service face of DESIGN.md §13.
+// SIGTERM/SIGINT drain gracefully — the supervisor closes admissions, the
+// shards finish the queued backlog with journals flushed, and the session
+// reports partial accounting (rerun with --journal/--resume to continue).
+int cmd_serve(ArgParser& args) {
+  service::SessionWorkload workload;
+  const std::string topo = args.get_string("topology", "wireline");
+  workload.kind =
+      topo == "wireless" ? TopologyKind::kWireless : TopologyKind::kWireline;
+  workload.topologies =
+      static_cast<std::size_t>(args.get_int("topologies", 2));
+  workload.scenario_seed = static_cast<std::uint64_t>(args.get_int("seed", 7));
+  workload.producers = static_cast<std::size_t>(args.get_int("producers", 2));
+  workload.closed_loop = !args.get_bool("open-loop");
+  workload.load.seed = derive_seed(workload.scenario_seed, 0x10adull);
+  workload.load.batches_per_topology =
+      static_cast<std::uint64_t>(args.get_int("batches", 256));
+  workload.load.noise_ms = args.get_double("noise", 1.0);
+  workload.load.attack_every =
+      static_cast<std::uint64_t>(args.get_int("attack-every", 0));
+  workload.load.attack_delay_ms = args.get_double("attack-delay", 500.0);
+  workload.load.growth.every =
+      static_cast<std::size_t>(args.get_int("grow-every", 0));
+
+  service::ServiceOptions opt;
+  opt.shards = static_cast<std::size_t>(args.get_int("shards", 2));
+  opt.queue_capacity =
+      static_cast<std::size_t>(args.get_int("capacity", 1024));
+  opt.high_water = static_cast<std::size_t>(
+      args.get_int("high-water",
+                   static_cast<long>(opt.queue_capacity * 3 / 4)));
+  const std::string shed = args.get_string("shed", "auto");
+  if (shed == "off") {
+    opt.shed.mode = service::ShedPolicy::Mode::kOff;
+  } else if (shed == "pinned") {
+    opt.shed.mode = service::ShedPolicy::Mode::kPinned;
+  } else if (shed == "auto") {
+    opt.shed.mode = service::ShedPolicy::Mode::kAuto;
+  } else {
+    std::cerr << "error: --shed expects off|auto|pinned\n";
+    return 2;
+  }
+  opt.shed.seed = workload.scenario_seed;
+  opt.shed.permille =
+      static_cast<std::uint32_t>(args.get_int("shed-permille", 125));
+  opt.window = static_cast<std::size_t>(args.get_int("window", 8));
+  opt.stride =
+      static_cast<std::size_t>(args.get_int("stride",
+                                            static_cast<long>(opt.window)));
+  opt.alpha_ms = args.get_double("alpha", 200.0);
+  opt.batch_budget_ms = args.get_double("batch-budget-ms", 0.0);
+  opt.journal_path = args.get_string("journal");
+  opt.resume = args.get_bool("resume");
+  opt.seed = workload.scenario_seed;
+  opt.growth = workload.load.growth;
+
+  const auto report = service::run_service_session(workload, opt);
+  if (!report.ok()) {
+    std::cerr << "error: " << report.error_message() << '\n';
+    return 1;
+  }
+  const service::SessionReport& r = report.value();
+  const service::ServiceStats& s = r.stats;
+  std::cout << "streaming session (" << to_string(workload.kind) << ", "
+            << workload.topologies << " topologies, " << opt.shards
+            << " shards, shed " << to_string(opt.shed.mode) << ", "
+            << (workload.closed_loop ? "closed" : "open") << " loop)\n"
+            << "state: " << to_string(r.final_state)
+            << (r.interrupted ? "   (interrupted — drained gracefully)"
+                              : "")
+            << '\n'
+            << "offered " << s.offered << "  admitted " << s.admitted
+            << "  rejected " << s.rejected << "  shed " << s.shed
+            << "  closed " << s.closed << '\n'
+            << "processed " << s.processed << "  duplicates " << s.duplicates
+            << "  malformed " << s.malformed << "  quarantined "
+            << s.quarantined << "  lost-in-flight " << s.lost_in_flight()
+            << '\n'
+            << "probes " << r.probes_offered << "  max queue depth "
+            << s.max_queue_depth << "/" << opt.queue_capacity
+            << "  shard restarts " << s.restarts << '\n';
+  Table table({"topology", "windows", "alarms", "last_mean_ms", "verdict"});
+  for (std::size_t t = 0; t < r.windows_by_topology.size(); ++t) {
+    const auto& windows = r.windows_by_topology[t];
+    std::size_t alarms = 0;
+    for (const service::WindowDecision& d : windows) alarms += d.alarm;
+    table.add_row(
+        {std::to_string(t), std::to_string(windows.size()),
+         std::to_string(alarms),
+         windows.empty() ? "-" : Table::num(windows.back().mean_residual_ms),
+         alarms > 0 ? "MANIPULATED" : "consistent"});
+  }
+  if (args.get_bool("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -405,6 +513,8 @@ int main(int argc, char** argv) {
     rc = cmd_faults(args);
   } else if (cmd == "metrics") {
     rc = cmd_metrics(args, registry);
+  } else if (cmd == "serve") {
+    rc = cmd_serve(args);
   } else {
     return usage(("unknown command '" + cmd + "'").c_str());
   }
