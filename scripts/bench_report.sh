@@ -18,11 +18,17 @@
 #                   probe-ingest service: bounded queue depth, exact batch
 #                   accounting, zero crashes, shard-count-independent pinned
 #                   shed set (EXPERIMENTS.md "Streaming service")
+#   BENCH_pr8.json  bench_sparse_recovery — planted k-sparse anomalies
+#                   through the ℓ1 estimator in the identifiable and
+#                   underdetermined regimes, with the LS-agreement and
+#                   support-recovery gates (EXPERIMENTS.md "Sparse-recovery
+#                   estimator")
 # Re-run after touching the obs layer, the checkpoint journal, the sparse
 # numerics, the LP solvers, the service layer, or any instrumented hot path.
 #
 #   scripts/bench_report.sh [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH]
 #                           [--sparse-out PATH] [--service-out PATH]
+#                           [--sparse-recovery-out PATH]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -32,6 +38,7 @@ obs_out=BENCH_pr3.json
 ckpt_out=BENCH_pr4.json
 sparse_out=BENCH_pr6.json
 service_out=BENCH_pr7.json
+sparse_recovery_out=BENCH_pr8.json
 quick=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -40,8 +47,9 @@ while [ $# -gt 0 ]; do
     --ckpt-out) ckpt_out=$2; shift ;;
     --sparse-out) sparse_out=$2; shift ;;
     --service-out) service_out=$2; shift ;;
+    --sparse-recovery-out) sparse_recovery_out=$2; shift ;;
     -j) jobs=$2; shift ;;
-    *) echo "usage: $0 [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH] [--sparse-out PATH] [--service-out PATH]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH] [--sparse-out PATH] [--service-out PATH] [--sparse-recovery-out PATH]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -54,7 +62,8 @@ unset SCAPEGOAT_PROP_ITERS SCAPEGOAT_PROP_SEED SCAPEGOAT_PROP_CORPUS
 
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" --target bench_observability \
-      bench_checkpoint_overhead bench_sparse bench_streaming
+      bench_checkpoint_overhead bench_sparse bench_streaming \
+      bench_sparse_recovery
 
 build/bench/bench_observability $quick --out "$obs_out"
 echo "report: $obs_out"
@@ -67,3 +76,6 @@ echo "report: $sparse_out"
 
 build/bench/bench_streaming $quick --out "$service_out"
 echo "report: $service_out"
+
+build/bench/bench_sparse_recovery $quick --out "$sparse_recovery_out"
+echo "report: $sparse_recovery_out"

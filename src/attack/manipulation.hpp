@@ -17,14 +17,19 @@
 #include "graph/graph.hpp"
 #include "linalg/matrix.hpp"
 #include "lp/simplex.hpp"
-#include "tomography/estimator.hpp"
+#include "tomography/estimator_interface.hpp"
 #include "tomography/link_state.hpp"
 
 namespace scapegoat {
 
 struct AttackContext {
   const Graph* graph = nullptr;
-  const TomographyEstimator* estimator = nullptr;
+  // The defender under attack — any Estimator family. The attack LPs model
+  // the least-squares response through pseudo_inverse() (a property of R
+  // shared by all families); AttackResult::x_estimated always reports what
+  // THIS estimator answers, so a sparse-recovery defender's reaction is
+  // evaluated faithfully.
+  const Estimator* estimator = nullptr;
   Vector x_true;                  // real link metrics (no attack)
   std::vector<NodeId> attackers;  // V_m
   StateThresholds thresholds;     // b_l / b_u

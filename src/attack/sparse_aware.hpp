@@ -1,0 +1,64 @@
+// Sparsity-aware scapegoating — the attack re-asked against the
+// EstimatorKind::kSparseRecovery defender (DESIGN.md §14).
+//
+// Against the least-squares defender the Theorem-1 consistent construction
+// must satisfy R x̂′ = y′ exactly. A sparse-recovery defender with an ∞-ball
+// tolerance ε accepts any y′ admitting SOME nonnegative x with
+// ‖Rx − y′‖∞ ≤ ε, so the adversary's consistency constraint relaxes to
+// "the target estimate explains y′ to within ε per path":
+//
+//   max Σᵢ mᵢ  over  Δx̂ (banded links), m (attacker paths)
+//   s.t. |（RΔx̂)ᵢ − mᵢ| ≤ ε          on attacker paths (mᵢ ∈ [0, cap]),
+//        |（RΔx̂)ᵢ| ≤ ε               on attacker-free paths (mᵢ ≡ 0),
+//        x_true + Δx̂ keeps attacker links normal, victims abnormal,
+//        x_true + Δx̂ ⪰ 0            (else the defender's LP rejects it).
+//
+// ε = 0 degenerates to the consistent construction (with the extra x ⪰ 0
+// target restriction). ε > 0 buys the attacker two things: up to ε extra
+// damage on every controlled path, and feasibility under slightly-imperfect
+// cuts where an attacker-free path sees a small nonzero (RΔx̂)ᵢ.
+//
+// Honest-evaluation caveat: feasibility guarantees a valid point inside the
+// defender's ε-ball exists — not that the defender's min-‖x − prior‖₁ fit
+// picks it. AttackResult::x_estimated is therefore materialized through
+// ctx.estimator->estimate(y′), i.e. the defender the context actually
+// carries, and callers must judge success from the reported states.
+
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "attack/manipulation.hpp"
+
+namespace scapegoat {
+
+// Where the attacker spends its ε leakage budget.
+enum class LeakageScope {
+  kAttackerPaths,  // attacker-free paths stay exactly consistent (stealthy
+                   // even against an equality-mode sparse defender there)
+  kAllPaths,       // ±ε everywhere — relaxes the perfect-cut requirement
+};
+
+std::string to_string(LeakageScope scope);
+std::optional<LeakageScope> leakage_scope_from_string(std::string_view s);
+std::ostream& operator<<(std::ostream& os, LeakageScope scope);
+
+struct SparseAwareOptions {
+  // Per-path leakage budget. Stealth against a sparse defender with ball
+  // radius ε_def requires epsilon_ms ≤ ε_def.
+  double epsilon_ms = 10.0;
+  LeakageScope scope = LeakageScope::kAllPaths;
+};
+
+// Solves the sparsity-aware chosen-victim LP above. Infeasible (success ==
+// false) when no target estimate within the leakage budget frames the
+// victims — e.g. a badly imperfect cut, exactly like the consistent LP.
+AttackResult sparse_aware_attack(const AttackContext& ctx,
+                                 const std::vector<LinkId>& victims,
+                                 const SparseAwareOptions& opt = {});
+
+}  // namespace scapegoat

@@ -1,0 +1,297 @@
+#include "core/defender_ablation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <ostream>
+
+#include "attack/chosen_victim.hpp"
+#include "attack/sparse_aware.hpp"
+#include "detect/detector.hpp"
+#include "obs/obs.hpp"
+#include "tomography/sparse_recovery.hpp"
+#include "util/thread_pool.hpp"
+
+namespace scapegoat {
+
+std::string to_string(AttackFamily f) {
+  switch (f) {
+    case AttackFamily::kUnrestricted:
+      return "unrestricted";
+    case AttackFamily::kConsistent:
+      return "consistent";
+    case AttackFamily::kSparseAware:
+      return "sparse-aware";
+  }
+  return "?";
+}
+
+std::optional<AttackFamily> attack_family_from_string(std::string_view s) {
+  if (s == "unrestricted") return AttackFamily::kUnrestricted;
+  if (s == "consistent") return AttackFamily::kConsistent;
+  if (s == "sparse-aware") return AttackFamily::kSparseAware;
+  return std::nullopt;
+}
+
+std::ostream& operator<<(std::ostream& os, AttackFamily f) {
+  return os << to_string(f);
+}
+
+namespace {
+
+constexpr std::uint64_t kAblTopologySalt = 0xab1a70b010ull;
+constexpr std::uint64_t kAblTrialSalt = 0xab17121a1ull;
+constexpr std::uint64_t kAblCleanSalt = 0xab1c1ea9ull;
+
+// Same growth scheme as experiment.cpp's Fig. 9 helper (kept file-local
+// there by design): enclose a connected non-monitor region S; its boundary
+// nodes are the attackers, its internal links the perfectly-cut victims.
+struct CutSample {
+  std::vector<NodeId> attackers;
+  std::vector<LinkId> internal_links;
+};
+
+std::optional<CutSample> grow_cut(const Scenario& sc, std::size_t target_size,
+                                  Rng& rng) {
+  const Graph& g = sc.graph();
+  std::vector<NodeId> non_monitors;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (!sc.is_monitor(v)) non_monitors.push_back(v);
+  if (non_monitors.empty()) return std::nullopt;
+
+  const NodeId seed = non_monitors[rng.index(non_monitors.size())];
+  std::vector<bool> in_s(g.num_nodes(), false);
+  std::vector<NodeId> s{seed};
+  in_s[seed] = true;
+  for (std::size_t i = 0; i < s.size() && s.size() < target_size; ++i) {
+    std::vector<Adjacent> nbrs = g.neighbors(s[i]);
+    rng.shuffle(nbrs);
+    for (const Adjacent& a : nbrs) {
+      if (s.size() >= target_size) break;
+      if (in_s[a.neighbor] || sc.is_monitor(a.neighbor)) continue;
+      in_s[a.neighbor] = true;
+      s.push_back(a.neighbor);
+    }
+  }
+
+  CutSample out;
+  for (LinkId l = 0; l < g.num_links(); ++l) {
+    const Link& link = g.link(l);
+    if (in_s[link.u] && in_s[link.v]) out.internal_links.push_back(l);
+  }
+  if (out.internal_links.empty()) return std::nullopt;
+  std::vector<bool> is_attacker(g.num_nodes(), false);
+  for (NodeId v : s) {
+    for (const Adjacent& a : g.neighbors(v)) {
+      if (!in_s[a.neighbor] && !is_attacker[a.neighbor]) {
+        is_attacker[a.neighbor] = true;
+        out.attackers.push_back(a.neighbor);
+      }
+    }
+  }
+  if (out.attackers.empty()) return std::nullopt;
+  return out;
+}
+
+// The defender panel for one topology: the scenario's own least-squares
+// estimator plus one SparseRecoveryEstimator per swept ε, all anchored to
+// the topology's baseline metrics as the prior.
+struct DefenderPanel {
+  std::vector<std::unique_ptr<SparseRecoveryEstimator>> sparse;
+};
+
+DefenderPanel build_panel(const Scenario& sc,
+                          const DefenderAblationOptions& opt) {
+  DefenderPanel panel;
+  for (double eps : opt.defender_epsilons_ms) {
+    SparseRecoveryOptions so;
+    so.constraint =
+        eps > 0.0 ? SparseConstraint::kInfBall : SparseConstraint::kEquality;
+    so.epsilon_ms = eps;
+    so.prior = sc.x_true();
+    panel.sparse.push_back(std::make_unique<SparseRecoveryEstimator>(
+        sc.graph(), sc.estimator().paths(), so));
+  }
+  return panel;
+}
+
+struct TrialOut {
+  bool counted = false;  // attack succeeded and was evaluated
+  bool ls = false;
+  std::uint32_t sparse_mask = 0;  // bit e = defender ε index e fired
+};
+
+// Plants the k-sparse anomaly over the baseline, runs the family's attack,
+// and puts the SAME observed y′ in front of every defender.
+TrialOut attack_trial(const Scenario& sc, const DefenderPanel& panel,
+                      AttackFamily family, std::size_t k,
+                      const DefenderAblationOptions& opt, Rng& rng) {
+  TrialOut out;
+  const std::size_t num_links = sc.graph().num_links();
+  Vector x = sc.x_true();
+  for (std::size_t l :
+       rng.sample_without_replacement(num_links, std::min(k, num_links)))
+    x[l] += opt.anomaly_delay_ms;
+
+  Vector y_observed;
+  if (family == AttackFamily::kUnrestricted) {
+    const std::size_t na = static_cast<std::size_t>(rng.uniform_int(1, 4));
+    AttackContext ctx =
+        sc.context(rng.sample_without_replacement(sc.graph().num_nodes(), na));
+    ctx.x_true = x;
+    const std::vector<std::size_t> on = ctx.attacker_path_indices();
+    if (on.empty()) return out;
+    y_observed = ctx.true_measurements();
+    const double delta = std::min(opt.attack_epsilon_ms, ctx.per_path_cap);
+    for (std::size_t i : on) y_observed[i] += delta;
+  } else {
+    std::optional<CutSample> cut = grow_cut(sc, 8, rng);
+    if (!cut) return out;
+    AttackContext ctx = sc.context(cut->attackers);
+    ctx.x_true = x;
+    const LinkId victim =
+        cut->internal_links[rng.index(cut->internal_links.size())];
+    AttackResult res;
+    if (family == AttackFamily::kConsistent) {
+      res = chosen_victim_attack(ctx, {victim}, ManipulationMode::kConsistent);
+    } else {
+      SparseAwareOptions sa;
+      sa.epsilon_ms = opt.attack_epsilon_ms;
+      res = sparse_aware_attack(ctx, {victim}, sa);
+    }
+    if (!res.success) return out;
+    y_observed = std::move(res.y_observed);
+  }
+  if (opt.noise_ms > 0.0)
+    for (double& yi : y_observed) yi += rng.uniform(0.0, opt.noise_ms);
+
+  const DetectorOptions det{opt.alpha};
+  out.ls = detect_scapegoating(sc.estimator(), y_observed, det).detected;
+  for (std::size_t e = 0; e < panel.sparse.size(); ++e)
+    if (detect_scapegoating(*panel.sparse[e], y_observed, det).detected)
+      out.sparse_mask |= 1u << e;
+  out.counted = true;
+  return out;
+}
+
+// Honest trial: anomaly + noise, no manipulation. `counted` is always true.
+TrialOut clean_trial(const Scenario& sc, const DefenderPanel& panel,
+                     const DefenderAblationOptions& opt, Rng& rng) {
+  TrialOut out;
+  const std::size_t num_links = sc.graph().num_links();
+  const std::size_t k =
+      opt.anomaly_sparsity.empty()
+          ? 1
+          : opt.anomaly_sparsity[rng.index(opt.anomaly_sparsity.size())];
+  Vector x = sc.x_true();
+  for (std::size_t l :
+       rng.sample_without_replacement(num_links, std::min(k, num_links)))
+    x[l] += opt.anomaly_delay_ms;
+  Vector y = sc.estimator().r() * x;
+  if (opt.noise_ms > 0.0)
+    for (double& yi : y) yi += rng.uniform(0.0, opt.noise_ms);
+
+  const DetectorOptions det{opt.alpha};
+  out.ls = detect_scapegoating(sc.estimator(), y, det).detected;
+  for (std::size_t e = 0; e < panel.sparse.size(); ++e)
+    if (detect_scapegoating(*panel.sparse[e], y, det).detected)
+      out.sparse_mask |= 1u << e;
+  out.counted = true;
+  return out;
+}
+
+}  // namespace
+
+AblationSeries run_defender_ablation(const DefenderAblationOptions& opt) {
+  assert(opt.defender_epsilons_ms.size() <= 32 &&
+         "sparse_mask packs one bit per swept ε");
+  AblationSeries series;
+  series.kind = opt.kind;
+  series.epsilons = opt.defender_epsilons_ms;
+  series.sparse_false_alarms.assign(opt.defender_epsilons_ms.size(), 0);
+  const std::size_t ne = opt.defender_epsilons_ms.size();
+  for (AttackFamily f : opt.families) {
+    for (std::size_t k : opt.anomaly_sparsity) {
+      AblationCell cell;
+      cell.family = f;
+      cell.sparsity = k;
+      cell.sparse_detected.assign(ne, 0);
+      cell.ls_only.assign(ne, 0);
+      cell.sparse_only.assign(ne, 0);
+      series.cells.push_back(std::move(cell));
+    }
+  }
+
+  const std::uint64_t base =
+      opt.seed + (opt.kind == TopologyKind::kWireline ? 0 : 0xab1f1ee5u);
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = acquire_pool(opt, owned);
+
+  obs::ScopedSpan run_span("core.ablation.run");
+  run_span.attr("kind", to_string(opt.kind));
+
+  const std::size_t cells = series.cells.size();
+  const std::size_t per_topology = cells * opt.trials_per_cell;
+
+  for (std::size_t t = 0; t < opt.topologies; ++t) {
+    Rng topo_rng(derive_seed(base ^ kAblTopologySalt, t));
+    std::optional<Scenario> sc = make_scenario(opt.kind, topo_rng);
+    if (!sc) continue;
+    sc->estimator().pseudo_inverse();  // warm the lazy cache pre-fan-out
+    const DefenderPanel panel = build_panel(*sc, opt);
+
+    // Clean block: one index space per topology, folded serially.
+    std::vector<TrialOut> clean_outs(opt.clean_trials);
+    pool.parallel_for(0, opt.clean_trials, opt.grain,
+                      [&](std::size_t lo, std::size_t hi) {
+                        for (std::size_t i = lo; i < hi; ++i) {
+                          Rng rng(derive_seed(base ^ kAblCleanSalt,
+                                              t * opt.clean_trials + i));
+                          clean_outs[i] = clean_trial(*sc, panel, opt, rng);
+                        }
+                      });
+    for (const TrialOut& o : clean_outs) {
+      ++series.clean_trials;
+      if (o.ls) ++series.ls_false_alarms;
+      for (std::size_t e = 0; e < ne; ++e)
+        if (o.sparse_mask & (1u << e)) ++series.sparse_false_alarms[e];
+      obs::count("core.ablation.clean_trials");
+      if (o.ls || o.sparse_mask != 0) obs::count("core.ablation.false_alarms");
+    }
+
+    // Attack block: cells × trials flattened; trial i's RNG stream depends
+    // only on the global index, never on scheduling.
+    std::vector<TrialOut> outs(per_topology);
+    pool.parallel_for(
+        0, per_topology, opt.grain, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t cell = i / opt.trials_per_cell;
+            obs::ScopedSpan trial_span("core.ablation.trial");
+            Rng rng(derive_seed(base ^ kAblTrialSalt, t * per_topology + i));
+            outs[i] = attack_trial(*sc, panel, series.cells[cell].family,
+                                   series.cells[cell].sparsity, opt, rng);
+          }
+        });
+    for (std::size_t i = 0; i < per_topology; ++i) {
+      ++series.total_trials;
+      const TrialOut& o = outs[i];
+      if (!o.counted) continue;
+      AblationCell& cell = series.cells[i / opt.trials_per_cell];
+      ++cell.attacks;
+      if (o.ls) ++cell.ls_detected;
+      for (std::size_t e = 0; e < ne; ++e) {
+        const bool sp = (o.sparse_mask & (1u << e)) != 0;
+        if (sp) ++cell.sparse_detected[e];
+        if (o.ls && !sp) ++cell.ls_only[e];
+        if (!o.ls && sp) ++cell.sparse_only[e];
+      }
+      obs::count("core.ablation.attacks");
+      if (o.ls) obs::count("core.ablation.ls_detected");
+      if (o.sparse_mask != 0) obs::count("core.ablation.sparse_detected");
+    }
+  }
+  run_span.attr("trials", static_cast<std::uint64_t>(series.total_trials));
+  return series;
+}
+
+}  // namespace scapegoat

@@ -27,6 +27,8 @@
 #include "attack/max_damage.hpp"
 #include "attack/naive_attack.hpp"
 #include "attack/obfuscation.hpp"
+#include "attack/sparse_aware.hpp"
+#include "core/defender_ablation.hpp"
 #include "core/experiment.hpp"
 #include "core/fault_experiment.hpp"
 #include "core/figures.hpp"
@@ -58,7 +60,9 @@
 #include "simnet/resilient_probing.hpp"
 #include "simnet/simulator.hpp"
 #include "tomography/estimator.hpp"
+#include "tomography/estimator_interface.hpp"
 #include "tomography/link_state.hpp"
+#include "tomography/sparse_recovery.hpp"
 #include "tomography/loss_metric.hpp"
 #include "tomography/monitor_placement.hpp"
 #include "tomography/path_selection.hpp"

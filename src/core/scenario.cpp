@@ -8,12 +8,41 @@
 
 namespace scapegoat {
 
+namespace {
+
+EstimatorOptions estimator_options_for(const ScenarioConfig& config) {
+  EstimatorOptions opt;
+  opt.sparse_epsilon_ms = config.sparse_epsilon_ms;
+  return opt;
+}
+
+}  // namespace
+
 Scenario::Scenario(Graph graph, std::vector<NodeId> monitors,
                    std::vector<Path> paths, ScenarioConfig config)
     : graph_(std::move(graph)),
       monitors_(std::move(monitors)),
-      estimator_(graph_, std::move(paths)),
+      estimator_(make_estimator(config.estimator_kind, graph_,
+                                std::move(paths),
+                                estimator_options_for(config))),
       config_(config) {}
+
+Scenario::Scenario(const Scenario& other)
+    : graph_(other.graph_),
+      monitors_(other.monitors_),
+      estimator_(other.estimator_->clone()),
+      x_true_(other.x_true_),
+      config_(other.config_) {}
+
+Scenario& Scenario::operator=(const Scenario& other) {
+  if (this == &other) return *this;
+  graph_ = other.graph_;
+  monitors_ = other.monitors_;
+  estimator_ = other.estimator_->clone();
+  x_true_ = other.x_true_;
+  config_ = other.config_;
+  return *this;
+}
 
 Scenario Scenario::fig1(Rng& rng, const ScenarioConfig& config) {
   ExampleNetwork net = fig1_network();
@@ -48,7 +77,7 @@ std::optional<Scenario> Scenario::restore(Graph graph,
     if (m >= graph.num_nodes()) return std::nullopt;
   Scenario sc(std::move(graph), std::move(monitors), std::move(paths),
               config);
-  if (!sc.estimator_.ok()) return std::nullopt;
+  if (!sc.estimator_->ok()) return std::nullopt;
   sc.x_true_ = std::move(x_true);
   return sc;
 }
@@ -66,7 +95,7 @@ void Scenario::resample_metrics(Rng& rng) {
 AttackContext Scenario::context(std::vector<NodeId> attackers) const {
   AttackContext ctx;
   ctx.graph = &graph_;
-  ctx.estimator = &estimator_;
+  ctx.estimator = estimator_.get();
   ctx.x_true = x_true_;
   ctx.attackers = std::move(attackers);
   ctx.thresholds = config_.thresholds;
@@ -76,7 +105,7 @@ AttackContext Scenario::context(std::vector<NodeId> attackers) const {
 }
 
 Vector Scenario::clean_measurements() const {
-  return path_metrics(estimator_.paths(), x_true_);
+  return path_metrics(estimator_->paths(), x_true_);
 }
 
 Vector Scenario::noisy_measurements(double amplitude, Rng& rng) const {

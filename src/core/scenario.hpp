@@ -6,12 +6,13 @@
 
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
 #include "attack/manipulation.hpp"
 #include "graph/graph.hpp"
-#include "tomography/estimator.hpp"
+#include "tomography/estimator_interface.hpp"
 #include "tomography/monitor_placement.hpp"
 #include "util/random.hpp"
 
@@ -23,6 +24,11 @@ struct ScenarioConfig {
   StateThresholds thresholds;  // normal < 100 ms, abnormal > 800 ms (§V-A)
   double per_path_cap_ms = 2000.0;  // attacker per-path delay limit (§V-A)
   double margin_ms = 1.0;      // strictness margin in state constraints
+  // Which defender the deployment runs (DESIGN.md §14). kSparseRecovery
+  // builds the ℓ1 estimator with a zero prior and the ∞-ball tolerance
+  // below; kLeastSquares ignores the ε.
+  EstimatorKind estimator_kind = EstimatorKind::kLeastSquares;
+  double sparse_epsilon_ms = 0.0;  // sparse defender per-path noise allowance
 };
 
 class Scenario {
@@ -46,9 +52,16 @@ class Scenario {
                                          Vector x_true,
                                          const ScenarioConfig& config = {});
 
+  // Experiment workers take private Scenario copies; the estimator is
+  // deep-copied through Estimator::clone().
+  Scenario(const Scenario& other);
+  Scenario& operator=(const Scenario& other);
+  Scenario(Scenario&&) = default;
+  Scenario& operator=(Scenario&&) = default;
+
   const Graph& graph() const { return graph_; }
   const std::vector<NodeId>& monitors() const { return monitors_; }
-  const TomographyEstimator& estimator() const { return estimator_; }
+  const Estimator& estimator() const { return *estimator_; }
   const Vector& x_true() const { return x_true_; }
   const ScenarioConfig& config() const { return config_; }
 
@@ -76,7 +89,7 @@ class Scenario {
 
   Graph graph_;
   std::vector<NodeId> monitors_;
-  TomographyEstimator estimator_;
+  std::unique_ptr<Estimator> estimator_;  // never null after construction
   Vector x_true_;
   ScenarioConfig config_;
 };

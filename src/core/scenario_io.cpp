@@ -66,6 +66,11 @@ void save_scenario(std::ostream& out, const Scenario& scenario) {
   out << "config " << c.delay_min_ms << ' ' << c.delay_max_ms << ' '
       << c.thresholds.lower << ' ' << c.thresholds.upper << ' '
       << c.per_path_cap_ms << ' ' << c.margin_ms << '\n';
+  // Optional trailing section, only for non-default defenders: files saved
+  // by older builds (and every least-squares scenario) stay byte-identical.
+  if (c.estimator_kind != EstimatorKind::kLeastSquares)
+    out << "estimator " << to_string(c.estimator_kind) << ' '
+        << c.sparse_epsilon_ms << '\n';
 }
 
 robust::Expected<Scenario> try_load_scenario(std::istream& in) {
@@ -199,6 +204,21 @@ robust::Expected<Scenario> try_load_scenario(std::istream& in) {
         cfg.thresholds.lower >> cfg.thresholds.upper >> cfg.per_path_cap_ms >>
         cfg.margin_ms))
     return parse_error("unreadable 'config' values");
+
+  // Optional trailing "estimator <kind> <epsilon_ms>" (absent = least
+  // squares — the format before the estimator family existed).
+  if (std::string est_line; next_line(in, est_line)) {
+    std::istringstream ls(est_line);
+    std::string word, kind_word;
+    if (!(ls >> word) || word != "estimator" || !(ls >> kind_word))
+      return parse_error("unrecognized trailing section '" + est_line + "'");
+    const std::optional<EstimatorKind> kind =
+        estimator_kind_from_string(kind_word);
+    if (!kind) return parse_error("unknown estimator kind '" + kind_word + "'");
+    cfg.estimator_kind = *kind;
+    if (!(ls >> cfg.sparse_epsilon_ms))
+      return parse_error("unreadable estimator epsilon");
+  }
 
   std::optional<Scenario> sc = Scenario::restore(
       std::move(g), std::move(monitors), std::move(paths), std::move(x), cfg);

@@ -5,7 +5,7 @@
 
 namespace scapegoat {
 
-DetectionOutcome detect_scapegoating(const TomographyEstimator& estimator,
+DetectionOutcome detect_scapegoating(const Estimator& estimator,
                                      const Vector& y_observed,
                                      const DetectorOptions& opt) {
   DetectionOutcome out;
@@ -16,7 +16,7 @@ DetectionOutcome detect_scapegoating(const TomographyEstimator& estimator,
                                                      r.nnz())
                  ? "detect.residual_backend.sparse"
                  : "detect.residual_backend.dense");
-  out.residual_norm1 = estimator.residual(y_observed).norm1();
+  out.residual_norm1 = estimator.residual_statistic(y_observed);
   out.detected = out.residual_norm1 > opt.alpha;
   obs::count("detect.checks");
   if (out.detected) obs::count("detect.alarms");
@@ -25,7 +25,7 @@ DetectionOutcome detect_scapegoating(const TomographyEstimator& estimator,
 }
 
 robust::Expected<DegradedDetectionOutcome> detect_scapegoating_degraded(
-    const TomographyEstimator& estimator,
+    const Estimator& estimator,
     const robust::DegradedMeasurement& y_observed, const DetectorOptions& opt,
     const robust::DegradedOptions& solve_opt) {
   auto est = robust::degraded_estimate(estimator.r(), y_observed, solve_opt);

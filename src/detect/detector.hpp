@@ -15,7 +15,7 @@
 #include "linalg/matrix.hpp"
 #include "robust/degraded.hpp"
 #include "robust/expected.hpp"
-#include "tomography/estimator.hpp"
+#include "tomography/estimator_interface.hpp"
 
 namespace scapegoat {
 
@@ -28,8 +28,10 @@ struct DetectionOutcome {
   double residual_norm1 = 0.0;  // the tested statistic
 };
 
-// Runs the Eq. 23 consistency check on observed measurements.
-DetectionOutcome detect_scapegoating(const TomographyEstimator& estimator,
+// Runs the Eq. 23 consistency check on observed measurements. The tested
+// statistic is the estimator family's residual_statistic: ‖y − Rx̂‖₁
+// verbatim for least squares, the over-ε excess for sparse recovery.
+DetectionOutcome detect_scapegoating(const Estimator& estimator,
                                      const Vector& y_observed,
                                      const DetectorOptions& opt = {});
 
@@ -47,7 +49,7 @@ struct DegradedDetectionOutcome {
 };
 
 robust::Expected<DegradedDetectionOutcome> detect_scapegoating_degraded(
-    const TomographyEstimator& estimator,
+    const Estimator& estimator,
     const robust::DegradedMeasurement& y_observed,
     const DetectorOptions& opt = {},
     const robust::DegradedOptions& solve_opt = {});

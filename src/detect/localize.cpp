@@ -43,7 +43,7 @@ double restricted_residual_norm1(const Matrix& r, const Vector& y,
 
 }  // namespace
 
-LocalizationResult localize_manipulation(const TomographyEstimator& estimator,
+LocalizationResult localize_manipulation(const Estimator& estimator,
                                          const Vector& y_observed,
                                          const LocalizationOptions& opt) {
   assert(estimator.ok());

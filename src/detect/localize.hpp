@@ -25,7 +25,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
-#include "tomography/estimator.hpp"
+#include "tomography/estimator_interface.hpp"
 
 namespace scapegoat {
 
@@ -44,7 +44,7 @@ struct LocalizationResult {
   std::vector<NodeId> suspect_nodes;
 };
 
-LocalizationResult localize_manipulation(const TomographyEstimator& estimator,
+LocalizationResult localize_manipulation(const Estimator& estimator,
                                          const Vector& y_observed,
                                          const LocalizationOptions& opt = {});
 

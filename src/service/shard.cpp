@@ -270,7 +270,7 @@ robust::Status Shard::process_batch(TopologyState& st,
   }
 
   ensure_growth(st, batch.seq);
-  if (batch.y.size() != st.estimator.num_paths()) {
+  if (batch.y.size() != st.estimator->num_paths()) {
     malformed_.fetch_add(1, std::memory_order_relaxed);
     obs::count("service.batch.malformed");
     st.next_seq = batch.seq + 1;
@@ -296,12 +296,12 @@ robust::Status Shard::process_batch(TopologyState& st,
   double residual_norm = 0.0;
   {
     obs::ScopedTimer timer("service.batch.solve_us");
-    // Streaming hot path: x̂ through the cached pseudo-inverse (no per-batch
-    // factorization), residual through the CSR product (bitwise equal to
-    // the dense one by the §12 backend contract).
-    const Matrix& g = st.estimator.pseudo_inverse();
-    const Vector x_hat = g * batch.y;
-    const Vector r_hat = st.estimator.sparse_r() * x_hat;
+    // Streaming hot path: x̂ via the family's streaming solve (least
+    // squares: the cached pseudo-inverse, no per-batch factorization),
+    // residual through the CSR product (bitwise equal to the dense one by
+    // the §12 backend contract).
+    const Vector x_hat = st.estimator->streaming_estimate(batch.y);
+    const Vector r_hat = st.estimator->sparse_r() * x_hat;
     residual_norm = (batch.y - r_hat).norm1();
   }
   if (dog.armed() && dog.expired())
@@ -322,12 +322,12 @@ robust::Status Shard::process_batch(TopologyState& st,
 
 void Shard::ensure_growth(TopologyState& st, std::uint64_t seq) {
   const std::size_t want = grown_path_count(st.base_paths, opt_.growth, seq);
-  while (st.estimator.num_paths() < want) {
-    const std::size_t k = st.estimator.num_paths() - st.base_paths;
+  while (st.estimator->num_paths() < want) {
+    const std::size_t k = st.estimator->num_paths() - st.base_paths;
     // Copy: paths() is invalidated by the append below.
     const Path source =
-        st.estimator.paths()[grown_path_source(st.base_paths, k)];
-    if (!st.estimator.try_append_path(source).ok()) break;  // can't happen
+        st.estimator->paths()[grown_path_source(st.base_paths, k)];
+    if (!st.estimator->try_append_path(source).ok()) break;  // can't happen
     obs::count("service.paths.grown");
   }
 }

@@ -13,10 +13,11 @@
 //      at-least-once redelivery after a restart idempotent,
 //   2. growth — if the GrowthPlan says batch `seq` carries more paths than
 //      the estimator currently has, the estimator absorbs duplicate routes
-//      via TomographyEstimator::try_append_path (incremental CSR append),
-//   3. solve — x̂ = G·y through the cached pseudo-inverse (the streaming
-//      hot path never re-factorizes), residual r = y − R·x̂ via the CSR
-//      product, ‖r‖₁ pushed into the topology's sliding window,
+//      via Estimator::try_append_path (incremental CSR append),
+//   3. solve — x̂ via Estimator::streaming_estimate (for least squares the
+//      cached pseudo-inverse G·y: the streaming hot path never
+//      re-factorizes), residual r = y − R·x̂ via the CSR product, ‖r‖₁
+//      pushed into the topology's sliding window,
 //   4. emit — once `window` residuals are buffered and `stride` new batches
 //      arrived since the last emission, the window mean is thresholded
 //      against alpha_ms and the WindowDecision is journaled + flushed.
@@ -141,7 +142,8 @@ class Shard {
  private:
   struct TopologyState {
     std::uint32_t topology = 0;
-    TomographyEstimator estimator;  // shard-owned copy; grows with the plan
+    // Shard-owned deep copy (any Estimator family); grows with the plan.
+    std::unique_ptr<Estimator> estimator;
     std::size_t base_paths = 0;
     std::uint64_t next_seq = 0;  // dedup/ack cursor
     std::deque<double> residuals;
@@ -149,8 +151,8 @@ class Shard {
     std::uint64_t next_window = 0;
     std::vector<WindowDecision> decisions;
 
-    TopologyState(std::uint32_t t, const TomographyEstimator& est)
-        : topology(t), estimator(est), base_paths(est.num_paths()) {}
+    TopologyState(std::uint32_t t, const Estimator& est)
+        : topology(t), estimator(est.clone()), base_paths(est.num_paths()) {}
   };
 
   void restore_states();

@@ -22,7 +22,7 @@
 
 #include "linalg/matrix.hpp"
 #include "service/probe_batch.hpp"
-#include "tomography/estimator.hpp"
+#include "tomography/estimator_interface.hpp"
 
 namespace scapegoat::simnet {
 
@@ -40,7 +40,7 @@ struct LoadGenOptions {
 class OpenLoopLoadGen {
  public:
   struct TopologyRef {
-    const TomographyEstimator* estimator = nullptr;
+    const Estimator* estimator = nullptr;
     const Vector* x_true = nullptr;
   };
 

@@ -24,6 +24,7 @@
 #include "lp/simplex.hpp"
 #include "testkit/gen.hpp"
 #include "testkit/oracles.hpp"
+#include "tomography/sparse_recovery.hpp"
 
 namespace scapegoat::testkit {
 namespace {
@@ -452,7 +453,7 @@ bool prop_attack_feasibility_matches_cut_condition(Source& src) {
 bool prop_detector_residual_matches_eq23(Source& src) {
   auto sc = gen_er_scenario(src, 12 + src.index(6), 0.3);
   if (!sc.has_value()) return true;
-  const TomographyEstimator& est = sc->estimator();
+  const Estimator& est = sc->estimator();
 
   Vector y = sc->clean_measurements();
   const std::size_t tampered = src.index(y.size() + 1);
@@ -472,6 +473,75 @@ bool prop_detector_residual_matches_eq23(Source& src) {
     src.note("detected flag inconsistent with residual " +
              std::to_string(ref) + " vs alpha " +
              std::to_string(defaults.alpha));
+    return false;
+  }
+  return true;
+}
+
+// ---- tomography_sparse_matches_least_squares ------------------------------
+
+// Differential oracle for the sparse-recovery family on identifiable
+// systems: with R full column rank and exactly consistent measurements,
+// Rx = y has the unique nonnegative solution x, so the equality-mode ℓ1
+// LP must return the SAME point least squares does — elementwise, with the
+// planted anomaly support recovered exactly, no relaxation, and zero
+// excess residual statistic.
+bool prop_sparse_recovery_matches_least_squares(Source& src) {
+  auto sc = gen_er_scenario(src, 12 + src.index(6), 0.3);
+  if (!sc.has_value()) return true;  // unidentifiable draw: vacuous
+  const Estimator& ls = sc->estimator();
+  const std::size_t n = ls.num_links();
+
+  // Plant a k-sparse anomaly (well inside the abnormal band) over the true
+  // metrics — the compressive-sensing ground-truth model.
+  const std::size_t k = 1 + src.index(std::min<std::size_t>(n, 4));
+  Vector x = sc->x_true();
+  std::vector<std::size_t> planted = src.distinct_indices(n, k);
+  std::sort(planted.begin(), planted.end());
+  for (const std::size_t l : planted) x[l] += 300.0 + src.grid_nonneg(100.0, 9);
+  const Vector y = ls.r() * x;
+
+  SparseRecoveryOptions so;
+  so.prior = sc->x_true();
+  const SparseRecoveryEstimator sparse(sc->graph(), ls.paths(), so);
+  const auto rec = sparse.recover(y);
+  if (!rec.ok()) {
+    src.note("equality recovery refused consistent measurements: " +
+             rec.error_message());
+    return false;
+  }
+  if (rec->relaxed) {
+    src.note("relaxation fired on exactly consistent measurements (eps " +
+             std::to_string(rec->epsilon_used) + ")");
+    return false;
+  }
+  const Vector x_ls = ls.estimate(y);
+  double scale = 1.0;
+  for (const double v : x_ls) scale = std::max(scale, std::abs(v));
+  for (std::size_t j = 0; j < n; ++j) {
+    if (rec->x[j] < -1e-9) {
+      src.note("recovered metric went negative at link " + std::to_string(j));
+      return false;
+    }
+    if (std::abs(rec->x[j] - x_ls[j]) > 1e-6 * scale) {
+      std::ostringstream os;
+      os << "x[" << j << "] sparse=" << rec->x[j] << " vs ls=" << x_ls[j]
+         << " on a " << ls.num_paths() << "x" << n << " system (k=" << k
+         << ")";
+      src.note(os.str());
+      return false;
+    }
+  }
+  const std::vector<LinkId> want(planted.begin(), planted.end());
+  if (rec->support != want) {
+    src.note("support missed the planted anomaly set (got " +
+             std::to_string(rec->support.size()) + " links, planted " +
+             std::to_string(want.size()) + ")");
+    return false;
+  }
+  if (sparse.residual_statistic(y) > 1e-6 * (1.0 + y.norm1())) {
+    src.note("nonzero excess statistic on consistent measurements: " +
+             std::to_string(sparse.residual_statistic(y)));
     return false;
   }
   return true;
@@ -568,6 +638,8 @@ const std::map<std::string, NamedProperty>& property_registry() {
        {prop_attack_feasibility_matches_cut_condition, 40, 5}},
       {"detector_residual_matches_eq23",
        {prop_detector_residual_matches_eq23, 60, 4}},
+      {"tomography_sparse_matches_least_squares",
+       {prop_sparse_recovery_matches_least_squares, 60, 4}},
       {"checkpoint_resume_equivalence",
        {prop_checkpoint_resume_equivalence, 8, 25}},
   };

@@ -17,6 +17,11 @@
 //                                      to Eq. 23 (Theorem 3)
 //   detector_residual_matches_eq23     detect_scapegoating vs the literal
 //                                      Σ|y − Rx̂| evaluation
+//   tomography_sparse_matches_least_squares  equality-mode ℓ1 recovery vs
+//                                      least squares on identifiable systems
+//                                      with a planted k-sparse anomaly (the
+//                                      feasible set is the singleton R⁺y, so
+//                                      the families must coincide exactly)
 //   checkpoint_resume_equivalence      save / interrupt / resume of a
 //                                      generated experiment config folds to
 //                                      the exact uninterrupted result

@@ -6,7 +6,6 @@
 #include "linalg/cgls.hpp"
 #include "linalg/qr.hpp"
 #include "obs/obs.hpp"
-#include "tomography/routing_matrix.hpp"
 
 namespace scapegoat {
 
@@ -14,41 +13,18 @@ TomographyEstimator::TomographyEstimator(const Graph& g,
                                          std::vector<Path> paths,
                                          LeastSquaresMethod method,
                                          BackendPolicy backend)
-    : paths_(std::move(paths)),
-      r_(routing_matrix(g, paths_)),
-      rs_(sparse_routing_matrix(g, paths_)),
-      method_(method),
-      backend_(backend) {
-  ok_ = is_identifiable(r_);
-}
-
-robust::Status TomographyEstimator::try_append_path(const Path& path) {
-  std::vector<std::size_t> cols(path.links.begin(), path.links.end());
-  std::vector<double> ones(cols.size(), 1.0);
-  if (robust::Status st = rs_.try_append_row(cols, ones); !st.ok()) {
-    return st;
-  }
-  // Dense mirror: one-row extension by copy (the CSR side is the storage
-  // that matters at scale; to_dense(rs_) == r_ stays exact).
-  Matrix grown(r_.rows() + 1, r_.cols());
-  for (std::size_t i = 0; i < r_.rows(); ++i)
-    for (std::size_t j = 0; j < r_.cols(); ++j) grown(i, j) = r_(i, j);
-  for (LinkId l : path.links) grown(r_.rows(), l) = 1.0;
-  r_ = std::move(grown);
-  paths_.push_back(path);
-  pinv_.reset();  // G = R⁺ changed shape; recomputed on next use
-  return robust::ok_status();
-}
+    : Estimator(g, std::move(paths), backend), method_(method) {}
 
 bool TomographyEstimator::solve_iteratively() const {
-  return backend_.use_iterative_solver(rs_.rows(), rs_.cols(), rs_.nnz());
+  const SparseMatrix& rs = sparse_r();
+  return backend().use_iterative_solver(rs.rows(), rs.cols(), rs.nnz());
 }
 
 Vector TomographyEstimator::estimate(const Vector& y) const {
-  assert(ok_);
-  assert(y.size() == paths_.size());
+  assert(ok());
+  assert(y.size() == num_paths());
   if (solve_iteratively()) {
-    CglsResult cg = cgls_solve(rs_, y);
+    CglsResult cg = cgls_solve(sparse_r(), y);
     if (cg.converged) {
       obs::count("tomography.estimate.sparse");
       return cg.x;
@@ -57,24 +33,24 @@ Vector TomographyEstimator::estimate(const Vector& y) const {
     obs::count("tomography.estimate.cgls_fallback");
   }
   obs::count("tomography.estimate.dense");
-  auto x = least_squares(r_, y, method_);
-  assert(x.has_value());  // guaranteed by ok_
+  auto x = least_squares(r(), y, method_);
+  assert(x.has_value());  // guaranteed by ok()
   return *x;
 }
 
 robust::Expected<Vector> TomographyEstimator::try_estimate(
     const Vector& y) const {
-  if (y.size() != paths_.size()) {
+  if (y.size() != num_paths()) {
     return robust::Error{robust::ErrorCode::kDimensionMismatch,
                          std::to_string(y.size()) + " measurements for " +
-                             std::to_string(paths_.size()) + " paths"};
+                             std::to_string(num_paths()) + " paths"};
   }
-  if (!ok_) {
+  if (!ok()) {
     return robust::Error{robust::ErrorCode::kRankDeficient,
                          "path set does not identify the link metrics"};
   }
   if (solve_iteratively()) {
-    CglsResult cg = cgls_solve(rs_, y);
+    CglsResult cg = cgls_solve(sparse_r(), y);
     if (cg.converged) {
       obs::count("tomography.estimate.sparse");
       return cg.x;
@@ -82,28 +58,15 @@ robust::Expected<Vector> TomographyEstimator::try_estimate(
     obs::count("tomography.estimate.cgls_fallback");
   }
   obs::count("tomography.estimate.dense");
-  return try_least_squares(r_, y, method_);
+  return try_least_squares(r(), y, method_);
 }
 
-const Matrix& TomographyEstimator::pseudo_inverse() const {
-  assert(ok_);
-  if (!pinv_) pinv_ = scapegoat::pseudo_inverse(r_);
-  return *pinv_;
+Vector TomographyEstimator::streaming_estimate(const Vector& y) const {
+  return pseudo_inverse() * y;
 }
 
-Vector TomographyEstimator::residual(const Vector& y) const {
-  const Vector xhat = estimate(y);
-  if (backend_.use_sparse_products(rs_.rows(), rs_.cols(), rs_.nnz())) {
-    obs::count("tomography.residual.sparse");
-    return y - rs_ * xhat;  // bitwise == dense product (sparse_matrix.hpp)
-  }
-  obs::count("tomography.residual.dense");
-  return y - r_ * xhat;
-}
-
-std::vector<LinkState> TomographyEstimator::classify(
-    const Vector& y, const StateThresholds& t) const {
-  return classify_all(estimate(y), t);
+std::unique_ptr<Estimator> TomographyEstimator::clone() const {
+  return std::make_unique<TomographyEstimator>(*this);
 }
 
 }  // namespace scapegoat

@@ -1,6 +1,7 @@
-// The network tomography estimator — Eq. 2 of the paper.
-//
-// Owns the routing matrix for a fixed path set and exposes:
+// The least-squares tomography estimator — Eq. 2 of the paper, and the
+// EstimatorKind::kLeastSquares implementation of the Estimator interface
+// (estimator_interface.hpp, which owns the routing matrix, backend routing,
+// pseudo-inverse cache and path appends shared by every family):
 //   * estimate(y)        — x̂ = (RᵀR)⁻¹Rᵀ y (computed via QR),
 //   * pseudo_inverse()   — G = R⁺, cached; the attack LPs are linear in G,
 //   * residual(y)        — y − R x̂(y), the quantity the detector thresholds.
@@ -17,75 +18,52 @@
 
 #pragma once
 
-#include <optional>
+#include <memory>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "linalg/backend.hpp"
 #include "linalg/least_squares.hpp"
 #include "linalg/matrix.hpp"
-#include "linalg/sparse_matrix.hpp"
 #include "robust/expected.hpp"
+#include "tomography/estimator_interface.hpp"
 #include "tomography/link_state.hpp"
 
 namespace scapegoat {
 
-class TomographyEstimator {
+class TomographyEstimator : public Estimator {
  public:
   TomographyEstimator(const Graph& g, std::vector<Path> paths,
                       LeastSquaresMethod method = LeastSquaresMethod::kQr,
                       BackendPolicy backend = {});
 
-  // False iff the path set does not identify all link metrics.
-  bool ok() const { return ok_; }
+  EstimatorKind method() const override {
+    return EstimatorKind::kLeastSquares;
+  }
 
-  std::size_t num_paths() const { return paths_.size(); }
-  std::size_t num_links() const { return r_.cols(); }
-  const std::vector<Path>& paths() const { return paths_; }
-  const Matrix& r() const { return r_; }
-  const SparseMatrix& sparse_r() const { return rs_; }
-  const BackendPolicy& backend() const { return backend_; }
-
-  // Absorbs one more measurement path as a new row of R — the streaming
-  // shape, where monitors announce additional (possibly repeated, i.e.
-  // redundancy-adding) probe routes mid-run. The CSR form grows via the
-  // incremental SparseMatrix::try_append_row (no from-scratch triplet
-  // rebuild); the dense mirror is extended by a row copy and the cached
-  // pseudo-inverse is invalidated (recomputed lazily on next use). A row
-  // append can never lose column rank, so ok() is preserved. kInvalidInput
-  // when the path's links don't fit R's width or repeat a link.
-  robust::Status try_append_path(const Path& path);
+  // Which least-squares kernel estimate() uses when the backend policy does
+  // not force CGLS.
+  LeastSquaresMethod solver() const { return method_; }
 
   // x̂ from end-to-end measurements y (requires ok()).
-  Vector estimate(const Vector& y) const;
+  Vector estimate(const Vector& y) const override;
 
   // Checked estimate: kRankDeficient when the path set is not identifiable
   // (ok() == false), kDimensionMismatch when |y| ≠ |paths|. Never asserts —
   // the entry point for measurements that may be degraded or hostile.
-  robust::Expected<Vector> try_estimate(const Vector& y) const;
+  robust::Expected<Vector> try_estimate(const Vector& y) const override;
 
-  // Cached Moore-Penrose pseudo-inverse G = R⁺ (requires ok()).
-  const Matrix& pseudo_inverse() const;
+  // Streaming fast path: x̂ = G·y through the cached pseudo-inverse — no
+  // per-batch factorization (the property the service shards rely on).
+  Vector streaming_estimate(const Vector& y) const override;
 
-  // y − R·estimate(y): zero (to numerical precision) iff y is consistent
-  // with the linear model.
-  Vector residual(const Vector& y) const;
-
-  // Convenience: estimate then classify per Definition 1.
-  std::vector<LinkState> classify(const Vector& y,
-                                  const StateThresholds& t) const;
+  std::unique_ptr<Estimator> clone() const override;
 
  private:
   // Resolved per call; true when the solver should go through CGLS.
   bool solve_iteratively() const;
 
-  std::vector<Path> paths_;
-  Matrix r_;
-  SparseMatrix rs_;  // same R in CSR form (to_dense(rs_) == r_ exactly)
   LeastSquaresMethod method_;
-  BackendPolicy backend_;
-  bool ok_ = false;
-  mutable std::optional<Matrix> pinv_;  // lazily computed
 };
 
 }  // namespace scapegoat

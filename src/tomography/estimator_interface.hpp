@@ -1,0 +1,162 @@
+// The estimator interface every downstream consumer (attack LPs, the Eq. 23
+// detector, the experiment drivers, the streaming service shards) compiles
+// against. Concrete families:
+//
+//   * EstimatorKind::kLeastSquares   — TomographyEstimator (estimator.hpp),
+//     x̂ = R⁺y via QR/CGLS; the paper's Eq. 2 defender.
+//   * EstimatorKind::kSparseRecovery — SparseRecoveryEstimator
+//     (sparse_recovery.hpp), min ‖x − x_prior‖₁ s.t. ‖Rx − y‖∞ ≤ ε, x ⪰ 0
+//     as a bounded-variable LP; the FRANTIC-style compressive-sensing
+//     defender.
+//
+// The base class owns everything that is a property of the path set rather
+// than of the solve strategy: the routing matrix (dense + CSR mirror),
+// backend routing policy, identifiability, the lazily-cached pseudo-inverse
+// and the incremental path append. Virtuals cover the solve itself plus two
+// hooks the families genuinely differ on:
+//
+//   * streaming_estimate — the service shard's per-batch solve. Least
+//     squares caches G = R⁺ and never re-factorizes; sparse recovery has no
+//     factorization to cache and re-solves its LP.
+//   * residual_statistic — the scalar the Eq. 23 detector thresholds
+//     against α. Least squares uses ‖y − Rx̂‖₁ verbatim; sparse recovery
+//     subtracts its own per-path noise allowance ε first (the discrepancy
+//     its measurement model cannot explain), otherwise the ℓ1 fit parked at
+//     the ε-ball boundary would read as a permanent pseudo-inconsistency.
+//
+// clone() exists because Scenario and the service shards copy estimators
+// into worker-private state.
+
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "linalg/backend.hpp"
+#include "linalg/least_squares.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/sparse_matrix.hpp"
+#include "lp/simplex.hpp"
+#include "robust/expected.hpp"
+#include "tomography/link_state.hpp"
+
+namespace scapegoat {
+
+enum class EstimatorKind {
+  kLeastSquares,
+  kSparseRecovery,
+};
+
+std::string to_string(EstimatorKind kind);
+std::optional<EstimatorKind> estimator_kind_from_string(std::string_view s);
+std::ostream& operator<<(std::ostream& os, EstimatorKind kind);
+
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  // Which family this estimator belongs to.
+  virtual EstimatorKind method() const = 0;
+
+  // x̂ from end-to-end measurements y. Preconditions are family-specific
+  // (least squares requires ok(); sparse recovery works on any R).
+  virtual Vector estimate(const Vector& y) const = 0;
+
+  // Checked estimate with the structured error taxonomy — the entry point
+  // for measurements that may be degraded or hostile.
+  virtual robust::Expected<Vector> try_estimate(const Vector& y) const = 0;
+
+  // Deep copy preserving all cached state (Scenario / shard copies).
+  virtual std::unique_ptr<Estimator> clone() const = 0;
+
+  // The per-batch streaming solve (service shards). Defaults to
+  // estimate(y); least squares overrides with the cached-G fast path.
+  virtual Vector streaming_estimate(const Vector& y) const {
+    return estimate(y);
+  }
+
+  // The Eq. 23 inconsistency statistic thresholded against α. Defaults to
+  // ‖y − R·estimate(y)‖₁ (Eq. 23 verbatim).
+  virtual double residual_statistic(const Vector& y) const {
+    return residual(y).norm1();
+  }
+
+  // False iff the path set does not identify all link metrics. Least
+  // squares refuses to estimate when false; sparse recovery still works
+  // (that is the m < n compressive-sensing regime) — for it this is
+  // informational only.
+  bool ok() const { return ok_; }
+
+  std::size_t num_paths() const { return paths_.size(); }
+  std::size_t num_links() const { return r_.cols(); }
+  const std::vector<Path>& paths() const { return paths_; }
+  const Matrix& r() const { return r_; }
+  const SparseMatrix& sparse_r() const { return rs_; }
+  const BackendPolicy& backend() const { return backend_; }
+
+  // Absorbs one more measurement path as a new row of R — the streaming
+  // shape, where monitors announce additional (possibly repeated, i.e.
+  // redundancy-adding) probe routes mid-run. The CSR form grows via the
+  // incremental SparseMatrix::try_append_row (no from-scratch triplet
+  // rebuild); the dense mirror is extended by a row copy and the cached
+  // pseudo-inverse is invalidated (recomputed lazily on next use). A row
+  // append can never lose column rank, so ok() is preserved. kInvalidInput
+  // when the path's links don't fit R's width or repeat a link.
+  robust::Status try_append_path(const Path& path);
+
+  // Cached Moore-Penrose pseudo-inverse G = R⁺ (requires ok()). A property
+  // of R alone, so it lives here: the attack LPs are linear in G whichever
+  // family the defender runs.
+  const Matrix& pseudo_inverse() const;
+
+  // y − R·estimate(y): zero (to numerical precision) iff y is consistent
+  // with the linear model as this family fits it. Routed dense/CSR by the
+  // backend policy; the two products are bitwise identical.
+  Vector residual(const Vector& y) const;
+
+  // Convenience: estimate then classify per Definition 1.
+  std::vector<LinkState> classify(const Vector& y,
+                                  const StateThresholds& t) const;
+
+ protected:
+  Estimator(const Graph& g, std::vector<Path> paths, BackendPolicy backend);
+  Estimator(const Estimator&) = default;
+  Estimator& operator=(const Estimator&) = default;
+  Estimator(Estimator&&) = default;
+  Estimator& operator=(Estimator&&) = default;
+
+ private:
+  std::vector<Path> paths_;
+  Matrix r_;
+  SparseMatrix rs_;  // same R in CSR form (to_dense(rs_) == r_ exactly)
+  BackendPolicy backend_;
+  bool ok_ = false;
+  mutable std::optional<Matrix> pinv_;  // lazily computed
+};
+
+// Factory configuration. Only the fields relevant to the requested kind are
+// consulted; the sparse-recovery knobs map onto SparseRecoveryOptions
+// (sparse_recovery.hpp) which carries the full set.
+struct EstimatorOptions {
+  LeastSquaresMethod least_squares = LeastSquaresMethod::kQr;
+  BackendPolicy backend;
+  // Sparse recovery: per-path ∞-ball noise allowance; 0 demands exact
+  // consistency (the equality-constrained LP).
+  double sparse_epsilon_ms = 0.0;
+  // Sparse recovery: x_prior of the ℓ1 objective; empty means zeros (the
+  // "anomalies over a silent baseline" model).
+  Vector sparse_prior;
+  // Sparse recovery: LP solver options for every recovery solve.
+  lp::SimplexOptions lp_options;
+};
+
+std::unique_ptr<Estimator> make_estimator(EstimatorKind kind, const Graph& g,
+                                          std::vector<Path> paths,
+                                          const EstimatorOptions& options = {});
+
+}  // namespace scapegoat

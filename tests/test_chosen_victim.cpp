@@ -7,6 +7,7 @@
 
 #include "attack/cut.hpp"
 #include "core/scenario.hpp"
+#include "tomography/estimator.hpp"
 #include "topology/example_networks.hpp"
 #include "topology/generators.hpp"
 

@@ -1,0 +1,109 @@
+// Defender-choice ablation (core/defender_ablation.hpp): shape of the
+// sweep, the bitwise thread-count-independence contract, and a pinned
+// small-configuration separation regime backing the EXPERIMENTS.md claim.
+
+#include "core/defender_ablation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scapegoat {
+namespace {
+
+bool same_series(const AblationSeries& a, const AblationSeries& b) {
+  if (a.epsilons != b.epsilons || a.total_trials != b.total_trials ||
+      a.clean_trials != b.clean_trials ||
+      a.ls_false_alarms != b.ls_false_alarms ||
+      a.sparse_false_alarms != b.sparse_false_alarms ||
+      a.cells.size() != b.cells.size())
+    return false;
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    const AblationCell& x = a.cells[i];
+    const AblationCell& y = b.cells[i];
+    if (x.family != y.family || x.sparsity != y.sparsity ||
+        x.attacks != y.attacks || x.ls_detected != y.ls_detected ||
+        x.sparse_detected != y.sparse_detected || x.ls_only != y.ls_only ||
+        x.sparse_only != y.sparse_only)
+      return false;
+  }
+  return true;
+}
+
+DefenderAblationOptions small_options() {
+  DefenderAblationOptions opt;
+  opt.topologies = 1;
+  opt.trials_per_cell = 3;
+  opt.clean_trials = 2;
+  opt.anomaly_sparsity = {1};
+  opt.defender_epsilons_ms = {0.0, 10.0};
+  opt.families = {AttackFamily::kUnrestricted, AttackFamily::kConsistent};
+  return opt;
+}
+
+TEST(DefenderAblation, SeriesHasTheDeclaredShape) {
+  const DefenderAblationOptions opt = small_options();
+  const AblationSeries s = run_defender_ablation(opt);
+  EXPECT_EQ(s.kind, opt.kind);
+  EXPECT_EQ(s.epsilons, opt.defender_epsilons_ms);
+  ASSERT_EQ(s.cells.size(), opt.families.size() * opt.anomaly_sparsity.size());
+  EXPECT_EQ(s.total_trials, opt.topologies * s.cells.size() *
+                                opt.trials_per_cell);
+  EXPECT_EQ(s.clean_trials, opt.topologies * opt.clean_trials);
+  EXPECT_EQ(s.sparse_false_alarms.size(), opt.defender_epsilons_ms.size());
+  for (const AblationCell& c : s.cells) {
+    EXPECT_LE(c.attacks, opt.topologies * opt.trials_per_cell);
+    EXPECT_LE(c.ls_detected, c.attacks);
+    ASSERT_EQ(c.sparse_detected.size(), opt.defender_epsilons_ms.size());
+    for (std::size_t e = 0; e < c.sparse_detected.size(); ++e) {
+      EXPECT_LE(c.sparse_detected[e], c.attacks);
+      // Separation counters partition the disagreements.
+      EXPECT_LE(c.ls_only[e], c.ls_detected);
+      EXPECT_LE(c.sparse_only[e], c.sparse_detected[e]);
+    }
+  }
+}
+
+TEST(DefenderAblation, BitwiseIdenticalAcrossThreadCounts) {
+  DefenderAblationOptions opt = small_options();
+  opt.threads = 1;
+  const AblationSeries serial = run_defender_ablation(opt);
+  opt.threads = 3;
+  const AblationSeries threaded = run_defender_ablation(opt);
+  EXPECT_TRUE(same_series(serial, threaded));
+}
+
+TEST(DefenderAblation, SeedChangesTheDraws) {
+  DefenderAblationOptions opt = small_options();
+  const AblationSeries a = run_defender_ablation(opt);
+  opt.seed = opt.seed + 1;
+  const AblationSeries b = run_defender_ablation(opt);
+  // Same shape either way; the trial outcomes are free to move.
+  EXPECT_EQ(a.total_trials, b.total_trials);
+  EXPECT_EQ(a.cells.size(), b.cells.size());
+}
+
+TEST(DefenderAblation, UnrestrictedRegimeSeparatesTheDefenders) {
+  // The pinned sparse-only regime (EXPERIMENTS.md "Defender ablation"): a
+  // flat per-path +50 ms attack stays under the least-squares α in
+  // projection but is unexplainable for the equality-mode (ε = 0) sparse
+  // defender anchored at the anomaly-free prior.
+  DefenderAblationOptions opt;
+  opt.topologies = 2;
+  opt.trials_per_cell = 12;
+  opt.clean_trials = 4;
+  opt.anomaly_sparsity = {1};
+  opt.defender_epsilons_ms = {0.0};
+  opt.families = {AttackFamily::kUnrestricted};
+  const AblationSeries s = run_defender_ablation(opt);
+  ASSERT_EQ(s.cells.size(), 1u);
+  const AblationCell& c = s.cells[0];
+  ASSERT_GT(c.attacks, 0u);
+  EXPECT_EQ(c.ls_detected, 0u);
+  EXPECT_GT(c.sparse_detected[0], 0u);
+  EXPECT_GT(c.sparse_only[0], 0u);
+  // Clean anomaly-plus-noise trials fire neither defender.
+  EXPECT_EQ(s.ls_false_alarms, 0u);
+  EXPECT_EQ(s.sparse_false_alarms[0], 0u);
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -6,6 +6,7 @@
 
 #include "attack/chosen_victim.hpp"
 #include "core/scenario.hpp"
+#include "tomography/estimator.hpp"
 #include "tomography/routing_matrix.hpp"
 #include "topology/example_networks.hpp"
 #include "topology/generators.hpp"

@@ -6,12 +6,16 @@
 
 #include <sstream>
 
+#include "attack/sparse_aware.hpp"
+#include "core/defender_ablation.hpp"
 #include "linalg/backend.hpp"
 #include "linalg/least_squares.hpp"
 #include "lp/simplex.hpp"
 #include "robust/degraded.hpp"
 #include "robust/expected.hpp"
 #include "service/options.hpp"
+#include "tomography/estimator_interface.hpp"
+#include "tomography/sparse_recovery.hpp"
 
 namespace scapegoat {
 namespace {
@@ -124,6 +128,66 @@ TEST(EnumIo, ServiceAdmissionAndShedModeStrings) {
   EXPECT_EQ(service::to_string(service::ShedPolicy::Mode::kOff), "off");
   EXPECT_EQ(service::to_string(service::ShedPolicy::Mode::kAuto), "auto");
   EXPECT_EQ(service::to_string(service::ShedPolicy::Mode::kPinned), "pinned");
+}
+
+TEST(EnumIo, EstimatorKindRoundTrips) {
+  for (EstimatorKind k :
+       {EstimatorKind::kLeastSquares, EstimatorKind::kSparseRecovery}) {
+    const auto back = estimator_kind_from_string(to_string(k));
+    ASSERT_TRUE(back.has_value()) << to_string(k);
+    EXPECT_EQ(*back, k);
+  }
+  EXPECT_EQ(to_string(EstimatorKind::kLeastSquares), "least_squares");
+  EXPECT_EQ(to_string(EstimatorKind::kSparseRecovery), "sparse_recovery");
+  EXPECT_FALSE(estimator_kind_from_string("l1").has_value());
+  EXPECT_FALSE(estimator_kind_from_string("").has_value());
+  std::ostringstream os;
+  os << EstimatorKind::kSparseRecovery;
+  EXPECT_EQ(os.str(), "sparse_recovery");
+}
+
+TEST(EnumIo, SparseConstraintRoundTrips) {
+  for (SparseConstraint c :
+       {SparseConstraint::kEquality, SparseConstraint::kInfBall}) {
+    const auto back = sparse_constraint_from_string(to_string(c));
+    ASSERT_TRUE(back.has_value()) << to_string(c);
+    EXPECT_EQ(*back, c);
+  }
+  EXPECT_EQ(to_string(SparseConstraint::kInfBall), "inf_ball");
+  EXPECT_FALSE(sparse_constraint_from_string("l2_ball").has_value());
+  std::ostringstream os;
+  os << SparseConstraint::kEquality;
+  EXPECT_EQ(os.str(), "equality");
+}
+
+TEST(EnumIo, LeakageScopeRoundTrips) {
+  for (LeakageScope s :
+       {LeakageScope::kAttackerPaths, LeakageScope::kAllPaths}) {
+    const auto back = leakage_scope_from_string(to_string(s));
+    ASSERT_TRUE(back.has_value()) << to_string(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_EQ(to_string(LeakageScope::kAllPaths), "all_paths");
+  EXPECT_FALSE(leakage_scope_from_string("everywhere").has_value());
+  std::ostringstream os;
+  os << LeakageScope::kAttackerPaths;
+  EXPECT_EQ(os.str(), "attacker_paths");
+}
+
+TEST(EnumIo, AttackFamilyRoundTrips) {
+  for (AttackFamily f :
+       {AttackFamily::kUnrestricted, AttackFamily::kConsistent,
+        AttackFamily::kSparseAware}) {
+    const auto back = attack_family_from_string(to_string(f));
+    ASSERT_TRUE(back.has_value()) << to_string(f);
+    EXPECT_EQ(*back, f);
+  }
+  EXPECT_EQ(to_string(AttackFamily::kSparseAware), "sparse-aware");
+  EXPECT_FALSE(attack_family_from_string("stealthy").has_value());
+  EXPECT_FALSE(attack_family_from_string("").has_value());
+  std::ostringstream os;
+  os << AttackFamily::kConsistent;
+  EXPECT_EQ(os.str(), "consistent");
 }
 
 TEST(EnumIo, ExpectedErrorMessage) {

@@ -1,0 +1,142 @@
+// The abstract Estimator interface and its factory: both concrete families
+// behind EstimatorKind, polymorphic cloning, the streaming fast path and
+// the family-specific residual statistic the Eq. 23 detector consumes.
+
+#include "tomography/estimator_interface.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/scenario.hpp"
+#include "detect/detector.hpp"
+#include "tomography/estimator.hpp"
+#include "tomography/sparse_recovery.hpp"
+#include "topology/example_networks.hpp"
+
+namespace scapegoat {
+namespace {
+
+class EstimatorInterfaceTest : public ::testing::Test {
+ protected:
+  EstimatorInterfaceTest() : rng_(31), scenario_(Scenario::fig1(rng_)) {}
+
+  Rng rng_;
+  Scenario scenario_;
+};
+
+TEST_F(EstimatorInterfaceTest, FactoryMakesLeastSquares) {
+  const auto est = make_estimator(EstimatorKind::kLeastSquares,
+                                  scenario_.graph(),
+                                  scenario_.estimator().paths());
+  ASSERT_NE(est, nullptr);
+  EXPECT_EQ(est->method(), EstimatorKind::kLeastSquares);
+  ASSERT_TRUE(est->ok());
+  // Identical answers to the concrete class it wraps.
+  const Vector y = scenario_.clean_measurements();
+  const TomographyEstimator direct(scenario_.graph(),
+                                   scenario_.estimator().paths());
+  const Vector a = est->estimate(y);
+  const Vector b = direct.estimate(y);
+  for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+}
+
+TEST_F(EstimatorInterfaceTest, FactoryMakesSparseRecoveryWithOptions) {
+  EstimatorOptions opt;
+  opt.sparse_epsilon_ms = 10.0;
+  opt.sparse_prior = scenario_.x_true();
+  const auto est =
+      make_estimator(EstimatorKind::kSparseRecovery, scenario_.graph(),
+                     scenario_.estimator().paths(), opt);
+  ASSERT_NE(est, nullptr);
+  EXPECT_EQ(est->method(), EstimatorKind::kSparseRecovery);
+  const auto* sparse = dynamic_cast<const SparseRecoveryEstimator*>(est.get());
+  ASSERT_NE(sparse, nullptr);
+  EXPECT_EQ(sparse->options().constraint, SparseConstraint::kInfBall);
+  EXPECT_EQ(sparse->options().epsilon_ms, 10.0);
+  // ε = 0 maps to the equality-constrained LP.
+  EstimatorOptions exact;
+  const auto eq = make_estimator(EstimatorKind::kSparseRecovery,
+                                 scenario_.graph(),
+                                 scenario_.estimator().paths(), exact);
+  const auto* eq_sparse =
+      dynamic_cast<const SparseRecoveryEstimator*>(eq.get());
+  ASSERT_NE(eq_sparse, nullptr);
+  EXPECT_EQ(eq_sparse->options().constraint, SparseConstraint::kEquality);
+}
+
+TEST_F(EstimatorInterfaceTest, CloneIsDeepAndPolymorphic) {
+  for (const EstimatorKind kind :
+       {EstimatorKind::kLeastSquares, EstimatorKind::kSparseRecovery}) {
+    const auto est = make_estimator(kind, scenario_.graph(),
+                                    scenario_.estimator().paths());
+    const std::unique_ptr<Estimator> copy = est->clone();
+    ASSERT_NE(copy, nullptr);
+    EXPECT_EQ(copy->method(), kind);
+    EXPECT_EQ(copy->num_paths(), est->num_paths());
+    const Vector y = scenario_.clean_measurements();
+    const Vector a = est->estimate(y);
+    const Vector b = copy->estimate(y);
+    for (std::size_t j = 0; j < a.size(); ++j)
+      EXPECT_EQ(a[j], b[j]) << to_string(kind) << " link " << j;
+  }
+}
+
+TEST_F(EstimatorInterfaceTest, StreamingEstimateUsesTheCachedPseudoInverse) {
+  const Estimator& est = scenario_.estimator();
+  ASSERT_EQ(est.method(), EstimatorKind::kLeastSquares);
+  const Vector y = scenario_.clean_measurements();
+  // The service fast path is literally G·y.
+  const Vector fast = est.streaming_estimate(y);
+  const Vector direct = est.pseudo_inverse() * y;
+  for (std::size_t j = 0; j < fast.size(); ++j) EXPECT_EQ(fast[j], direct[j]);
+}
+
+TEST_F(EstimatorInterfaceTest, TryAppendPathGrowsBothFamilies) {
+  for (const EstimatorKind kind :
+       {EstimatorKind::kLeastSquares, EstimatorKind::kSparseRecovery}) {
+    EstimatorOptions opt;
+    opt.sparse_prior = scenario_.x_true();
+    const auto est = make_estimator(kind, scenario_.graph(),
+                                    scenario_.estimator().paths(), opt);
+    const std::size_t before = est->num_paths();
+    // Re-announce the first measurement route (a redundancy-adding append).
+    ASSERT_TRUE(est->try_append_path(est->paths()[0]).ok());
+    EXPECT_EQ(est->num_paths(), before + 1);
+    Vector y(est->num_paths(), 0.0);
+    const Vector x = scenario_.x_true();
+    for (std::size_t i = 0; i < est->num_paths(); ++i) {
+      double sum = 0.0;
+      for (const LinkId l : est->paths()[i].links) sum += x[l];
+      y[i] = sum;
+    }
+    // Consistent measurements over the grown path set stay explainable.
+    EXPECT_LT(est->residual_statistic(y), 1e-6);
+  }
+}
+
+TEST_F(EstimatorInterfaceTest, DetectorRoutesTheFamilyResidualStatistic) {
+  // The same tampered measurements, judged by both families through the
+  // SAME detect_scapegoating call: least squares thresholds the raw ‖r‖₁
+  // while sparse recovery first subtracts its per-path ε allowance.
+  EstimatorOptions opt;
+  opt.sparse_epsilon_ms = 40.0;
+  opt.sparse_prior = scenario_.x_true();
+  const auto sparse =
+      make_estimator(EstimatorKind::kSparseRecovery, scenario_.graph(),
+                     scenario_.estimator().paths(), opt);
+  Vector y = scenario_.clean_measurements();
+  Rng jitter(0xd17ull);
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += jitter.uniform(0.0, 30.0);
+
+  const DetectionOutcome ls = detect_scapegoating(scenario_.estimator(), y);
+  const DetectionOutcome sp = detect_scapegoating(*sparse, y);
+  // Sub-ε jitter on every path: fully inside the sparse defender's
+  // measurement model, while the LS residual accumulates it across paths.
+  EXPECT_NEAR(sp.residual_norm1, 0.0, 1e-9);
+  EXPECT_FALSE(sp.detected);
+  EXPECT_GT(ls.residual_norm1, sp.residual_norm1);
+}
+
+}  // namespace
+}  // namespace scapegoat

@@ -11,11 +11,13 @@
 // Common flags: --seed N, --attackers a,b,c (node ids; default: Fig. 1's
 // B,C or 2 random nodes), --redundant N, --alpha MS, --csv.
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <optional>
+#include <sstream>
 
 #include "core/resilience_flags.hpp"
 #include "core/scapegoat.hpp"
@@ -24,6 +26,7 @@
 #include "robust/watchdog.hpp"
 #include "service/session.hpp"
 #include "util/args.hpp"
+#include "util/atomic_file.hpp"
 #include "util/thread_pool.hpp"
 
 namespace {
@@ -42,6 +45,12 @@ int usage(const char* reason) {
       "            (--rates permille list, --trials N, --retries N)\n"
       "  metrics — run an instrumented workload and print the metrics\n"
       "            registry (--trials N, --format table|json|csv)\n"
+      "  ablate-defender — detection trade-off curves, least squares vs\n"
+      "            sparse recovery on the same attacks (DESIGN.md §14)\n"
+      "            (--topology wireline|wireless --topologies N --trials N\n"
+      "             --clean-trials N --k a,b,c --eps e1,e2 --families\n"
+      "             unrestricted,consistent,sparse-aware --alpha MS\n"
+      "             --noise MS --anomaly MS --attack-eps MS --out PATH)\n"
       "  serve   — streaming probe-ingest session: bounded queues, shards,\n"
       "            online Eq. 23 windows, supervised restart\n"
       "            (--topologies N --shards N --batches N --producers N\n"
@@ -50,6 +59,7 @@ int usage(const char* reason) {
       "             --attack-every N --noise MS --grow-every N --open-loop\n"
       "             --batch-budget-ms MS --journal PATH --resume)\n"
       "flags: --topology fig1|wireline|wireless|file:PATH  --seed N\n"
+      "       --estimator ls|sparse  --epsilon MS (sparse defender ε ball)\n"
       "       --strategy chosen|max|obfuscation  --victim L(1-based)\n"
       "       --attackers a,b,c  --redundant N  --alpha MS  --csv\n"
       "       --stealthy (Theorem-1 consistent manipulation)\n"
@@ -77,6 +87,18 @@ std::optional<Setup> build_setup(ArgParser& args) {
       static_cast<std::size_t>(args.get_int("redundant", 8));
   Rng rng(seed);
 
+  // Which defender the deployment runs (DESIGN.md §14). --load keeps the
+  // estimator the file recorded.
+  ScenarioConfig config;
+  const std::string estimator = args.get_string("estimator", "ls");
+  if (estimator == "sparse") {
+    config.estimator_kind = EstimatorKind::kSparseRecovery;
+    config.sparse_epsilon_ms = args.get_double("epsilon", 0.0);
+  } else if (estimator != "ls") {
+    std::cerr << "error: --estimator expects ls|sparse\n";
+    return std::nullopt;
+  }
+
   std::optional<Scenario> scenario;
   std::vector<NodeId> default_attackers;
   if (const std::string load = args.get_string("load"); !load.empty()) {
@@ -86,13 +108,13 @@ std::optional<Setup> build_setup(ArgParser& args) {
       return std::nullopt;
     }
   } else if (topo == "fig1") {
-    scenario = Scenario::fig1(rng);
+    scenario = Scenario::fig1(rng, config);
     default_attackers = fig1_network().attackers;
   } else if (topo == "wireline") {
-    scenario = make_scenario(TopologyKind::kWireline, rng, ScenarioConfig{},
+    scenario = make_scenario(TopologyKind::kWireline, rng, config,
                              redundant);
   } else if (topo == "wireless") {
-    scenario = make_scenario(TopologyKind::kWireless, rng, ScenarioConfig{},
+    scenario = make_scenario(TopologyKind::kWireless, rng, config,
                              redundant);
   } else if (topo.rfind("file:", 0) == 0) {
     auto loaded = load_edge_list_file(topo.substr(5));
@@ -102,7 +124,7 @@ std::optional<Setup> build_setup(ArgParser& args) {
       return std::nullopt;
     }
     scenario = Scenario::from_graph(std::move(loaded->graph), rng,
-                                    ScenarioConfig{}, redundant);
+                                    config, redundant);
   } else {
     std::cerr << "error: unknown topology '" << topo << "'\n";
     return std::nullopt;
@@ -363,6 +385,123 @@ int cmd_metrics(ArgParser& args, obs::MetricsRegistry& registry) {
   return 0;
 }
 
+// Defender-choice ablation: the same attacks in front of the least-squares
+// and sparse-recovery defenders, swept over anomaly sparsity k and the
+// sparse defender's ε ball (core/defender_ablation.hpp).
+int cmd_ablate_defender(ArgParser& args) {
+  DefenderAblationOptions opt;
+  const std::string topo = args.get_string("topology", "wireline");
+  opt.kind =
+      topo == "wireless" ? TopologyKind::kWireless : TopologyKind::kWireline;
+  opt.topologies = static_cast<std::size_t>(args.get_int("topologies", 3));
+  opt.trials_per_cell = static_cast<std::size_t>(args.get_int("trials", 12));
+  opt.clean_trials =
+      static_cast<std::size_t>(args.get_int("clean-trials", 8));
+  args.apply_execution(opt);
+  opt.alpha = args.get_double("alpha", 200.0);
+  opt.noise_ms = args.get_double("noise", 1.0);
+  opt.anomaly_delay_ms = args.get_double("anomaly", 900.0);
+  opt.attack_epsilon_ms = args.get_double("attack-eps", 50.0);
+  if (const std::vector<long> ks = args.get_int_list("k"); !ks.empty()) {
+    opt.anomaly_sparsity.clear();
+    for (long k : ks) opt.anomaly_sparsity.push_back(
+        static_cast<std::size_t>(std::max(0L, k)));
+  }
+  if (const std::vector<long> eps = args.get_int_list("eps"); !eps.empty()) {
+    opt.defender_epsilons_ms.clear();
+    for (long e : eps) opt.defender_epsilons_ms.push_back(
+        static_cast<double>(std::max(0L, e)));
+  }
+  if (const std::string fams = args.get_string("families"); !fams.empty()) {
+    opt.families.clear();
+    std::istringstream fs(fams);
+    for (std::string name; std::getline(fs, name, ',');) {
+      const std::optional<AttackFamily> f = attack_family_from_string(name);
+      if (!f) {
+        std::cerr << "error: unknown attack family '" << name << "'\n";
+        return 2;
+      }
+      opt.families.push_back(*f);
+    }
+  }
+
+  const AblationSeries series = run_defender_ablation(opt);
+
+  std::vector<std::string> headers{"family", "k", "attacks", "ls_rate"};
+  for (double e : series.epsilons)
+    headers.push_back("sparse(eps=" + Table::num(e, 0) + ")");
+  headers.push_back("ls_only");
+  headers.push_back("sparse_only");
+  Table table(headers);
+  for (const AblationCell& c : series.cells) {
+    std::vector<std::string> row{to_string(c.family),
+                                 std::to_string(c.sparsity),
+                                 std::to_string(c.attacks),
+                                 Table::num(c.ls_rate(), 3)};
+    std::size_t ls_only = 0, sparse_only = 0;
+    for (std::size_t e = 0; e < series.epsilons.size(); ++e) {
+      row.push_back(Table::num(c.sparse_rate(e), 3));
+      ls_only = std::max(ls_only, c.ls_only[e]);
+      sparse_only = std::max(sparse_only, c.sparse_only[e]);
+    }
+    row.push_back(std::to_string(ls_only));
+    row.push_back(std::to_string(sparse_only));
+    table.add_row(std::move(row));
+  }
+  std::cout << "defender ablation (" << to_string(opt.kind) << ", "
+            << opt.topologies << " topologies, " << opt.trials_per_cell
+            << " trials/cell, attack ε " << Table::num(opt.attack_epsilon_ms)
+            << " ms, α " << Table::num(opt.alpha) << " ms)\n";
+  if (args.get_bool("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "clean trials " << series.clean_trials << ": LS false alarms "
+            << series.ls_false_alarms;
+  for (std::size_t e = 0; e < series.epsilons.size(); ++e)
+    std::cout << ", sparse(ε=" << Table::num(series.epsilons[e], 0) << ") "
+              << series.sparse_false_alarms[e];
+  std::cout << '\n';
+
+  if (const std::string out = args.get_string("out"); !out.empty()) {
+    std::ostringstream json;
+    json << "{\n  \"kind\": \"" << to_string(series.kind)
+         << "\",\n  \"epsilons_ms\": [";
+    for (std::size_t e = 0; e < series.epsilons.size(); ++e)
+      json << (e ? ", " : "") << series.epsilons[e];
+    json << "],\n  \"clean_trials\": " << series.clean_trials
+         << ",\n  \"ls_false_alarms\": " << series.ls_false_alarms
+         << ",\n  \"sparse_false_alarms\": [";
+    for (std::size_t e = 0; e < series.sparse_false_alarms.size(); ++e)
+      json << (e ? ", " : "") << series.sparse_false_alarms[e];
+    json << "],\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < series.cells.size(); ++i) {
+      const AblationCell& c = series.cells[i];
+      json << "    {\"family\": \"" << to_string(c.family)
+           << "\", \"k\": " << c.sparsity << ", \"attacks\": " << c.attacks
+           << ", \"ls_detected\": " << c.ls_detected
+           << ", \"sparse_detected\": [";
+      for (std::size_t e = 0; e < c.sparse_detected.size(); ++e)
+        json << (e ? ", " : "") << c.sparse_detected[e];
+      json << "], \"ls_only\": [";
+      for (std::size_t e = 0; e < c.ls_only.size(); ++e)
+        json << (e ? ", " : "") << c.ls_only[e];
+      json << "], \"sparse_only\": [";
+      for (std::size_t e = 0; e < c.sparse_only.size(); ++e)
+        json << (e ? ", " : "") << c.sparse_only[e];
+      json << "]}" << (i + 1 < series.cells.size() ? "," : "") << '\n';
+    }
+    json << "  ]\n}\n";
+    if (!write_file_atomic(out, json.str()).ok()) {
+      std::cerr << "error: cannot write " << out << '\n';
+      return 1;
+    }
+    std::cerr << "ablation series written to " << out << '\n';
+  }
+  return 0;
+}
+
 // Streaming probe-ingest session: the service face of DESIGN.md §13.
 // SIGTERM/SIGINT drain gracefully — the supervisor closes admissions, the
 // shards finish the queued backlog with journals flushed, and the session
@@ -513,6 +652,8 @@ int main(int argc, char** argv) {
     rc = cmd_faults(args);
   } else if (cmd == "metrics") {
     rc = cmd_metrics(args, registry);
+  } else if (cmd == "ablate-defender") {
+    rc = cmd_ablate_defender(args);
   } else if (cmd == "serve") {
     rc = cmd_serve(args);
   } else {
