@@ -1,0 +1,260 @@
+// Multicast MLE bench: the PR-10 acceptance harness.
+//
+// Sweep over balanced binary multicast trees (depth 1..3 → 2/4/8 leaves)
+// and probe budgets. Each trial draws honest per-link deliveries in
+// [0.985, 1], plants ONE lossy link at 0.75 delivery (below the 0.90
+// abnormal line), runs the probe simulator, and fits the gamma-recursion
+// MLE. Reported per (depth, probes): mean per-link |α̂ − α| estimation
+// error, exact-blame rate (the planted link — and only it — classified
+// abnormal from the fitted loss metrics), and mean solve latency.
+//
+// Acceptance gate: on the 3-link shared-chain tree the recursive fit's
+// exhaustive outcome log-likelihood must meet or beat a brute-force grid
+// search over all rate vectors (testkit's independent oracle) on every
+// unclamped trial — the recursion really is the maximizer — and the
+// largest-tree, largest-budget cell must blame exactly the planted link in
+// ≥ 80% of trials.
+//
+//   bench_multicast_mle [--quick] [--repeats N] [--out PATH]
+//
+// --out writes the JSON consumed by scripts/bench_report.sh
+// --multicast-out (checked in as BENCH_pr10.json).
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "simnet/multicast_probe.hpp"
+#include "testkit/oracles.hpp"
+#include "tomography/link_state.hpp"
+#include "tomography/loss_metric.hpp"
+#include "tomography/multicast_mle.hpp"
+#include "util/args.hpp"
+#include "util/atomic_file.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace scapegoat;
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Balanced binary tree in heap order: node i's children are 2i+1, 2i+2;
+// the last 2^depth nodes are the receivers.
+struct BinaryTree {
+  Graph g;
+  MulticastTree tree;
+};
+
+BinaryTree make_binary_tree(std::size_t depth) {
+  const std::size_t internal = (std::size_t{1} << depth) - 1;
+  const std::size_t total = (std::size_t{1} << (depth + 1)) - 1;
+  BinaryTree out{Graph(total), {}};
+  for (std::size_t i = 0; i < internal; ++i) {
+    out.g.add_link(static_cast<NodeId>(i), static_cast<NodeId>(2 * i + 1));
+    out.g.add_link(static_cast<NodeId>(i), static_cast<NodeId>(2 * i + 2));
+  }
+  std::vector<NodeId> receivers;
+  for (std::size_t i = internal; i < total; ++i)
+    receivers.push_back(static_cast<NodeId>(i));
+  auto built = build_multicast_tree(out.g, 0, receivers);
+  if (!built.ok()) {
+    std::cerr << "error: binary tree build failed: " << built.error_message()
+              << '\n';
+    std::exit(1);
+  }
+  out.tree = std::move(*built);
+  return out;
+}
+
+struct Cell {
+  std::size_t depth = 0;
+  std::size_t probes = 0;
+  std::size_t trials = 0;
+  std::size_t exact_blame = 0;
+  std::size_t refused = 0;  // dead-leaf refusals at tiny budgets
+  double mean_err = 0.0;    // mean per-logical-link |α̂ − α|
+  double mean_solve_s = 0.0;
+  double blame_rate() const {
+    return trials == 0 ? 0.0 : static_cast<double>(exact_blame) / trials;
+  }
+};
+
+Cell run_cell(const BinaryTree& bt, std::size_t depth, std::size_t probes,
+              std::size_t trials, std::uint64_t seed) {
+  Cell cell;
+  cell.depth = depth;
+  cell.probes = probes;
+  const std::size_t links = bt.g.num_links();
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(derive_seed(seed + depth, trial * 7919 + probes));
+    std::vector<double> delivery(links);
+    for (double& d : delivery) d = rng.uniform(0.985, 1.0);
+    const LinkId planted = rng.index(links);
+    delivery[planted] = 0.75;
+
+    simnet::MulticastProbeOptions popt;
+    popt.probes = probes;
+    popt.seed = derive_seed(seed ^ 0xb13cull, trial);
+    popt.link_delivery = delivery;
+    popt.histogram_max_leaves = 0;  // sweep cells never need the histogram
+    const simnet::MulticastProbeRun run =
+        simnet::run_multicast_probes(bt.tree, popt);
+
+    const double start = now_seconds();
+    const auto fit = solve_multicast_mle(links, bt.tree, run.obs);
+    const double elapsed = now_seconds() - start;
+    if (!fit.ok()) {
+      ++cell.refused;
+      continue;
+    }
+    ++cell.trials;
+    cell.mean_solve_s += elapsed;
+
+    // True logical rates are the chain products (chains are single links
+    // here, but stay general).
+    double err = 0.0;
+    for (std::size_t k = 1; k < bt.tree.num_nodes(); ++k) {
+      double alpha = 1.0;
+      for (const LinkId l : bt.tree.nodes[k].chain) alpha *= delivery[l];
+      err += std::abs(fit->link_success[k] - alpha);
+    }
+    cell.mean_err += err / static_cast<double>(bt.tree.num_nodes() - 1);
+
+    const auto states = classify_all(fit->x, loss_thresholds());
+    bool exact = states[planted] == LinkState::kAbnormal;
+    for (std::size_t l = 0; l < links && exact; ++l)
+      if (l != planted && states[l] == LinkState::kAbnormal) exact = false;
+    if (exact) ++cell.exact_blame;
+  }
+  if (cell.trials > 0) {
+    cell.mean_err /= static_cast<double>(cell.trials);
+    cell.mean_solve_s /= static_cast<double>(cell.trials);
+  }
+  return cell;
+}
+
+// Brute-force agreement on the 3-link shared-chain tree: every unclamped
+// finite-likelihood trial must score at least the grid optimum (up to grid
+// resolution).
+bool oracle_gate(std::size_t trials, std::size_t* checked) {
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(1, 3);
+  const auto tree = build_multicast_tree(g, 0, {2, 3});
+  if (!tree.ok()) return false;
+  *checked = 0;
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    Rng rng(derive_seed(0x09ac1eull, trial));
+    simnet::MulticastProbeOptions popt;
+    popt.probes = 500;
+    popt.seed = derive_seed(0x09ac1e5eull, trial);
+    popt.link_delivery = {rng.uniform(0.7, 1.0), rng.uniform(0.7, 1.0),
+                          rng.uniform(0.7, 1.0)};
+    const simnet::MulticastProbeRun run =
+        simnet::run_multicast_probes(*tree, popt);
+    const auto fit = solve_multicast_mle(g.num_links(), *tree, run.obs);
+    if (!fit.ok() || fit->clamped > 0 || run.outcome_counts.empty()) continue;
+    const double fit_ll = testkit::ref_multicast_outcome_loglik(
+        *tree, fit->link_success, run.outcome_counts, run.probes_sent);
+    if (!std::isfinite(fit_ll)) continue;
+    const double best = testkit::ref_multicast_mle_grid(
+        *tree, run.outcome_counts, run.probes_sent);
+    const double slack =
+        1e-3 * static_cast<double>(run.probes_sent) / 9.0 + 1e-6;
+    ++*checked;
+    if (fit_ll < best - slack) {
+      std::cerr << "oracle gate: trial " << trial << " fit loglik " << fit_ll
+                << " < grid best " << best << " - " << slack << '\n';
+      return false;
+    }
+  }
+  return *checked > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  const bool quick = args.get_bool("quick");
+  const std::size_t trials =
+      quick ? 10 : static_cast<std::size_t>(args.get_int("repeats", 40));
+  const std::string out_path = args.get_string("out");
+  for (const std::string& err : args.errors())
+    std::cerr << "warning: " << err << '\n';
+
+  std::vector<Cell> cells;
+  for (const std::size_t depth : {std::size_t{1}, std::size_t{2},
+                                  std::size_t{3}}) {
+    const BinaryTree bt = make_binary_tree(depth);
+    for (const std::size_t probes :
+         {std::size_t{250}, std::size_t{1000}, std::size_t{4000}})
+      cells.push_back(run_cell(bt, depth, probes, trials, 0x9b10ull));
+  }
+
+  Table table({"depth", "leaves", "probes", "trials", "exact_blame",
+               "mean_abs_err", "solve_us", "refused"});
+  for (const Cell& c : cells) {
+    table.add_row({std::to_string(c.depth),
+                   std::to_string(std::size_t{1} << c.depth),
+                   std::to_string(c.probes), std::to_string(c.trials),
+                   Table::num(c.blame_rate(), 3), Table::num(c.mean_err, 5),
+                   Table::num(c.mean_solve_s * 1e6, 1),
+                   std::to_string(c.refused)});
+  }
+  std::cout << "multicast MLE, " << trials << " trials per cell"
+            << (quick ? " (quick)" : "") << '\n';
+  table.print(std::cout);
+
+  std::size_t oracle_checked = 0;
+  const bool oracle_ok = oracle_gate(quick ? 10 : 25, &oracle_checked);
+  bool blame_ok = false;
+  for (const Cell& c : cells)
+    if (c.depth == 3 && c.probes == 4000 && c.blame_rate() >= 0.8)
+      blame_ok = true;
+  const bool gate_met = oracle_ok && blame_ok;
+  std::cout << "gate: brute-force-oracle agreement ("
+            << oracle_checked << " trials) " << (oracle_ok ? "PASS" : "FAIL")
+            << ", deep-tree exact blame " << (blame_ok ? "PASS" : "FAIL")
+            << '\n';
+
+  if (!out_path.empty()) {
+    std::string json = "{\n  \"bench\": \"bench_multicast_mle\",\n";
+    json += "  \"workload\": \"planted_lossy_link_binary_trees\",\n";
+    json += "  \"trials_per_cell\": " + std::to_string(trials) + ",\n";
+    json += "  \"quick\": " + std::string(quick ? "true" : "false") + ",\n";
+    json += "  \"oracle_trials\": " + std::to_string(oracle_checked) + ",\n";
+    json += "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      char buf[256];
+      std::snprintf(buf, sizeof buf,
+                    "    {\"depth\": %zu, \"leaves\": %zu, \"probes\": %zu, "
+                    "\"trials\": %zu, \"exact_blame_rate\": %.3f, "
+                    "\"mean_abs_err\": %.5f, \"mean_solve_seconds\": %.7f, "
+                    "\"refused\": %zu}%s\n",
+                    c.depth, std::size_t{1} << c.depth, c.probes, c.trials,
+                    c.blame_rate(), c.mean_err, c.mean_solve_s, c.refused,
+                    i + 1 < cells.size() ? "," : "");
+      json += buf;
+    }
+    json += "  ],\n";
+    json += "  \"gate_met\": " + std::string(gate_met ? "true" : "false") +
+            "\n}\n";
+    if (!write_file_atomic(out_path, json).ok()) {
+      std::cerr << "error: cannot write " << out_path << '\n';
+      return 1;
+    }
+    std::cout << "wrote " << out_path << '\n';
+  }
+  return gate_met ? 0 : 1;
+}

@@ -23,12 +23,17 @@
 #                   underdetermined regimes, with the LS-agreement and
 #                   support-recovery gates (EXPERIMENTS.md "Sparse-recovery
 #                   estimator")
+#   BENCH_pr10.json bench_multicast_mle — planted lossy links on balanced
+#                   binary multicast trees: estimation error, exact-blame
+#                   rate and solve latency vs probe budget and depth, with
+#                   the brute-force-likelihood agreement gate
+#                   (EXPERIMENTS.md "Multicast MLE")
 # Re-run after touching the obs layer, the checkpoint journal, the sparse
 # numerics, the LP solvers, the service layer, or any instrumented hot path.
 #
 #   scripts/bench_report.sh [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH]
 #                           [--sparse-out PATH] [--service-out PATH]
-#                           [--sparse-recovery-out PATH]
+#                           [--sparse-recovery-out PATH] [--multicast-out PATH]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -39,6 +44,7 @@ ckpt_out=BENCH_pr4.json
 sparse_out=BENCH_pr6.json
 service_out=BENCH_pr7.json
 sparse_recovery_out=BENCH_pr8.json
+multicast_out=BENCH_pr10.json
 quick=""
 while [ $# -gt 0 ]; do
   case "$1" in
@@ -48,8 +54,9 @@ while [ $# -gt 0 ]; do
     --sparse-out) sparse_out=$2; shift ;;
     --service-out) service_out=$2; shift ;;
     --sparse-recovery-out) sparse_recovery_out=$2; shift ;;
+    --multicast-out) multicast_out=$2; shift ;;
     -j) jobs=$2; shift ;;
-    *) echo "usage: $0 [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH] [--sparse-out PATH] [--service-out PATH] [--sparse-recovery-out PATH]" >&2; exit 2 ;;
+    *) echo "usage: $0 [--quick] [-j N] [--obs-out PATH] [--ckpt-out PATH] [--sparse-out PATH] [--service-out PATH] [--sparse-recovery-out PATH] [--multicast-out PATH]" >&2; exit 2 ;;
   esac
   shift
 done
@@ -63,7 +70,7 @@ unset SCAPEGOAT_PROP_ITERS SCAPEGOAT_PROP_SEED SCAPEGOAT_PROP_CORPUS
 cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs" --target bench_observability \
       bench_checkpoint_overhead bench_sparse bench_streaming \
-      bench_sparse_recovery
+      bench_sparse_recovery bench_multicast_mle
 
 build/bench/bench_observability $quick --out "$obs_out"
 echo "report: $obs_out"
@@ -79,3 +86,6 @@ echo "report: $service_out"
 
 build/bench/bench_sparse_recovery $quick --out "$sparse_recovery_out"
 echo "report: $sparse_recovery_out"
+
+build/bench/bench_multicast_mle $quick --out "$multicast_out"
+echo "report: $multicast_out"

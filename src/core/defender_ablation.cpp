@@ -6,9 +6,11 @@
 #include <ostream>
 
 #include "attack/chosen_victim.hpp"
+#include "attack/loss_scapegoat.hpp"
 #include "attack/sparse_aware.hpp"
 #include "detect/detector.hpp"
 #include "obs/obs.hpp"
+#include "simnet/multicast_probe.hpp"
 #include "tomography/sparse_recovery.hpp"
 #include "util/thread_pool.hpp"
 
@@ -288,6 +290,256 @@ AblationSeries run_defender_ablation(const DefenderAblationOptions& opt) {
       obs::count("core.ablation.attacks");
       if (o.ls) obs::count("core.ablation.ls_detected");
       if (o.sparse_mask != 0) obs::count("core.ablation.sparse_detected");
+    }
+  }
+  run_span.attr("trials", static_cast<std::uint64_t>(series.total_trials));
+  return series;
+}
+
+// ---- loss-domain ablation -------------------------------------------------
+
+namespace {
+
+constexpr std::uint64_t kLossTopoSalt = 0x10ab70b05ull;
+constexpr std::uint64_t kLossTrialSalt = 0x10ab17121ull;
+constexpr std::uint64_t kLossCleanSalt = 0x10abc1ea9ull;
+constexpr std::uint64_t kLossProbeSalt = 0x10ab9b0beull;
+// Unicast-channel coins: per (link, packet) delivery and per (edge, packet)
+// grey-hole drop. Unicast packets never share a coin — per-packet drops are
+// i.i.d. whatever the family, which is exactly why this channel cannot see
+// the split-framing anti-correlation.
+constexpr std::uint64_t kLossLsLinkSalt = 0x10ab151145ull;
+constexpr std::uint64_t kLossLsDropSalt = 0x10ab15d0ull;
+
+double unit_hash(std::uint64_t seed, std::uint64_t salt, std::uint64_t a,
+                 std::uint64_t b) {
+  std::uint64_t s = seed ^ salt;
+  s = derive_seed(a, s);
+  s = derive_seed(b, s);
+  s = derive_seed(0, s);
+  return static_cast<double>(s >> 11) * 0x1.0p-53;
+}
+
+struct LossTrialOut {
+  bool counted = false;
+  bool blamed = false;
+  bool mle = false;
+  bool ls = false;
+};
+
+// The attacked physical edges: the first link of each framed chain (the
+// grey hole sits at the attacker's graph node and drops what it forwards
+// onto that edge).
+std::vector<LinkId> attacked_edges(const MulticastTree& tree,
+                                   const simnet::MulticastAdversary& adv) {
+  std::vector<LinkId> edges;
+  for (const simnet::GreyHoleRule& rule : adv.rules)
+    edges.push_back(tree.nodes[rule.victim].chain.front());
+  return edges;
+}
+
+// One trial, attack (family != nullptr) or clean. Both channels observe the
+// same ground-truth deliveries; every random decision comes from `rng` or
+// from pure hashes of `probe_seed`, never from scheduling.
+LossTrialOut loss_trial(const Scenario& sc, const LossAttackFamily* family,
+                        double rate, const LossAblationOptions& opt,
+                        std::uint64_t probe_seed, Rng& rng) {
+  LossTrialOut out;
+  const Graph& g = sc.graph();
+
+  // Root the tree at a monitor (the multicast source must be measurement
+  // infrastructure); receivers are re-drawn on tree-construction failure
+  // (e.g. a sampled receiver relaying for another).
+  std::vector<NodeId> monitors;
+  for (NodeId v = 0; v < g.num_nodes(); ++v)
+    if (sc.is_monitor(v)) monitors.push_back(v);
+  if (monitors.empty() || g.num_nodes() < 4) return out;
+  const NodeId root = monitors[rng.index(monitors.size())];
+
+  std::optional<MulticastTree> tree;
+  for (int attempt = 0; attempt < 8 && !tree; ++attempt) {
+    std::vector<NodeId> receivers;
+    for (std::size_t v : rng.sample_without_replacement(
+             g.num_nodes(), std::min(opt.receivers + 1, g.num_nodes()))) {
+      if (v == root || receivers.size() >= opt.receivers) continue;
+      receivers.push_back(v);
+    }
+    if (receivers.size() < 2) continue;
+    auto built = build_multicast_tree(g, root, receivers);
+    if (built.ok()) tree = std::move(*built);
+  }
+  if (!tree) return out;
+
+  std::vector<double> delivery(g.num_links());
+  for (double& d : delivery)
+    d = rng.uniform(opt.min_link_delivery, opt.max_link_delivery);
+
+  simnet::MulticastAdversary adv;
+  std::size_t victim_child = 0;
+  if (family != nullptr) {
+    // A non-root internal node with ≥ 2 children: framing a proper subtree
+    // while a sibling subtree stays observed, with an own incoming chain
+    // whose blame matters.
+    std::vector<std::size_t> candidates;
+    for (std::size_t k = 1; k < tree->num_nodes(); ++k)
+      if (tree->nodes[k].children.size() >= 2) candidates.push_back(k);
+    if (candidates.empty()) return out;
+    const std::size_t attacker = candidates[rng.index(candidates.size())];
+    const auto& kids = tree->nodes[attacker].children;
+    victim_child = kids[rng.index(kids.size())];
+    adv.drop_rate = rate;
+    adv.rules.push_back({attacker, victim_child});
+    if (*family == LossAttackFamily::kSplitFraming) {
+      for (std::size_t c : kids)
+        if (c != victim_child) {
+          adv.rules.push_back({attacker, c});
+          break;
+        }
+      adv.exclusive = true;
+    }
+  }
+
+  // Multicast channel → MLE defender.
+  simnet::MulticastProbeOptions popt;
+  popt.probes = opt.probes;
+  popt.seed = probe_seed;
+  popt.link_delivery = delivery;
+  popt.adversary = family != nullptr ? &adv : nullptr;
+  popt.histogram_max_leaves = 0;
+  const simnet::MulticastProbeRun run =
+      simnet::run_multicast_probes(*tree, popt);
+
+  MulticastMleEstimator defender(g, *tree);
+  if (opt.probe_mode == simnet::ProbeMode::kMulticast)
+    defender.ingest(run.obs);  // kUnicast: marginals-only completion
+  const Vector y = run.leaf_loss_metrics();
+  out.mle = detect_scapegoating(defender, y, DetectorOptions{opt.mle_alpha})
+                .detected;
+  if (family != nullptr) {
+    const std::vector<LinkState> states =
+        classify_all(defender.estimate(y), loss_thresholds());
+    out.blamed = true;
+    for (LinkId l : tree->nodes[victim_child].chain)
+      out.blamed = out.blamed && states[l] == LinkState::kAbnormal;
+  }
+
+  // Unicast channel → the scenario's least-squares defender, fed per-path
+  // loss metrics over its own monitor paths.
+  const std::vector<Path>& paths = sc.estimator().paths();
+  const std::vector<LinkId> edges =
+      family != nullptr ? attacked_edges(*tree, adv) : std::vector<LinkId>{};
+  Vector y_ls(paths.size());
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::size_t passed = 0;
+    for (std::size_t j = 0; j < opt.probes; ++j) {
+      const std::uint64_t packet = i * opt.probes + j;
+      bool ok = true;
+      for (LinkId l : paths[i].links)
+        if (unit_hash(probe_seed, kLossLsLinkSalt, l, packet) >=
+            delivery[l]) {
+          ok = false;
+          break;
+        }
+      if (ok)
+        for (std::size_t e = 0; e < edges.size(); ++e)
+          if (std::find(paths[i].links.begin(), paths[i].links.end(),
+                        edges[e]) != paths[i].links.end() &&
+              unit_hash(probe_seed, kLossLsDropSalt, e, packet) < rate) {
+            ok = false;
+            break;
+          }
+      if (ok) ++passed;
+    }
+    const double pass =
+        static_cast<double>(passed) / static_cast<double>(opt.probes);
+    y_ls[i] = -std::log(std::max(pass, 1e-9));
+  }
+  out.ls = detect_scapegoating(sc.estimator(), y_ls,
+                               DetectorOptions{opt.ls_alpha})
+               .detected;
+  out.counted = true;
+  return out;
+}
+
+}  // namespace
+
+LossAblationSeries run_loss_ablation(const LossAblationOptions& opt) {
+  LossAblationSeries series;
+  series.kind = opt.kind;
+  series.probe_mode = opt.probe_mode;
+  for (LossAttackFamily f : opt.families)
+    for (double r : opt.drop_rates) {
+      LossAblationCell cell;
+      cell.family = f;
+      cell.drop_rate = r;
+      series.cells.push_back(cell);
+    }
+
+  const std::uint64_t base =
+      opt.seed + (opt.kind == TopologyKind::kWireline ? 0 : 0xab1f1ee5u);
+  std::unique_ptr<ThreadPool> owned;
+  ThreadPool& pool = acquire_pool(opt, owned);
+
+  obs::ScopedSpan run_span("core.loss_ablation.run");
+  run_span.attr("kind", to_string(opt.kind));
+  run_span.attr("probe_mode", to_string(opt.probe_mode));
+
+  const std::size_t cells = series.cells.size();
+  const std::size_t per_topology = cells * opt.trials_per_cell;
+
+  for (std::size_t t = 0; t < opt.topologies; ++t) {
+    Rng topo_rng(derive_seed(base ^ kLossTopoSalt, t));
+    std::optional<Scenario> sc = make_scenario(opt.kind, topo_rng);
+    if (!sc) continue;
+    sc->estimator().pseudo_inverse();  // warm the lazy cache pre-fan-out
+
+    std::vector<LossTrialOut> clean_outs(opt.clean_trials);
+    pool.parallel_for(
+        0, opt.clean_trials, opt.grain, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t gi = t * opt.clean_trials + i;
+            Rng rng(derive_seed(base ^ kLossCleanSalt, gi));
+            clean_outs[i] =
+                loss_trial(*sc, nullptr, 0.0, opt,
+                           derive_seed(base ^ kLossProbeSalt, 2 * gi), rng);
+          }
+        });
+    for (const LossTrialOut& o : clean_outs) {
+      if (!o.counted) continue;
+      ++series.clean_trials;
+      if (o.mle) ++series.mle_false_alarms;
+      if (o.ls) ++series.ls_false_alarms;
+      obs::count("core.loss_ablation.clean_trials");
+      if (o.mle || o.ls) obs::count("core.loss_ablation.false_alarms");
+    }
+
+    std::vector<LossTrialOut> outs(per_topology);
+    pool.parallel_for(
+        0, per_topology, opt.grain, [&](std::size_t lo, std::size_t hi) {
+          for (std::size_t i = lo; i < hi; ++i) {
+            const std::size_t cell = i / opt.trials_per_cell;
+            const std::size_t gi = t * per_topology + i;
+            obs::ScopedSpan trial_span("core.loss_ablation.trial");
+            Rng rng(derive_seed(base ^ kLossTrialSalt, gi));
+            outs[i] = loss_trial(
+                *sc, &series.cells[cell].family, series.cells[cell].drop_rate,
+                opt, derive_seed(base ^ kLossProbeSalt, 2 * gi + 1), rng);
+          }
+        });
+    for (std::size_t i = 0; i < per_topology; ++i) {
+      ++series.total_trials;
+      const LossTrialOut& o = outs[i];
+      if (!o.counted) continue;
+      LossAblationCell& cell = series.cells[i / opt.trials_per_cell];
+      ++cell.attacks;
+      if (o.blamed) ++cell.victim_blamed;
+      if (o.mle) ++cell.mle_detected;
+      if (o.ls) ++cell.ls_detected;
+      if (o.mle && !o.ls) ++cell.mle_only;
+      if (o.ls && !o.mle) ++cell.ls_only;
+      obs::count("core.loss_ablation.attacks");
+      if (o.mle) obs::count("core.loss_ablation.mle_detected");
+      if (o.ls) obs::count("core.loss_ablation.ls_detected");
     }
   }
   run_span.attr("trials", static_cast<std::uint64_t>(series.total_trials));

@@ -35,6 +35,7 @@
 #include <string_view>
 #include <vector>
 
+#include "attack/loss_scapegoat.hpp"
 #include "core/experiment.hpp"
 #include "util/execution.hpp"
 
@@ -103,5 +104,89 @@ struct AblationSeries {
 // noise all derive from opt.seed; identical options give bitwise identical
 // series at every thread count.
 AblationSeries run_defender_ablation(const DefenderAblationOptions& opt);
+
+// ---- loss-domain ablation: multicast MLE vs least squares -----------------
+//
+// The grey-hole grid (DESIGN.md §15, EXPERIMENTS.md "Loss-domain
+// scapegoating"). Each trial draws a topology, roots a multicast tree at a
+// monitor, places a grey hole at an internal tree node and frames one child
+// subtree (attack/loss_scapegoat.hpp families), then feeds the SAME ground
+// truth to two measurement channels:
+//
+//   * the multicast channel — run_multicast_probes joint OR counts into a
+//     tree-native MulticastMleEstimator; detection thresholds the loss
+//     residual (probability units) against mle_alpha. probe_mode = kUnicast
+//     withholds the joint counts (marginals-only independence completion),
+//     the "how much does correlation buy" knob.
+//   * the unicast channel — per-path loss probes over the scenario's
+//     monitor paths; the grey hole drops probes crossing the attacked
+//     edge(s) with the same per-packet rate. Every drop is i.i.d. per
+//     packet, i.e. indistinguishable from link loss on that edge, so the
+//     least-squares Eq. 23 residual (loss-metric units, ls_alpha) stays at
+//     noise for BOTH families — the separation the MLE's clamp statistic
+//     provides only on the correlated channel.
+//
+// Clean trials (honest link loss only, both channels) pin the false-alarm
+// rates the EXPERIMENTS.md table's zero-false-alarm claim rests on.
+struct LossAblationOptions : ExecutionPolicy {
+  LossAblationOptions() : ExecutionPolicy(0, /*grain=*/2, /*seed=*/15) {}
+
+  TopologyKind kind = TopologyKind::kWireline;
+  std::size_t topologies = 3;
+  std::size_t trials_per_cell = 8;  // per (family, drop rate) per topology
+  std::size_t clean_trials = 8;     // false-alarm trials per topology
+  std::size_t probes = 4000;        // per trial, both channels
+  std::size_t receivers = 5;        // multicast leaves drawn per trial
+
+  std::vector<double> drop_rates = {0.10, 0.20, 0.30};
+  std::vector<LossAttackFamily> families = {LossAttackFamily::kSubtreeFraming,
+                                            LossAttackFamily::kSplitFraming};
+  simnet::ProbeMode probe_mode = simnet::ProbeMode::kMulticast;
+
+  double mle_alpha = 0.05;  // MLE residual threshold, probability units
+  double ls_alpha = 0.5;    // LS Eq. 23 threshold, loss-metric units
+  // Honest per-link delivery drawn U[min, max] — the background loss floor.
+  double min_link_delivery = 0.985;
+  double max_link_delivery = 1.0;
+};
+
+// One (family, drop rate) cell.
+struct LossAblationCell {
+  LossAttackFamily family = LossAttackFamily::kSubtreeFraming;
+  double drop_rate = 0.0;
+  std::size_t attacks = 0;        // trials with a usable tree + attacker
+  std::size_t victim_blamed = 0;  // MLE classified every victim link abnormal
+  std::size_t mle_detected = 0;
+  std::size_t ls_detected = 0;
+  std::size_t mle_only = 0;  // MLE fired, LS silent — the separation count
+  std::size_t ls_only = 0;
+
+  double blame_rate() const {
+    return attacks == 0 ? 0.0
+                        : static_cast<double>(victim_blamed) / attacks;
+  }
+  double mle_rate() const {
+    return attacks == 0 ? 0.0
+                        : static_cast<double>(mle_detected) / attacks;
+  }
+  double ls_rate() const {
+    return attacks == 0 ? 0.0 : static_cast<double>(ls_detected) / attacks;
+  }
+};
+
+struct LossAblationSeries {
+  TopologyKind kind = TopologyKind::kWireline;
+  simnet::ProbeMode probe_mode = simnet::ProbeMode::kMulticast;
+  std::vector<LossAblationCell> cells;  // families × rates, enumeration order
+  std::size_t total_trials = 0;         // attempted (incl. unusable draws)
+
+  std::size_t clean_trials = 0;
+  std::size_t mle_false_alarms = 0;
+  std::size_t ls_false_alarms = 0;
+};
+
+// Runs the grid. Same determinism contract as run_defender_ablation: every
+// counter is bitwise identical at every thread count for fixed options.
+LossAblationSeries run_loss_ablation(const LossAblationOptions& opt);
 
 }  // namespace scapegoat

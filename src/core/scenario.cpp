@@ -13,6 +13,7 @@ namespace {
 EstimatorOptions estimator_options_for(const ScenarioConfig& config) {
   EstimatorOptions opt;
   opt.sparse_epsilon_ms = config.sparse_epsilon_ms;
+  opt.mle_min_rate = config.mle_min_rate;
   return opt;
 }
 

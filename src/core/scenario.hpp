@@ -26,9 +26,11 @@ struct ScenarioConfig {
   double margin_ms = 1.0;      // strictness margin in state constraints
   // Which defender the deployment runs (DESIGN.md §14). kSparseRecovery
   // builds the ℓ1 estimator with a zero prior and the ∞-ball tolerance
-  // below; kLeastSquares ignores the ε.
+  // below; kLeastSquares ignores the ε. kMulticastMle consults the clamp
+  // floor below (loss-domain defender, DESIGN.md §15).
   EstimatorKind estimator_kind = EstimatorKind::kLeastSquares;
   double sparse_epsilon_ms = 0.0;  // sparse defender per-path noise allowance
+  double mle_min_rate = 1e-6;      // MLE fitted-success-rate clamp floor
 };
 
 class Scenario {

@@ -68,9 +68,15 @@ void save_scenario(std::ostream& out, const Scenario& scenario) {
       << c.per_path_cap_ms << ' ' << c.margin_ms << '\n';
   // Optional trailing section, only for non-default defenders: files saved
   // by older builds (and every least-squares scenario) stay byte-identical.
-  if (c.estimator_kind != EstimatorKind::kLeastSquares)
+  if (c.estimator_kind != EstimatorKind::kLeastSquares) {
     out << "estimator " << to_string(c.estimator_kind) << ' '
-        << c.sparse_epsilon_ms << '\n';
+        << c.sparse_epsilon_ms;
+    // The MLE defender's clamp floor rides as a third token; other kinds
+    // keep the two-token line older readers expect.
+    if (c.estimator_kind == EstimatorKind::kMulticastMle)
+      out << ' ' << c.mle_min_rate;
+    out << '\n';
+  }
 }
 
 robust::Expected<Scenario> try_load_scenario(std::istream& in) {
@@ -218,6 +224,8 @@ robust::Expected<Scenario> try_load_scenario(std::istream& in) {
     cfg.estimator_kind = *kind;
     if (!(ls >> cfg.sparse_epsilon_ms))
       return parse_error("unreadable estimator epsilon");
+    // Optional third token: the MLE clamp floor (absent in two-token files).
+    if (double floor = 0.0; ls >> floor) cfg.mle_min_rate = floor;
   }
 
   std::optional<Scenario> sc = Scenario::restore(

@@ -1,7 +1,9 @@
 #include "testkit/gen.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "topology/generators.hpp"
 
@@ -157,6 +159,75 @@ LinkId gen_victim(Source& src, const Scenario& sc) {
 void gen_resample_metrics(Source& src, Scenario& sc) {
   Rng rng = gen_rng(src);
   sc.resample_metrics(rng);
+}
+
+MulticastTreeDraw gen_multicast_tree(Source& src, std::size_t max_leaves,
+                                     std::size_t max_chain) {
+  // Phase 1: describe the physical tree as an edge list over consecutive
+  // node ids (0 = root), recursively splitting a leaf budget. Each logical
+  // hop becomes a chain of 1..max_chain+1 physical edges; chains of relays
+  // are what build_multicast_tree must collapse.
+  struct Builder {
+    Source& src;
+    std::size_t max_chain;
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    std::vector<NodeId> receivers;
+    NodeId next = 1;
+
+    // Attach one chain below `from`, then either terminate as a receiver
+    // (budget 1) or split the remaining leaf budget over ≥ 2 children.
+    void grow(NodeId from, std::size_t budget) {
+      NodeId prev = from;
+      const std::size_t relays = src.choice(max_chain);
+      for (std::size_t i = 0; i < relays; ++i) {
+        edges.emplace_back(prev, next);
+        prev = next++;
+      }
+      const NodeId here = next++;
+      edges.emplace_back(prev, here);
+      if (budget == 1) {
+        receivers.push_back(here);
+        return;
+      }
+      const std::size_t max_kids = std::min<std::size_t>(budget, 4);
+      const std::size_t kids = 2 + src.choice(max_kids - 2);
+      std::size_t remaining = budget;
+      for (std::size_t c = 0; c < kids; ++c) {
+        const std::size_t reserved = kids - 1 - c;  // ≥1 leaf per sibling
+        const std::size_t share =
+            c + 1 == kids
+                ? remaining
+                : 1 + static_cast<std::size_t>(
+                          src.choice(remaining - reserved - 1));
+        remaining -= share;
+        grow(here, share);
+      }
+    }
+  };
+
+  Builder b{src, max_chain, {}, {}, 1};
+  const std::size_t leaves =
+      2 + static_cast<std::size_t>(src.choice(max_leaves - 2));
+  if (src.maybe(0.5) || leaves < 2) {
+    // Shared-link shape: one chain off the root, then the split — choice 0
+    // (maybe ↦ false) takes the other branch, so this is NOT the shrink
+    // target; the root-split shape below is simpler.
+    b.grow(0, leaves);
+  } else {
+    const std::size_t left = 1 + src.choice(leaves - 2);
+    b.grow(0, left);
+    b.grow(0, leaves - left);
+  }
+
+  // Phase 2: materialize the graph and let the PRODUCTION builder derive
+  // the logical tree (receivers are exactly the physical leaves, so the
+  // build cannot fail — asserted, not handled).
+  MulticastTreeDraw draw{Graph(b.next), {}};
+  for (const auto& [u, v] : b.edges) draw.graph.add_link(u, v);
+  auto built = build_multicast_tree(draw.graph, 0, b.receivers);
+  assert(built.ok());
+  draw.tree = std::move(*built);
+  return draw;
 }
 
 }  // namespace scapegoat::testkit

@@ -16,6 +16,7 @@
 #include "linalg/matrix.hpp"
 #include "lp/model.hpp"
 #include "testkit/source.hpp"
+#include "tomography/multicast_mle.hpp"
 
 namespace scapegoat::testkit {
 
@@ -92,5 +93,22 @@ void gen_resample_metrics(Source& src, Scenario& sc);
 
 // An Rng whose seed comes off the tape — for APIs that want an Rng&.
 Rng gen_rng(Source& src);
+
+// ---- multicast trees ------------------------------------------------------
+
+struct MulticastTreeDraw {
+  Graph graph;        // a physical tree (relay chains included)
+  MulticastTree tree; // its logical collapse, rooted at node 0
+};
+
+// Random rooted multicast tree with 2..max_leaves leaves: recursive budget
+// split (sizes before contents — dropping tape suffixes prunes whole
+// subtrees), every logical link realized by a chain of 1..max_chain+1
+// physical links, and an optional root chain so the classic shared-link
+// two-leaf shape is reachable. The tree is produced by the production
+// build_multicast_tree on the generated graph, so every draw satisfies
+// MulticastTree::valid() by construction.
+MulticastTreeDraw gen_multicast_tree(Source& src, std::size_t max_leaves = 5,
+                                     std::size_t max_chain = 2);
 
 }  // namespace scapegoat::testkit

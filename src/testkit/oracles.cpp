@@ -1,7 +1,9 @@
 #include "testkit/oracles.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 
 namespace scapegoat::testkit {
@@ -166,6 +168,91 @@ double ref_eq23_residual(const Matrix& r, const Vector& x_hat,
     total += std::abs(y[i] - row);
   }
   return total;
+}
+
+std::vector<double> ref_two_leaf_mle(double gamma1, double gamma2,
+                                     double gamma_or) {
+  const double a_internal = gamma1 * gamma2 / (gamma1 + gamma2 - gamma_or);
+  return {a_internal, gamma1 / a_internal, gamma2 / a_internal};
+}
+
+namespace {
+
+// P(leaf outcome bitmask) under `link_success`, by summing over every
+// pass/fail assignment to the non-root links. Deliberately O(2^(n−1)) and
+// top-down-literal: node k is reached iff its parent is reached AND link k
+// passed — no γ recursion anywhere near this code.
+std::vector<double> multicast_outcome_distribution(const MulticastTree& tree,
+                                                   const Vector& link_success) {
+  const std::size_t n = tree.num_nodes();
+  const std::size_t leaves = tree.num_leaves();
+  assert(n >= 2 && n - 1 < 64);
+  std::vector<double> prob(std::size_t{1} << leaves, 0.0);
+  for (std::uint64_t assign = 0; assign < (std::uint64_t{1} << (n - 1));
+       ++assign) {
+    double p = 1.0;
+    std::vector<bool> passed(n, true);
+    for (std::size_t k = 1; k < n; ++k) {
+      passed[k] = (assign >> (k - 1)) & 1;
+      p *= passed[k] ? link_success[k] : 1.0 - link_success[k];
+    }
+    if (p == 0.0) continue;
+    std::vector<bool> reached(n, false);
+    reached[0] = true;
+    for (std::size_t k = 1; k < n; ++k)
+      reached[k] = reached[tree.nodes[k].parent] && passed[k];
+    std::size_t outcome = 0;
+    for (std::size_t i = 0; i < leaves; ++i)
+      if (reached[tree.leaves[i]]) outcome |= std::size_t{1} << i;
+    prob[outcome] += p;
+  }
+  return prob;
+}
+
+}  // namespace
+
+double ref_multicast_outcome_loglik(
+    const MulticastTree& tree, const Vector& link_success,
+    const std::vector<std::size_t>& outcome_counts, std::size_t probes) {
+  assert(outcome_counts.size() == std::size_t{1} << tree.num_leaves());
+  const std::vector<double> prob =
+      multicast_outcome_distribution(tree, link_success);
+  double loglik = 0.0;
+  std::size_t seen = 0;
+  for (std::size_t o = 0; o < outcome_counts.size(); ++o) {
+    if (outcome_counts[o] == 0) continue;
+    seen += outcome_counts[o];
+    if (prob[o] <= 0.0) return -std::numeric_limits<double>::infinity();
+    loglik += static_cast<double>(outcome_counts[o]) * std::log(prob[o]);
+  }
+  assert(seen == probes);
+  (void)probes;
+  return loglik;
+}
+
+double ref_multicast_mle_grid(const MulticastTree& tree,
+                              const std::vector<std::size_t>& outcome_counts,
+                              std::size_t probes, std::size_t steps,
+                              std::size_t max_links) {
+  const std::size_t links = tree.num_nodes() - 1;
+  assert(links <= max_links && "grid enumeration is exponential in links");
+  (void)max_links;
+  std::vector<std::size_t> idx(links, 0);
+  Vector rates(tree.num_nodes());
+  rates[0] = 1.0;
+  double best = -std::numeric_limits<double>::infinity();
+  for (;;) {
+    for (std::size_t k = 0; k < links; ++k)
+      rates[k + 1] = static_cast<double>(idx[k] + 1) /
+                     static_cast<double>(steps);
+    best = std::max(best, ref_multicast_outcome_loglik(tree, rates,
+                                                       outcome_counts,
+                                                       probes));
+    std::size_t carry = 0;
+    while (carry < links && ++idx[carry] == steps) idx[carry++] = 0;
+    if (carry == links) break;
+  }
+  return best;
 }
 
 }  // namespace scapegoat::testkit

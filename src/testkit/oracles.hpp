@@ -14,6 +14,7 @@
 #include "graph/graph.hpp"
 #include "linalg/matrix.hpp"
 #include "lp/model.hpp"
+#include "tomography/multicast_mle.hpp"
 
 namespace scapegoat::testkit {
 
@@ -67,5 +68,36 @@ bool ref_perfect_cut(const std::vector<Path>& paths,
 // ‖y − R·x̂‖₁ computed as the paper prints it: Σ_i |y_i − Σ_j R_ij x̂_j|.
 double ref_eq23_residual(const Matrix& r, const Vector& x_hat,
                          const Vector& y);
+
+// ---- multicast MLE: textbook closed form and brute-force likelihood -------
+
+// The classic two-leaf MINC solution, straight from the Cáceres et al.
+// derivation and nothing else: for root → internal → {leaf1, leaf2} with
+// per-node OR rates γ₁, γ₂ and γ_or = P(leaf1 ∪ leaf2),
+//   Â_internal = γ₁·γ₂ / (γ₁ + γ₂ − γ_or),
+//   α̂_leaf_i  = γ_i / Â_internal.
+// Returns {Â_internal, α̂_leaf1, α̂_leaf2}.
+std::vector<double> ref_two_leaf_mle(double gamma1, double gamma2,
+                                     double gamma_or);
+
+// Exact log-likelihood of a full 2^leaves outcome histogram under per-node
+// logical link success rates, by exhaustive enumeration of all 2^(n−1)
+// pass/fail assignments to the non-root tree links (a probe reaches a node
+// iff every ancestor link passed). −inf when an observed outcome has model
+// probability 0. `link_success` is indexed by tree node (root ignored),
+// `outcome_counts` by leaf bitmask in tree.leaves order.
+double ref_multicast_outcome_loglik(
+    const MulticastTree& tree, const Vector& link_success,
+    const std::vector<std::size_t>& outcome_counts, std::size_t probes);
+
+// Brute-force MLE on small trees (≤ `max_links` non-root nodes, asserted):
+// maximizes ref_multicast_outcome_loglik over a uniform grid of `steps`
+// success rates {1/steps, 2/steps, …, 1} per logical link and returns the
+// best log-likelihood found. The recursive fit must score at least this
+// well (up to grid resolution) or it is not the maximizer it claims to be.
+double ref_multicast_mle_grid(const MulticastTree& tree,
+                              const std::vector<std::size_t>& outcome_counts,
+                              std::size_t probes, std::size_t steps = 9,
+                              std::size_t max_links = 4);
 
 }  // namespace scapegoat::testkit

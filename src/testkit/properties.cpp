@@ -22,8 +22,10 @@
 #include "linalg/qr.hpp"
 #include "linalg/sparse_matrix.hpp"
 #include "lp/simplex.hpp"
+#include "simnet/multicast_probe.hpp"
 #include "testkit/gen.hpp"
 #include "testkit/oracles.hpp"
+#include "tomography/multicast_mle.hpp"
 #include "tomography/sparse_recovery.hpp"
 
 namespace scapegoat::testkit {
@@ -547,6 +549,122 @@ bool prop_sparse_recovery_matches_least_squares(Source& src) {
   return true;
 }
 
+// ---- tomography_mle_matches_closed_form -----------------------------------
+
+// Three independent checks of the gamma-recursion MLE on one generated
+// tree:
+//   1. exact interpolation — on model-implied γ's the fit must reproduce
+//      the generating logical rates (closed form and fixed point alike);
+//   2. the textbook two-leaf closed form on every binary internal node
+//      whose children are both leaves, against the fit's reach estimate;
+//   3. brute force — on trees with ≤ 4 logical links, the fit's exhaustive
+//      outcome log-likelihood must match the best grid-search rate vector
+//      (the recursive solution is the maximizer, or it is wrong).
+// Clamped fits (infeasible empirical γ's — negative sampled correlation)
+// leave the interior of the parameter space, where the recursion's output
+// is a boundary point, not the interior MLE; 2 and 3 are skipped there.
+bool prop_mle_matches_closed_form(Source& src) {
+  const MulticastTreeDraw draw = gen_multicast_tree(src, 5, 2);
+  const MulticastTree& tree = draw.tree;
+  const std::size_t n = tree.num_nodes();
+  const std::size_t num_links = draw.graph.num_links();
+
+  // Ground truth: per-physical-link delivery on a 0.05 grid in [0.6, 1];
+  // logical rates are the chain products.
+  std::vector<double> delivery(num_links);
+  for (double& d : delivery) d = 1.0 - src.grid_nonneg(0.05, 8);
+  Vector alpha(n);
+  alpha[0] = 1.0;
+  for (std::size_t k = 1; k < n; ++k) {
+    alpha[k] = 1.0;
+    for (const LinkId l : tree.nodes[k].chain) alpha[k] *= delivery[l];
+  }
+
+  // 1) Exact-gamma interpolation.
+  const auto exact =
+      solve_multicast_mle(num_links, tree, model_gammas(tree, alpha));
+  if (!exact.ok()) {
+    src.note("exact-gamma solve refused: " + exact.error_message());
+    return false;
+  }
+  if (!exact->converged || exact->residual > 1e-9) {
+    src.note("exact gammas left residual " + std::to_string(exact->residual) +
+             " (converged=" + std::to_string(exact->converged) + ")");
+    return false;
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    if (std::abs(exact->link_success[k] - alpha[k]) > 1e-7) {
+      std::ostringstream os;
+      os << "node " << k << ": recovered " << exact->link_success[k]
+         << " vs true " << alpha[k] << " on " << n << " nodes";
+      src.note(os.str());
+      return false;
+    }
+  }
+
+  // 2+3) Finite-probe run through the simulator.
+  simnet::MulticastProbeOptions popt;
+  popt.probes = 256 + 64 * static_cast<std::size_t>(src.choice(8));
+  popt.seed = src.choice(0xffffffffull);
+  popt.link_delivery = delivery;
+  const simnet::MulticastProbeRun run =
+      simnet::run_multicast_probes(tree, popt);
+
+  const auto fit = solve_multicast_mle(num_links, tree, run.obs);
+  if (!fit.ok()) {
+    // A dead leaf is the one legitimate refusal on a finite run.
+    if (fit.code() == robust::ErrorCode::kMissingData) return true;
+    src.note("finite-run solve refused: " + fit.error_message());
+    return false;
+  }
+  if (fit->clamped > 0) return true;  // boundary fit: interior checks vacuous
+
+  // Two-leaf closed form — hidden internal nodes only: the root's reach is
+  // pinned at 1 (probes originate there), so the Cáceres Â formula does not
+  // apply to a root-split shape.
+  for (std::size_t k = 1; k < n; ++k) {
+    const auto& node = tree.nodes[k];
+    if (node.children.size() != 2 ||
+        !tree.nodes[node.children[0]].is_leaf() ||
+        !tree.nodes[node.children[1]].is_leaf())
+      continue;
+    const std::vector<double> ref =
+        ref_two_leaf_mle(run.obs.gamma(node.children[0]),
+                         run.obs.gamma(node.children[1]), run.obs.gamma(k));
+    if (std::abs(fit->node_reach[k] - ref[0]) >
+        1e-9 * std::max(1.0, std::abs(ref[0]))) {
+      std::ostringstream os;
+      os << "two-leaf node " << k << ": fit reach " << fit->node_reach[k]
+         << " vs textbook " << ref[0];
+      src.note(os.str());
+      return false;
+    }
+  }
+
+  if (n - 1 <= 4 && !run.outcome_counts.empty()) {
+    const double fit_ll = ref_multicast_outcome_loglik(
+        tree, fit->link_success, run.outcome_counts, run.probes_sent);
+    if (std::isfinite(fit_ll)) {
+      const double best = ref_multicast_mle_grid(tree, run.outcome_counts,
+                                                 run.probes_sent);
+      // Grid resolution bounds how much the grid can win by near the
+      // optimum: the likelihood is smooth in the interior, so a true
+      // maximizer can trail the best grid point only marginally.
+      const double slack =
+          1e-3 * static_cast<double>(run.probes_sent) / 9.0 + 1e-6;
+      if (fit_ll < best - slack) {
+        std::ostringstream os;
+        os << "recursive fit loglik " << fit_ll << " < grid best " << best
+           << " − " << slack << " on " << n - 1 << " links, "
+           << run.probes_sent << " probes";
+        src.note(os.str());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
 // ---- checkpoint_resume_equivalence ----------------------------------------
 
 std::string unique_checkpoint_path() {
@@ -640,6 +758,8 @@ const std::map<std::string, NamedProperty>& property_registry() {
        {prop_detector_residual_matches_eq23, 60, 4}},
       {"tomography_sparse_matches_least_squares",
        {prop_sparse_recovery_matches_least_squares, 60, 4}},
+      {"tomography_mle_matches_closed_form",
+       {prop_mle_matches_closed_form, 100, 3}},
       {"checkpoint_resume_equivalence",
        {prop_checkpoint_resume_equivalence, 8, 25}},
   };

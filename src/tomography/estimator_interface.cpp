@@ -6,6 +6,7 @@
 #include "linalg/qr.hpp"
 #include "obs/obs.hpp"
 #include "tomography/estimator.hpp"
+#include "tomography/multicast_mle.hpp"
 #include "tomography/routing_matrix.hpp"
 #include "tomography/sparse_recovery.hpp"
 
@@ -17,6 +18,8 @@ std::string to_string(EstimatorKind kind) {
       return "least_squares";
     case EstimatorKind::kSparseRecovery:
       return "sparse_recovery";
+    case EstimatorKind::kMulticastMle:
+      return "multicast_mle";
   }
   return "unknown";
 }
@@ -24,6 +27,7 @@ std::string to_string(EstimatorKind kind) {
 std::optional<EstimatorKind> estimator_kind_from_string(std::string_view s) {
   if (s == "least_squares") return EstimatorKind::kLeastSquares;
   if (s == "sparse_recovery") return EstimatorKind::kSparseRecovery;
+  if (s == "multicast_mle") return EstimatorKind::kMulticastMle;
   return std::nullopt;
 }
 
@@ -97,6 +101,13 @@ std::unique_ptr<Estimator> make_estimator(EstimatorKind kind, const Graph& g,
       return std::make_unique<SparseRecoveryEstimator>(g, std::move(paths),
                                                        std::move(sparse),
                                                        options.backend);
+    }
+    case EstimatorKind::kMulticastMle: {
+      MulticastMleOptions mle;
+      mle.min_rate = options.mle_min_rate;
+      mle.max_fixed_point_iters = options.mle_fixed_point_iters;
+      return std::make_unique<MulticastMleEstimator>(g, std::move(paths),
+                                                     mle, options.backend);
     }
   }
   return nullptr;

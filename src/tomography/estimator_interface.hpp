@@ -8,6 +8,10 @@
 //     (sparse_recovery.hpp), min ‖x − x_prior‖₁ s.t. ‖Rx − y‖∞ ≤ ε, x ⪰ 0
 //     as a bounded-variable LP; the FRANTIC-style compressive-sensing
 //     defender.
+//   * EstimatorKind::kMulticastMle — MulticastMleEstimator
+//     (multicast_mle.hpp), the Cáceres et al. gamma-recursion MLE on rooted
+//     multicast trees; the loss-domain defender. Tree-native on root→leaf
+//     path sets, pseudo-inverse delegation otherwise.
 //
 // The base class owns everything that is a property of the path set rather
 // than of the solve strategy: the routing matrix (dense + CSR mirror),
@@ -50,6 +54,7 @@ namespace scapegoat {
 enum class EstimatorKind {
   kLeastSquares,
   kSparseRecovery,
+  kMulticastMle,
 };
 
 std::string to_string(EstimatorKind kind);
@@ -153,6 +158,11 @@ struct EstimatorOptions {
   Vector sparse_prior;
   // Sparse recovery: LP solver options for every recovery solve.
   lp::SimplexOptions lp_options;
+  // Multicast MLE: clamp floor for fitted per-link success rates and the
+  // iteration cap of the degree > 2 fixed-point solve (the full knob set
+  // lives in MulticastMleOptions, multicast_mle.hpp).
+  double mle_min_rate = 1e-6;
+  std::size_t mle_fixed_point_iters = 1000;
 };
 
 std::unique_ptr<Estimator> make_estimator(EstimatorKind kind, const Graph& g,

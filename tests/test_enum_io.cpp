@@ -132,18 +132,53 @@ TEST(EnumIo, ServiceAdmissionAndShedModeStrings) {
 
 TEST(EnumIo, EstimatorKindRoundTrips) {
   for (EstimatorKind k :
-       {EstimatorKind::kLeastSquares, EstimatorKind::kSparseRecovery}) {
+       {EstimatorKind::kLeastSquares, EstimatorKind::kSparseRecovery,
+        EstimatorKind::kMulticastMle}) {
     const auto back = estimator_kind_from_string(to_string(k));
     ASSERT_TRUE(back.has_value()) << to_string(k);
     EXPECT_EQ(*back, k);
   }
   EXPECT_EQ(to_string(EstimatorKind::kLeastSquares), "least_squares");
   EXPECT_EQ(to_string(EstimatorKind::kSparseRecovery), "sparse_recovery");
+  EXPECT_EQ(to_string(EstimatorKind::kMulticastMle), "multicast_mle");
   EXPECT_FALSE(estimator_kind_from_string("l1").has_value());
+  EXPECT_FALSE(estimator_kind_from_string("mle").has_value());
   EXPECT_FALSE(estimator_kind_from_string("").has_value());
   std::ostringstream os;
   os << EstimatorKind::kSparseRecovery;
   EXPECT_EQ(os.str(), "sparse_recovery");
+}
+
+TEST(EnumIo, ProbeModeRoundTrips) {
+  for (simnet::ProbeMode m :
+       {simnet::ProbeMode::kUnicast, simnet::ProbeMode::kMulticast}) {
+    const auto back = simnet::probe_mode_from_string(simnet::to_string(m));
+    ASSERT_TRUE(back.has_value()) << simnet::to_string(m);
+    EXPECT_EQ(*back, m);
+  }
+  EXPECT_EQ(simnet::to_string(simnet::ProbeMode::kUnicast), "unicast");
+  EXPECT_EQ(simnet::to_string(simnet::ProbeMode::kMulticast), "multicast");
+  EXPECT_FALSE(simnet::probe_mode_from_string("broadcast").has_value());
+  EXPECT_FALSE(simnet::probe_mode_from_string("").has_value());
+  std::ostringstream os;
+  os << simnet::ProbeMode::kMulticast;
+  EXPECT_EQ(os.str(), "multicast");
+}
+
+TEST(EnumIo, LossAttackFamilyRoundTrips) {
+  for (LossAttackFamily f :
+       {LossAttackFamily::kSubtreeFraming, LossAttackFamily::kSplitFraming}) {
+    const auto back = loss_attack_family_from_string(to_string(f));
+    ASSERT_TRUE(back.has_value()) << to_string(f);
+    EXPECT_EQ(*back, f);
+  }
+  EXPECT_EQ(to_string(LossAttackFamily::kSubtreeFraming), "subtree_framing");
+  EXPECT_EQ(to_string(LossAttackFamily::kSplitFraming), "split_framing");
+  EXPECT_FALSE(loss_attack_family_from_string("framing").has_value());
+  EXPECT_FALSE(loss_attack_family_from_string("").has_value());
+  std::ostringstream os;
+  os << LossAttackFamily::kSubtreeFraming;
+  EXPECT_EQ(os.str(), "subtree_framing");
 }
 
 TEST(EnumIo, SparseConstraintRoundTrips) {

@@ -67,7 +67,8 @@ TEST_F(EstimatorInterfaceTest, FactoryMakesSparseRecoveryWithOptions) {
 
 TEST_F(EstimatorInterfaceTest, CloneIsDeepAndPolymorphic) {
   for (const EstimatorKind kind :
-       {EstimatorKind::kLeastSquares, EstimatorKind::kSparseRecovery}) {
+       {EstimatorKind::kLeastSquares, EstimatorKind::kSparseRecovery,
+        EstimatorKind::kMulticastMle}) {
     const auto est = make_estimator(kind, scenario_.graph(),
                                     scenario_.estimator().paths());
     const std::unique_ptr<Estimator> copy = est->clone();
@@ -92,9 +93,12 @@ TEST_F(EstimatorInterfaceTest, StreamingEstimateUsesTheCachedPseudoInverse) {
   for (std::size_t j = 0; j < fast.size(); ++j) EXPECT_EQ(fast[j], direct[j]);
 }
 
-TEST_F(EstimatorInterfaceTest, TryAppendPathGrowsBothFamilies) {
+TEST_F(EstimatorInterfaceTest, TryAppendPathGrowsEveryFamily) {
+  // The scenario's unicast mesh is not a multicast tree, so the MLE family
+  // exercises its documented pseudo-inverse fallback here.
   for (const EstimatorKind kind :
-       {EstimatorKind::kLeastSquares, EstimatorKind::kSparseRecovery}) {
+       {EstimatorKind::kLeastSquares, EstimatorKind::kSparseRecovery,
+        EstimatorKind::kMulticastMle}) {
     EstimatorOptions opt;
     opt.sparse_prior = scenario_.x_true();
     const auto est = make_estimator(kind, scenario_.graph(),

@@ -6,7 +6,9 @@
 
 #include <cmath>
 
+#include "simnet/multicast_probe.hpp"
 #include "tomography/estimator.hpp"
+#include "tomography/multicast_mle.hpp"
 #include "tomography/routing_matrix.hpp"
 #include "topology/example_networks.hpp"
 
@@ -66,6 +68,66 @@ TEST(LossMetric, TomographyRecoversLossRates) {
   const auto states = classify_all(x_hat, loss_thresholds());
   EXPECT_EQ(states[3], LinkState::kAbnormal);
   EXPECT_EQ(states[0], LinkState::kNormal);
+}
+
+TEST(LossMetric, LeafMetricsAccountForGreyHoleGroundTruth) {
+  // Per-leaf pass-rate accounting against the simulator's own counters: the
+  // metric vector must be exactly −log(reached/probes), and a grey hole at
+  // the branch point must show up in the victim leaf's metric only.
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(1, 3);
+  const auto tree = build_multicast_tree(g, 0, {2, 3});
+  ASSERT_TRUE(tree.ok());
+  simnet::MulticastAdversary adv;
+  adv.rules = {{1, 2}};  // drop into leaf node 2's subtree
+  adv.drop_rate = 0.25;
+  simnet::MulticastProbeOptions opt;
+  opt.probes = 8000;
+  opt.seed = 0x10c5ULL;
+  opt.adversary = &adv;
+  const simnet::MulticastProbeRun run = simnet::run_multicast_probes(*tree, opt);
+  const Vector y = run.leaf_loss_metrics();
+  ASSERT_EQ(y.size(), 2u);
+  const double n = static_cast<double>(run.probes_sent);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const double pass = static_cast<double>(run.leaf_reached[i]) / n;
+    EXPECT_NEAR(y[i], -std::log(pass), 1e-12) << "leaf " << i;
+  }
+  // The victim leaf carries ≈ −log(0.75); the sibling is untouched.
+  EXPECT_NEAR(y[0], -std::log(0.75), 0.03);
+  EXPECT_DOUBLE_EQ(y[1], 0.0);
+  // Converting back recovers the empirical delivery rates.
+  EXPECT_NEAR(delivery_from_loss_metric(y[0]),
+              static_cast<double>(run.leaf_reached[0]) / n, 1e-12);
+}
+
+TEST(LossMetric, DeadLeafIsATypedRefusalNotNaN) {
+  // A leaf that never receives a probe has no finite loss metric: the MLE
+  // must refuse with kMissingData instead of emitting NaN link rates, and
+  // the floored metric path must stay finite.
+  Graph g(4);
+  g.add_link(0, 1);
+  g.add_link(1, 2);
+  g.add_link(1, 3);
+  const auto tree = build_multicast_tree(g, 0, {2, 3});
+  ASSERT_TRUE(tree.ok());
+  simnet::MulticastProbeOptions opt;
+  opt.probes = 500;
+  opt.link_delivery = {1.0, 0.0, 1.0};  // leaf node 2's link is dead
+  const simnet::MulticastProbeRun run = simnet::run_multicast_probes(*tree, opt);
+  EXPECT_EQ(run.leaf_reached[0], 0u);
+  const auto fit = solve_multicast_mle(g.num_links(), *tree, run.obs);
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.code(), robust::ErrorCode::kMissingData);
+  // The floored metric vector is the degraded-but-total representation.
+  const Vector y = run.leaf_loss_metrics();
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(y[i])) << i;
+    EXPECT_FALSE(std::isnan(y[i])) << i;
+  }
+  EXPECT_NEAR(y[0], -std::log(1e-9), 1e-9);  // the documented floor
 }
 
 }  // namespace

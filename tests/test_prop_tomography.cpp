@@ -1,12 +1,17 @@
 // Differential property suite for the estimator family: equality-mode
-// sparse recovery vs least squares on identifiable systems (the registry
-// property the tests/corpus seeds replay), plus hand-computed ℓ1 recovery
-// instances keeping the LP encoding honest.
+// sparse recovery vs least squares on identifiable systems, the multicast
+// MLE vs its textbook/brute-force oracles (the registry properties the
+// tests/corpus seeds replay), plus hand-computed instances keeping the LP
+// encoding and the oracles themselves honest.
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "prop_gtest.hpp"
 #include "graph/graph.hpp"
+#include "testkit/oracles.hpp"
+#include "tomography/multicast_mle.hpp"
 #include "tomography/sparse_recovery.hpp"
 
 namespace scapegoat {
@@ -14,6 +19,56 @@ namespace {
 
 TEST(PropTomography, SparseRecoveryMatchesLeastSquares) {
   SCAPEGOAT_RUN_PROPERTY("tomography_sparse_matches_least_squares");
+}
+
+TEST(PropTomography, MulticastMleMatchesClosedForm) {
+  SCAPEGOAT_RUN_PROPERTY("tomography_mle_matches_closed_form");
+}
+
+TEST(MulticastMleOracle, TwoLeafClosedFormByHand) {
+  // γ₁ = 0.8, γ₂ = 0.9, γ_or = 0.95:
+  //   Â = 0.8·0.9 / (0.8 + 0.9 − 0.95) = 0.72 / 0.75 = 0.96,
+  //   α̂₁ = 0.8 / 0.96 = 5/6,  α̂₂ = 0.9 / 0.96 = 0.9375.
+  const auto ref = testkit::ref_two_leaf_mle(0.8, 0.9, 0.95);
+  ASSERT_EQ(ref.size(), 3u);
+  EXPECT_NEAR(ref[0], 0.96, 1e-12);
+  EXPECT_NEAR(ref[1], 5.0 / 6.0, 1e-12);
+  EXPECT_NEAR(ref[2], 0.9375, 1e-12);
+}
+
+TEST(MulticastMleOracle, OutcomeLoglikByHand) {
+  // Root with two direct leaf children, both links at rate 1/2: every one
+  // of the four leaf-outcome masks has probability 1/4, so a flat histogram
+  // of 4 probes scores 4·log(1/4).
+  Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  const auto tree = build_multicast_tree(g, 0, {1, 2});
+  ASSERT_TRUE(tree.ok()) << tree.error_message();
+  const Vector rates{1.0, 0.5, 0.5};
+  const double ll =
+      testkit::ref_multicast_outcome_loglik(*tree, rates, {1, 1, 1, 1}, 4);
+  EXPECT_NEAR(ll, 4.0 * std::log(0.25), 1e-12);
+  // An outcome the model forbids (rate-1 link, leaf reported lost) is −inf.
+  const Vector certain{1.0, 1.0, 0.5};
+  EXPECT_TRUE(std::isinf(
+      testkit::ref_multicast_outcome_loglik(*tree, certain, {1, 1, 1, 1}, 4)));
+}
+
+TEST(MulticastMleOracle, GridSearchDominatesAnyGridPoint) {
+  Graph g(3);
+  g.add_link(0, 1);
+  g.add_link(0, 2);
+  const auto tree = build_multicast_tree(g, 0, {1, 2});
+  ASSERT_TRUE(tree.ok());
+  const std::vector<std::size_t> counts{2, 3, 3, 8};
+  const double best = testkit::ref_multicast_mle_grid(*tree, counts, 16);
+  for (int i = 1; i <= 9; ++i)
+    for (int j = 1; j <= 9; ++j) {
+      const Vector rates{1.0, i / 9.0, j / 9.0};
+      EXPECT_GE(best + 1e-12, testkit::ref_multicast_outcome_loglik(
+                                  *tree, rates, counts, 16));
+    }
 }
 
 TEST(SparseRecoveryOracle, L1RecoveryByHand) {

@@ -196,6 +196,42 @@ TEST(ScenarioIoChecked, RoundTripStillSucceeds) {
   expect_equivalent(original, *loaded);
 }
 
+TEST(ScenarioIo, MulticastMleConfigRoundTrips) {
+  // The MLE defender's clamp floor rides as an optional third token on the
+  // estimator line; both the kind and the floor must survive persistence.
+  ScenarioConfig config;
+  config.estimator_kind = EstimatorKind::kMulticastMle;
+  config.mle_min_rate = 1e-4;
+  Rng rng(307);
+  Scenario original = Scenario::fig1(rng, config);
+  std::stringstream buffer;
+  save_scenario(buffer, original);
+  const std::string text = buffer.str();
+  EXPECT_NE(text.find("estimator multicast_mle"), std::string::npos);
+  auto loaded = try_load_scenario(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded->config().estimator_kind, EstimatorKind::kMulticastMle);
+  EXPECT_DOUBLE_EQ(loaded->config().mle_min_rate, 1e-4);
+  expect_equivalent(original, *loaded);
+}
+
+TEST(ScenarioIo, TwoTokenEstimatorLineKeepsTheDefaultClampFloor) {
+  // Files written before the MLE floor existed (or by other estimator
+  // kinds) carry two tokens; the loader must keep the default floor.
+  Rng rng(308);
+  Scenario base = Scenario::fig1(rng);
+  std::stringstream buffer;
+  save_scenario(buffer, base);
+  std::string text = buffer.str();
+  text += "estimator multicast_mle 0\n";
+  std::istringstream patched(text);
+  auto loaded = try_load_scenario(patched);
+  ASSERT_TRUE(loaded.ok()) << loaded.error().to_string();
+  EXPECT_EQ(loaded->config().estimator_kind, EstimatorKind::kMulticastMle);
+  EXPECT_DOUBLE_EQ(loaded->config().mle_min_rate,
+                   ScenarioConfig{}.mle_min_rate);
+}
+
 TEST(ScenarioIo, FileHelpers) {
   EXPECT_FALSE(load_scenario_file("/nonexistent/scenario.txt").has_value());
   Rng rng(305);

@@ -51,6 +51,14 @@ int usage(const char* reason) {
       "             --clean-trials N --k a,b,c --eps e1,e2 --families\n"
       "             unrestricted,consistent,sparse-aware --alpha MS\n"
       "             --noise MS --anomaly MS --attack-eps MS --out PATH)\n"
+      "  ablate-loss — loss-domain grey-hole grid, multicast MLE vs least\n"
+      "            squares on the same ground truth (DESIGN.md §15)\n"
+      "            (--topology wireline|wireless --topologies N --trials N\n"
+      "             --clean-trials N --probes N --receivers N\n"
+      "             --rates permille list --families\n"
+      "             subtree_framing,split_framing --probe-mode\n"
+      "             unicast|multicast --mle-alpha P --ls-alpha X\n"
+      "             --min-delivery permille --out PATH)\n"
       "  serve   — streaming probe-ingest session: bounded queues, shards,\n"
       "            online Eq. 23 windows, supervised restart\n"
       "            (--topologies N --shards N --batches N --producers N\n"
@@ -59,7 +67,7 @@ int usage(const char* reason) {
       "             --attack-every N --noise MS --grow-every N --open-loop\n"
       "             --batch-budget-ms MS --journal PATH --resume)\n"
       "flags: --topology fig1|wireline|wireless|file:PATH  --seed N\n"
-      "       --estimator ls|sparse  --epsilon MS (sparse defender ε ball)\n"
+      "       --estimator ls|sparse|mle  --epsilon MS (sparse defender ε)\n"
       "       --strategy chosen|max|obfuscation  --victim L(1-based)\n"
       "       --attackers a,b,c  --redundant N  --alpha MS  --csv\n"
       "       --stealthy (Theorem-1 consistent manipulation)\n"
@@ -94,8 +102,10 @@ std::optional<Setup> build_setup(ArgParser& args) {
   if (estimator == "sparse") {
     config.estimator_kind = EstimatorKind::kSparseRecovery;
     config.sparse_epsilon_ms = args.get_double("epsilon", 0.0);
+  } else if (estimator == "mle") {
+    config.estimator_kind = EstimatorKind::kMulticastMle;
   } else if (estimator != "ls") {
-    std::cerr << "error: --estimator expects ls|sparse\n";
+    std::cerr << "error: --estimator expects ls|sparse|mle\n";
     return std::nullopt;
   }
 
@@ -502,6 +512,109 @@ int cmd_ablate_defender(ArgParser& args) {
   return 0;
 }
 
+// Loss-domain ablation: the grey-hole grid in front of the multicast-MLE
+// and least-squares defenders over the same ground truth
+// (core/defender_ablation.hpp, run_loss_ablation).
+int cmd_ablate_loss(ArgParser& args) {
+  LossAblationOptions opt;
+  const std::string topo = args.get_string("topology", "wireline");
+  opt.kind =
+      topo == "wireless" ? TopologyKind::kWireless : TopologyKind::kWireline;
+  opt.topologies = static_cast<std::size_t>(args.get_int("topologies", 3));
+  opt.trials_per_cell = static_cast<std::size_t>(args.get_int("trials", 8));
+  opt.clean_trials =
+      static_cast<std::size_t>(args.get_int("clean-trials", 8));
+  opt.probes = static_cast<std::size_t>(args.get_int("probes", 4000));
+  opt.receivers = static_cast<std::size_t>(args.get_int("receivers", 5));
+  args.apply_execution(opt);
+  opt.mle_alpha = args.get_double("mle-alpha", 0.05);
+  opt.ls_alpha = args.get_double("ls-alpha", 0.5);
+  opt.min_link_delivery =
+      static_cast<double>(args.get_int("min-delivery", 985)) / 1000.0;
+  if (const std::vector<long> rates = args.get_int_list("rates");
+      !rates.empty()) {
+    opt.drop_rates.clear();
+    for (long r : rates)
+      opt.drop_rates.push_back(static_cast<double>(r) / 1000.0);
+  }
+  if (const std::string mode = args.get_string("probe-mode");
+      !mode.empty()) {
+    const std::optional<simnet::ProbeMode> pm =
+        simnet::probe_mode_from_string(mode);
+    if (!pm) {
+      std::cerr << "error: --probe-mode expects unicast|multicast\n";
+      return 2;
+    }
+    opt.probe_mode = *pm;
+  }
+  if (const std::string fams = args.get_string("families"); !fams.empty()) {
+    opt.families.clear();
+    std::istringstream fs(fams);
+    for (std::string name; std::getline(fs, name, ',');) {
+      const std::optional<LossAttackFamily> f =
+          loss_attack_family_from_string(name);
+      if (!f) {
+        std::cerr << "error: unknown loss attack family '" << name << "'\n";
+        return 2;
+      }
+      opt.families.push_back(*f);
+    }
+  }
+
+  const LossAblationSeries series = run_loss_ablation(opt);
+
+  Table table({"family", "drop_rate", "attacks", "blamed", "mle_rate",
+               "ls_rate", "mle_only", "ls_only"});
+  for (const LossAblationCell& c : series.cells)
+    table.add_row({to_string(c.family), Table::num(c.drop_rate, 2),
+                   std::to_string(c.attacks), std::to_string(c.victim_blamed),
+                   Table::num(c.mle_rate(), 3), Table::num(c.ls_rate(), 3),
+                   std::to_string(c.mle_only), std::to_string(c.ls_only)});
+  std::cout << "loss-domain ablation (" << to_string(opt.kind) << ", "
+            << to_string(opt.probe_mode) << " probes, " << opt.topologies
+            << " topologies, " << opt.trials_per_cell << " trials/cell, "
+            << opt.probes << " probes/trial, MLE α "
+            << Table::num(opt.mle_alpha, 3) << ", LS α "
+            << Table::num(opt.ls_alpha, 2) << ")\n";
+  if (args.get_bool("csv")) {
+    std::cout << table.to_csv();
+  } else {
+    table.print(std::cout);
+  }
+  std::cout << "clean trials " << series.clean_trials
+            << ": MLE false alarms " << series.mle_false_alarms
+            << ", LS false alarms " << series.ls_false_alarms << '\n';
+
+  if (const std::string out = args.get_string("out"); !out.empty()) {
+    std::ostringstream json;
+    json << "{\n  \"kind\": \"" << to_string(series.kind)
+         << "\",\n  \"probe_mode\": \"" << to_string(series.probe_mode)
+         << "\",\n  \"clean_trials\": " << series.clean_trials
+         << ",\n  \"mle_false_alarms\": " << series.mle_false_alarms
+         << ",\n  \"ls_false_alarms\": " << series.ls_false_alarms
+         << ",\n  \"cells\": [\n";
+    for (std::size_t i = 0; i < series.cells.size(); ++i) {
+      const LossAblationCell& c = series.cells[i];
+      json << "    {\"family\": \"" << to_string(c.family)
+           << "\", \"drop_rate\": " << c.drop_rate
+           << ", \"attacks\": " << c.attacks
+           << ", \"victim_blamed\": " << c.victim_blamed
+           << ", \"mle_detected\": " << c.mle_detected
+           << ", \"ls_detected\": " << c.ls_detected
+           << ", \"mle_only\": " << c.mle_only
+           << ", \"ls_only\": " << c.ls_only << "}"
+           << (i + 1 < series.cells.size() ? "," : "") << '\n';
+    }
+    json << "  ]\n}\n";
+    if (!write_file_atomic(out, json.str()).ok()) {
+      std::cerr << "error: cannot write " << out << '\n';
+      return 1;
+    }
+    std::cerr << "loss ablation series written to " << out << '\n';
+  }
+  return 0;
+}
+
 // Streaming probe-ingest session: the service face of DESIGN.md §13.
 // SIGTERM/SIGINT drain gracefully — the supervisor closes admissions, the
 // shards finish the queued backlog with journals flushed, and the session
@@ -654,6 +767,8 @@ int main(int argc, char** argv) {
     rc = cmd_metrics(args, registry);
   } else if (cmd == "ablate-defender") {
     rc = cmd_ablate_defender(args);
+  } else if (cmd == "ablate-loss") {
+    rc = cmd_ablate_loss(args);
   } else if (cmd == "serve") {
     rc = cmd_serve(args);
   } else {
